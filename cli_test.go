@@ -1,0 +1,111 @@
+package mssg_test
+
+// End-to-end CLI test: build the real binaries and drive the
+// gen → ingest → query pipeline across processes, verifying the database
+// directory written by one process is readable by the next (the
+// deployment story of README.md).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the CLI binaries once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI end-to-end skipped in -short mode")
+	}
+	binDir := t.TempDir()
+	for _, tool := range []string{"mssg-gen", "mssg-ingest", "mssg-query", "mssg-bench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	return binDir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	binDir := buildTools(t)
+	work := t.TempDir()
+	edgeFile := filepath.Join(work, "graph.txt")
+	dbDir := filepath.Join(work, "db")
+
+	// Generate.
+	run(t, filepath.Join(binDir, "mssg-gen"),
+		"-preset", "pubmed-s", "-scale", "0.0005", "-out", edgeFile)
+	st, err := os.Stat(edgeFile)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("edge file not written: %v", err)
+	}
+
+	// Ingest across 4 back-ends with 2 front-ends.
+	out := run(t, filepath.Join(binDir, "mssg-ingest"),
+		"-in", edgeFile, "-dir", dbDir, "-backend", "grdb",
+		"-backends", "4", "-frontends", "2")
+	if !strings.Contains(out, "ingested") {
+		t.Fatalf("unexpected ingest output: %s", out)
+	}
+
+	// Query from a separate process against the persisted database.
+	out = run(t, filepath.Join(binDir, "mssg-query"),
+		"-dir", dbDir, "-backend", "grdb", "-backends", "4",
+		"-source", "0", "-dest", "500")
+	if !strings.Contains(out, "path length") {
+		t.Fatalf("query found no path: %s", out)
+	}
+
+	// Pipelined random queries.
+	out = run(t, filepath.Join(binDir, "mssg-query"),
+		"-dir", dbDir, "-backend", "grdb", "-backends", "4",
+		"-random", "3", "-maxvertex", "1800", "-pipelined")
+	if strings.Count(out, "->") < 2 {
+		t.Fatalf("random queries produced too little output: %s", out)
+	}
+}
+
+func TestCLIBinaryFormatRoundTrip(t *testing.T) {
+	binDir := buildTools(t)
+	work := t.TempDir()
+	binFile := filepath.Join(work, "graph.bin")
+	dbDir := filepath.Join(work, "db")
+
+	run(t, filepath.Join(binDir, "mssg-gen"),
+		"-vertices", "500", "-m", "3", "-seed", "7", "-format", "binary", "-out", binFile)
+	run(t, filepath.Join(binDir, "mssg-ingest"),
+		"-in", binFile, "-format", "binary", "-dir", dbDir,
+		"-backend", "bdb", "-backends", "2")
+	out := run(t, filepath.Join(binDir, "mssg-query"),
+		"-dir", dbDir, "-backend", "bdb", "-backends", "2",
+		"-source", "0", "-dest", "100")
+	if !strings.Contains(out, "path length") {
+		t.Fatalf("binary-format pipeline broken: %s", out)
+	}
+}
+
+func TestCLIBenchSingleExperiment(t *testing.T) {
+	binDir := buildTools(t)
+	out := run(t, filepath.Join(binDir, "mssg-bench"),
+		"-scale", "0.0005", "-queries", "3", "table5.1")
+	for _, want := range []string{"PubMed-S'", "Syn'", "table5.1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bench output missing %q:\n%s", want, out)
+		}
+	}
+}

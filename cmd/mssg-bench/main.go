@@ -1,0 +1,87 @@
+// Command mssg-bench regenerates the tables and figures of the paper's
+// evaluation (chapter 5). Each experiment prints an aligned text table
+// with notes on the shape the paper reports.
+//
+// Usage:
+//
+//	mssg-bench [flags] <experiment>|all
+//
+// Experiments: table5.1 fig5.1 fig5.2 fig5.3 fig5.4 fig5.5 fig5.6 fig5.7
+// fig5.8 fig5.9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mssg/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", experiments.DefaultScale,
+		"fraction of the paper's vertex counts to generate")
+	queries := flag.Int("queries", 30, "random BFS queries per search experiment (paper: 100)")
+	dir := flag.String("dir", "", "scratch directory (default: a temp dir, removed on exit)")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>|all\n\nexperiments:\n", os.Args[0])
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-9s  %s\n", e.ID, e.Desc)
+		}
+		fmt.Fprintln(os.Stderr, "\nflags:")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	workDir := *dir
+	if workDir == "" {
+		td, err := os.MkdirTemp("", "mssg-bench-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(td)
+		workDir = td
+	}
+
+	p := &experiments.Params{Scale: *scale, Queries: *queries, Dir: workDir}
+	if *verbose {
+		p.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%s] "+format+"\n",
+				append([]any{time.Now().Format("15:04:05")}, args...)...)
+		}
+	}
+
+	var toRun []experiments.Experiment
+	if flag.Arg(0) == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(flag.Arg(0))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", flag.Arg(0))
+			flag.Usage()
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		table, err := e.Run(p)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mssg-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command mssg-gen generates synthetic scale-free edge lists: either the
+// paper's preset graphs (pubmed-s, pubmed-l, syn-2b) at a chosen scale,
+// or a custom configuration. Output is an ASCII ("src dst" per line) or
+// binary (16-byte records) edge stream.
+//
+// Examples:
+//
+//	mssg-gen -preset pubmed-s -scale 0.01 -out pubmed-s.txt -stats
+//	mssg-gen -vertices 100000 -m 5 -hub 0.1 -seed 7 -format binary -out g.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mssg/internal/gen"
+	"mssg/internal/graph"
+)
+
+func main() {
+	preset := flag.String("preset", "", "preset graph: pubmed-s, pubmed-l, syn-2b (overrides -vertices/-m/-hub)")
+	scale := flag.Float64("scale", 0.004, "preset scale (fraction of the paper's vertex counts)")
+	vertices := flag.Int64("vertices", 10000, "custom: vertex count")
+	m := flag.Int("m", 5, "custom: attachment edges per vertex (≈ half the avg degree)")
+	hub := flag.Float64("hub", 0, "custom: hub fraction (probability vertex 0 links to each vertex)")
+	seed := flag.Int64("seed", 1, "custom: random seed")
+	format := flag.String("format", "ascii", "output format: ascii or binary")
+	out := flag.String("out", "-", "output file (- for stdout)")
+	stats := flag.Bool("stats", false, "print Table 5.1-style statistics to stderr")
+	flag.Parse()
+
+	var cfg gen.Config
+	if *preset != "" {
+		c, err := gen.Preset(*preset, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = c
+	} else {
+		cfg = gen.Config{Name: "custom", Vertices: *vertices, M: *m, HubFraction: *hub, Seed: *seed}
+	}
+
+	var sink io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		sink = f
+	}
+
+	var w graph.EdgeWriter
+	switch *format {
+	case "ascii":
+		w = graph.NewASCIIEdgeWriter(sink)
+	case "binary":
+		w = graph.NewBinaryEdgeWriter(sink)
+	default:
+		fatal(fmt.Errorf("unknown format %q (want ascii or binary)", *format))
+	}
+
+	g, err := gen.NewGenerator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	deg := make([]int64, cfg.Vertices)
+	var edges int64
+	for {
+		e, err := g.ReadEdge()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.WriteEdge(e); err != nil {
+			fatal(err)
+		}
+		deg[e.Src]++
+		deg[e.Dst]++
+		edges++
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		s := statsFromDegrees(cfg.Name, deg, edges)
+		fmt.Fprintln(os.Stderr, gen.StatsHeader)
+		fmt.Fprintln(os.Stderr, s.String())
+	}
+}
+
+func statsFromDegrees(name string, deg []int64, edges int64) gen.Stats {
+	s := gen.Stats{Name: name, UndEdges: edges, MinDegree: -1}
+	for v, d := range deg {
+		if d == 0 {
+			continue
+		}
+		s.Vertices++
+		if s.MinDegree < 0 || d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+			s.MaxDegreeVertex = graph.VertexID(v)
+		}
+	}
+	if s.MinDegree < 0 {
+		s.MinDegree = 0
+	}
+	if s.Vertices > 0 {
+		s.AvgDegree = 2 * float64(edges) / float64(s.Vertices)
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mssg-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Command mssg-ingest runs the Ingestion Service: it streams an edge
+// list into a cluster of back-end GraphDB instances under a working
+// directory, which mssg-query can then search.
+//
+// Example:
+//
+//	mssg-gen -preset pubmed-s -scale 0.004 -out g.txt
+//	mssg-ingest -in g.txt -dir /tmp/db -backend grdb -backends 8 -frontends 2
+//	mssg-query -dir /tmp/db -backend grdb -backends 8 -source 0 -dest 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mssg/internal/core"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+	_ "mssg/internal/graphdb/all"
+	"mssg/internal/graphdb/grdb"
+	"mssg/internal/ingest"
+)
+
+func main() {
+	in := flag.String("in", "", "input edge list (required)")
+	format := flag.String("format", "ascii", "input format: ascii or binary")
+	dir := flag.String("dir", "", "database working directory (required)")
+	backend := flag.String("backend", "grdb", "GraphDB backend: array, hashmap, mysql, bdb, stream, grdb")
+	backends := flag.Int("backends", 8, "number of back-end storage nodes")
+	frontends := flag.Int("frontends", 1, "number of front-end ingestion filters")
+	policy := flag.String("policy", "vertex-mod", "declustering policy: vertex-mod or edge-round-robin")
+	window := flag.Int("window", 4096, "ingestion window (edges per block)")
+	reverse := flag.Bool("reverse", true, "store both edge orientations (undirected graph)")
+	tcp := flag.Bool("tcp", false, "use the loopback-TCP fabric instead of in-process")
+	defrag := flag.Bool("defrag", false, "run grDB chain defragmentation after ingestion (grdb backend only)")
+	fsck := flag.Bool("fsck", false, "verify grDB storage invariants after ingestion (grdb backend only)")
+	copyUp := flag.Bool("copyup", false, "use grDB's copy-up-on-overflow strategy instead of linking")
+	flag.Parse()
+
+	if *in == "" || *dir == "" {
+		fmt.Fprintln(os.Stderr, "mssg-ingest: -in and -dir are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if _, err := ingest.PolicyByName(*policy); err != nil {
+		fatal(err)
+	}
+
+	fabric := core.InProc
+	if *tcp {
+		fabric = core.TCP
+	}
+	eng, err := core.New(core.Config{
+		Backends:  *backends,
+		FrontEnds: *frontends,
+		Backend:   *backend,
+		Dir:       *dir,
+		Fabric:    fabric,
+		DBOptions: graphdb.Options{CopyUpOnOverflow: *copyUp},
+		Ingest: ingest.Config{
+			WindowEdges: *window,
+			AddReverse:  *reverse,
+			Policy: func() ingest.Policy {
+				p, _ := ingest.PolicyByName(*policy)
+				return p
+			},
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := eng.Close(); err != nil {
+			fatal(err)
+		}
+	}()
+
+	// Each front-end copy opens its own handle on the file and reads a
+	// disjoint share of the stream (round-robin by edge index).
+	start := time.Now()
+	stats, err := eng.Ingest(func(copy int) (graph.EdgeReader, error) {
+		f, err := os.Open(*in)
+		if err != nil {
+			return nil, err
+		}
+		var r graph.EdgeReader
+		switch *format {
+		case "ascii":
+			r = graph.NewASCIIEdgeReader(f)
+		case "binary":
+			r = graph.NewBinaryEdgeReader(f)
+		default:
+			f.Close()
+			return nil, fmt.Errorf("unknown format %q", *format)
+		}
+		return &strideReader{r: r, skip: *frontends, offset: copy}, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("ingested %d edges (%d stored records, %d blocks) into %d %s back-ends in %s (%.0f edges/s)\n",
+		stats.EdgesIn.Load(), stats.EdgesStored.Load(), stats.Blocks.Load(),
+		*backends, *backend, elapsed.Round(time.Millisecond),
+		float64(stats.EdgesIn.Load())/elapsed.Seconds())
+
+	if *defrag {
+		start := time.Now()
+		var rewritten int64
+		for i, db := range eng.Databases() {
+			g, ok := db.(*grdb.DB)
+			if !ok {
+				fatal(fmt.Errorf("-defrag requires the grdb backend"))
+			}
+			n, err := g.Defragment()
+			if err != nil {
+				fatal(fmt.Errorf("defragmenting node %d: %w", i, err))
+			}
+			rewritten += n
+		}
+		fmt.Printf("defragmented %d chains in %s\n", rewritten, time.Since(start).Round(time.Millisecond))
+	}
+	if *fsck {
+		var vertices, edgeCount int64
+		maxChain := 0
+		for i, db := range eng.Databases() {
+			g, ok := db.(*grdb.DB)
+			if !ok {
+				fatal(fmt.Errorf("-fsck requires the grdb backend"))
+			}
+			rep, err := g.Check()
+			if err != nil {
+				fatal(fmt.Errorf("fsck node %d: %w", i, err))
+			}
+			vertices += rep.Vertices
+			edgeCount += rep.Edges
+			if rep.MaxChain > maxChain {
+				maxChain = rep.MaxChain
+			}
+		}
+		fmt.Printf("fsck OK: %d vertices, %d stored records, max chain %d\n", vertices, edgeCount, maxChain)
+	}
+}
+
+// strideReader deals every skip-th edge to this front-end, starting at
+// offset — a simple deterministic partition of one shared input file.
+type strideReader struct {
+	r      graph.EdgeReader
+	skip   int
+	offset int
+	pos    int
+}
+
+func (s *strideReader) ReadEdge() (graph.Edge, error) {
+	for {
+		e, err := s.r.ReadEdge()
+		if err != nil {
+			return graph.Edge{}, err
+		}
+		mine := s.pos%s.skip == s.offset
+		s.pos++
+		if mine {
+			return e, nil
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mssg-ingest:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,169 @@
+// Command mssg-query runs parallel out-of-core BFS queries against a
+// database previously built by mssg-ingest. The -backend/-backends flags
+// must match the ingestion run (the working directory holds one database
+// per back-end node).
+//
+// Example:
+//
+//	mssg-query -dir /tmp/db -backend grdb -backends 8 -source 0 -dest 42
+//	mssg-query -dir /tmp/db -backend grdb -backends 8 -random 100 -maxvertex 15000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"mssg/internal/cluster"
+	"mssg/internal/core"
+	"mssg/internal/gen"
+	"mssg/internal/graph"
+	_ "mssg/internal/graphdb/all"
+	"mssg/internal/query"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database working directory (required)")
+	backend := flag.String("backend", "grdb", "GraphDB backend used at ingestion")
+	backends := flag.Int("backends", 8, "number of back-end nodes used at ingestion")
+	source := flag.Int64("source", -1, "source vertex")
+	dest := flag.Int64("dest", -1, "destination vertex")
+	random := flag.Int("random", 0, "instead of -source/-dest, run this many random queries")
+	maxVertex := flag.Int64("maxvertex", 0, "vertex id bound for -random")
+	seed := flag.Int64("seed", 4242, "seed for -random")
+	pipelined := flag.Bool("pipelined", false, "use the pipelined BFS (Algorithm 2)")
+	threshold := flag.Int("threshold", 1024, "pipelined fringe chunk threshold")
+	broadcast := flag.Bool("broadcast", false, "broadcast fringes (for edge-granularity databases)")
+	prefetch := flag.Bool("prefetch", false, "warm the block cache per level with offset-sorted prefetch (grDB)")
+	showPath := flag.Bool("path", false, "also reconstruct and print the shortest path")
+	extVisited := flag.String("extvisited", "", "directory for an external-memory visited structure (default: in-memory)")
+	khop := flag.Int("khop", 0, "instead of a path query, count vertices within k hops of -source")
+	component := flag.Bool("component", false, "instead of a path query, measure -source's connected component")
+	listAnalyses := flag.Bool("list-analyses", false, "list registered Query Service analyses and exit")
+	flag.Parse()
+
+	if *listAnalyses {
+		for _, name := range query.Analyses() {
+			a, _ := query.LookupAnalysis(name)
+			fmt.Printf("%-10s %s\n", name, a.Describe())
+		}
+		return
+	}
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "mssg-query: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	eng, err := core.New(core.Config{
+		Backends: *backends,
+		Backend:  *backend,
+		Dir:      *dir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	ownership := query.KnownMapping
+	if *broadcast {
+		ownership = query.BroadcastFringe
+	}
+	var newVisited func(cluster.NodeID) (query.Visited, error)
+	if *extVisited != "" {
+		var seq atomic.Int64
+		newVisited = func(n cluster.NodeID) (query.Visited, error) {
+			q := seq.Add(1)
+			return query.NewExtVisited(fmt.Sprintf("%s/q%d-n%d", *extVisited, q, n), 0)
+		}
+	}
+
+	switch {
+	case *khop > 0:
+		if *source < 0 {
+			fatal(fmt.Errorf("-khop needs -source"))
+		}
+		res, err := eng.RunAnalysis("khop", map[string]string{
+			"source": fmt.Sprint(*source), "k": fmt.Sprint(*khop),
+			"broadcast": fmt.Sprint(*broadcast),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		kh := res.(query.KHopResult)
+		fmt.Printf("within %d hops of %d: %d vertices (per level: %v, %d edges traversed)\n",
+			*khop, *source, kh.Total, kh.PerLevel, kh.EdgesTraversed)
+		return
+	case *component:
+		if *source < 0 {
+			fatal(fmt.Errorf("-component needs -source"))
+		}
+		res, err := eng.RunAnalysis("component", map[string]string{
+			"source": fmt.Sprint(*source), "broadcast": fmt.Sprint(*broadcast),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		comp := res.(query.ComponentResult)
+		fmt.Printf("component of %d: %d vertices, eccentricity %d (%d edges traversed)\n",
+			*source, comp.Size, comp.Eccentricity, comp.EdgesTraversed)
+		return
+	}
+
+	runOne := func(s, d graph.VertexID) error {
+		start := time.Now()
+		res, err := eng.BFS(query.BFSConfig{
+			Source: s, Dest: d,
+			Pipelined: *pipelined, Threshold: *threshold, Ownership: ownership,
+			Prefetch: *prefetch, NewVisited: newVisited, ReturnPath: *showPath,
+		})
+		if err != nil {
+			return err
+		}
+		el := time.Since(start)
+		if res.Found {
+			fmt.Printf("%d -> %d: path length %d (%d levels, %d edges traversed, %s, %.0f edges/s)\n",
+				s, d, res.PathLength, res.Levels, res.EdgesTraversed,
+				el.Round(time.Microsecond), float64(res.EdgesTraversed)/el.Seconds())
+			if res.Path != nil {
+				fmt.Printf("  path: %v\n", res.Path)
+			}
+		} else {
+			fmt.Printf("%d -> %d: not connected (%d levels, %d edges traversed, %s)\n",
+				s, d, res.Levels, res.EdgesTraversed, el.Round(time.Microsecond))
+		}
+		return nil
+	}
+
+	switch {
+	case *random > 0:
+		if *maxVertex <= 1 {
+			fatal(fmt.Errorf("-random needs -maxvertex"))
+		}
+		rng := gen.NewRNG(*seed)
+		for i := 0; i < *random; i++ {
+			s := graph.VertexID(rng.Int63n(*maxVertex))
+			d := graph.VertexID(rng.Int63n(*maxVertex))
+			if s == d {
+				continue
+			}
+			if err := runOne(s, d); err != nil {
+				fatal(err)
+			}
+		}
+	case *source >= 0 && *dest >= 0:
+		if err := runOne(graph.VertexID(*source), graph.VertexID(*dest)); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "mssg-query: need -source and -dest, or -random with -maxvertex")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mssg-query:", err)
+	os.Exit(1)
+}

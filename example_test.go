@@ -1,0 +1,110 @@
+package mssg_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mssg"
+)
+
+// ExampleNew shows the minimal MSSG lifecycle: build a simulated cluster,
+// ingest edges, search.
+func ExampleNew() {
+	dir, err := os.MkdirTemp("", "mssg-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	eng, err := mssg.New(mssg.Config{
+		Backends: 4,
+		Backend:  "grdb",
+		Dir:      dir,
+		Ingest:   mssg.IngestConfig{AddReverse: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	if _, err := eng.IngestEdges([]mssg.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.BFS(mssg.BFSConfig{Source: 0, Dest: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Found, res.PathLength)
+	// Output: true 3
+}
+
+// ExampleEngine_BFS demonstrates path reconstruction: the search returns
+// the connecting entities, not just the distance.
+func ExampleEngine_BFS() {
+	eng, err := mssg.New(mssg.Config{
+		Backends: 2,
+		Backend:  "hashmap",
+		Ingest:   mssg.IngestConfig{AddReverse: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	if _, err := eng.IngestEdges([]mssg.Edge{
+		{Src: 10, Dst: 20}, {Src: 20, Dst: 30}, {Src: 30, Dst: 40},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.BFS(mssg.BFSConfig{Source: 10, Dest: 40, ReturnPath: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Path)
+	// Output: [10 20 30 40]
+}
+
+// ExampleGenerate builds a paper-shaped synthetic workload and reports
+// Table 5.1-style statistics.
+func ExampleGenerate() {
+	cfg := mssg.GenConfig{Name: "demo", Vertices: 1000, M: 3, Seed: 42}
+	edges, err := mssg.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := mssg.ComputeStats(cfg.Name, edges, cfg.Vertices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(stats.Vertices == 1000, stats.MinDegree >= 1, stats.AvgDegree > 4)
+	// Output: true true true
+}
+
+// ExampleOntology validates semantic edges against a Figure 1.1-style
+// blueprint.
+func ExampleOntology() {
+	ont := mssg.NewOntology()
+	person := ont.DefineVertexType("Person")
+	meeting := ont.DefineVertexType("Meeting")
+	date := ont.DefineVertexType("Date")
+	attends := ont.DefineEdgeType("attends")
+	ont.AllowSymmetric(person, attends, meeting)
+
+	legal := mssg.TypedEdge{
+		Edge:     mssg.Edge{Src: 1, Dst: 2},
+		SrcType:  person,
+		EdgeType: attends,
+		DstType:  meeting,
+	}
+	illegal := mssg.TypedEdge{
+		Edge:     mssg.Edge{Src: 1, Dst: 3},
+		SrcType:  person,
+		EdgeType: attends,
+		DstType:  date, // Persons never connect to Dates directly
+	}
+	fmt.Println(ont.Validate(legal) == nil, ont.Validate(illegal) == nil)
+	// Output: true false
+}

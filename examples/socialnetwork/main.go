@@ -1,0 +1,172 @@
+// Semantic social-network analysis in the style of the paper's Figure
+// 1.1: an ontology restricts which vertex types may be linked by which
+// edge types (a 'Person' attends a 'Meeting'; a 'Meeting' occurs on a
+// 'Date'; a 'Person' never connects to a 'Date' directly). The example
+// builds an ontology-validated semantic graph, stores it in MSSG, and
+// uses BFS relationship analysis to find how two people are connected
+// through shared meetings and travel.
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mssg"
+)
+
+// Vertex ID layout: type is encoded in the high decimal digit range so
+// the example stays readable. Real deployments would keep a directory
+// service; MSSG itself only sees opaque 61-bit IDs.
+const (
+	personBase  = 1000
+	meetingBase = 2000
+	dateBase    = 3000
+	travelBase  = 4000
+)
+
+func main() {
+	// The Figure 1.1 ontology.
+	ont := mssg.NewOntology()
+	person := ont.DefineVertexType("Person")
+	meeting := ont.DefineVertexType("Meeting")
+	date := ont.DefineVertexType("Date")
+	travel := ont.DefineVertexType("Travel")
+	attends := ont.DefineEdgeType("attends")
+	occurredOn := ont.DefineEdgeType("occurred on")
+	travels := ont.DefineEdgeType("travels")
+	ont.AllowSymmetric(person, attends, meeting)
+	ont.AllowSymmetric(meeting, occurredOn, date)
+	ont.AllowSymmetric(person, travels, travel)
+	ont.AllowSymmetric(travel, occurredOn, date)
+
+	typeOf := func(v mssg.VertexID) mssg.TypeID {
+		switch {
+		case v >= travelBase:
+			return travel
+		case v >= dateBase:
+			return date
+		case v >= meetingBase:
+			return meeting
+		default:
+			return person
+		}
+	}
+
+	// The instance graph: people attend meetings, meetings occur on
+	// dates, people take trips, trips occur on dates.
+	type rel struct {
+		src, dst mssg.VertexID
+		et       mssg.TypeID
+	}
+	rels := []rel{
+		{personBase + 1, meetingBase + 1, attends},
+		{personBase + 2, meetingBase + 1, attends},
+		{personBase + 2, meetingBase + 2, attends},
+		{personBase + 3, meetingBase + 2, attends},
+		{personBase + 4, meetingBase + 3, attends},
+		{meetingBase + 1, dateBase + 1, occurredOn},
+		{meetingBase + 2, dateBase + 2, occurredOn},
+		{meetingBase + 3, dateBase + 2, occurredOn},
+		{personBase + 4, travelBase + 1, travels},
+		{travelBase + 1, dateBase + 1, occurredOn},
+	}
+
+	// Validate every edge against the ontology before ingestion — the
+	// "blueprint" role of Figure 1.1.
+	var edges []mssg.Edge
+	for _, r := range rels {
+		te := mssg.TypedEdge{
+			Edge:     mssg.Edge{Src: r.src, Dst: r.dst},
+			SrcType:  typeOf(r.src),
+			EdgeType: r.et,
+			DstType:  typeOf(r.dst),
+		}
+		if err := ont.Validate(te); err != nil {
+			log.Fatalf("rejected by ontology: %v", err)
+		}
+		edges = append(edges, te.Edge)
+	}
+	// An illegal edge (Person directly to Date) must be rejected.
+	bad := mssg.TypedEdge{
+		Edge:     mssg.Edge{Src: personBase + 1, Dst: dateBase + 1},
+		SrcType:  person,
+		EdgeType: attends,
+		DstType:  date,
+	}
+	if err := ont.Validate(bad); err != nil {
+		fmt.Printf("ontology correctly rejected: %v\n\n", err)
+	} else {
+		log.Fatal("ontology failed to reject an illegal edge")
+	}
+
+	dir, err := os.MkdirTemp("", "mssg-social-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	eng, err := mssg.New(mssg.Config{
+		Backends: 3,
+		Backend:  "grdb",
+		Dir:      dir,
+		Ingest:   mssg.IngestConfig{AddReverse: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.IngestEdges(edges); err != nil {
+		log.Fatal(err)
+	}
+
+	// Relationship analysis: how closely are two people associated?
+	// person1 ~ person2: share meeting1             => 2 hops
+	// person1 ~ person3: meeting1 - person2 - meeting2 => 4 hops
+	// person1 ~ person4: meeting1 - date1 - travel1   => 4 hops
+	pairs := [][2]mssg.VertexID{
+		{personBase + 1, personBase + 2},
+		{personBase + 1, personBase + 3},
+		{personBase + 1, personBase + 4},
+	}
+	for _, q := range pairs {
+		res, err := eng.BFS(mssg.BFSConfig{Source: q[0], Dest: q[1]})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("person%d ~ person%d: association distance %d\n",
+			q[0]-personBase, q[1]-personBase, res.PathLength)
+	}
+
+	// Typed traversal: store each vertex's ontology type as GraphDB
+	// metadata, then ask for associations that avoid Date vertices —
+	// person1 and person4 are only connected through date1, so the
+	// filtered search must fail while the unfiltered one succeeds.
+	for _, db := range eng.Databases() {
+		for v := mssg.VertexID(personBase); v < travelBase+100; v++ {
+			if err := db.SetMetadata(v, int32(typeOf(v))); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	res, err := eng.BFS(mssg.BFSConfig{
+		Source: personBase + 1, Dest: personBase + 4,
+		Filter: mssg.MetaFilter{Op: mssg.FilterNotEqual, Ref: int32(date)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Found {
+		log.Fatalf("date-free association should not exist, got distance %d", res.PathLength)
+	}
+	fmt.Println("\nperson1 ~ person4 excluding Date vertices: no association (as the ontology implies)")
+
+	// K-hop profile: how much of the network is within 2 hops of person2?
+	kh, err := mssg.KHop(eng, mssg.KHopConfig{Source: personBase + 2, K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within 2 hops of person2: %d entities (per level: %v)\n", kh.Total, kh.PerLevel)
+}

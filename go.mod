@@ -1,0 +1,3 @@
+module mssg
+
+go 1.22

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Collective provides the synchronization primitives the parallel BFS
+// needs on top of point-to-point messaging: barriers, all-reduce, and
+// root broadcast. All nodes of a fabric must construct a Collective with
+// the same channel pair and call the same operations in the same order,
+// exactly as with MPI collectives.
+//
+// Implementation: a central-coordinator scheme. Node 0 gathers one message
+// per peer on the "up" channel, combines, and answers on the "down"
+// channel. A node cannot start round k+1 before its round-k reply arrives,
+// so rounds never interleave and no sequence numbers are needed.
+type Collective struct {
+	ep     Endpoint
+	chUp   ChannelID
+	chDown ChannelID
+}
+
+// NewCollective binds a collective context to an endpoint. chUp and chDown
+// must be distinct and reserved for this use across the whole fabric.
+func NewCollective(ep Endpoint, chUp, chDown ChannelID) *Collective {
+	if chUp == chDown {
+		panic("cluster: collective needs two distinct channels")
+	}
+	return &Collective{ep: ep, chUp: chUp, chDown: chDown}
+}
+
+func encodeInt64(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func decodeInt64(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("cluster: collective payload has %d bytes, want 8", len(b))
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+// reduce runs one coordinator round combining each node's contribution
+// with f and returning the combined value on every node.
+func (c *Collective) reduce(v int64, f func(a, b int64) int64) (int64, error) {
+	n := c.ep.Nodes()
+	if n == 1 {
+		return v, nil
+	}
+	if c.ep.ID() == 0 {
+		acc := v
+		for i := 0; i < n-1; i++ {
+			msg, err := c.ep.Recv(c.chUp)
+			if err != nil {
+				return 0, err
+			}
+			x, err := decodeInt64(msg.Payload)
+			if err != nil {
+				return 0, err
+			}
+			acc = f(acc, x)
+		}
+		if err := c.ep.Broadcast(c.chDown, encodeInt64(acc)); err != nil {
+			return 0, err
+		}
+		return acc, nil
+	}
+	if err := c.ep.Send(0, c.chUp, encodeInt64(v)); err != nil {
+		return 0, err
+	}
+	msg, err := c.ep.Recv(c.chDown)
+	if err != nil {
+		return 0, err
+	}
+	return decodeInt64(msg.Payload)
+}
+
+// Barrier blocks until every node has entered the barrier.
+func (c *Collective) Barrier() error {
+	_, err := c.reduce(0, func(a, b int64) int64 { return a + b })
+	return err
+}
+
+// AllReduceSum returns the sum of every node's v, on every node.
+func (c *Collective) AllReduceSum(v int64) (int64, error) {
+	return c.reduce(v, func(a, b int64) int64 { return a + b })
+}
+
+// AllReduceMax returns the maximum of every node's v, on every node.
+func (c *Collective) AllReduceMax(v int64) (int64, error) {
+	return c.reduce(v, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllReduceMin returns the minimum of every node's v, on every node.
+func (c *Collective) AllReduceMin(v int64) (int64, error) {
+	return c.reduce(v, func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// BcastFromRoot distributes root's value to all nodes. Non-root callers
+// pass any value; every caller receives root's.
+func (c *Collective) BcastFromRoot(root NodeID, v int64) (int64, error) {
+	n := c.ep.Nodes()
+	if n == 1 {
+		return v, nil
+	}
+	if err := Validate(root, n); err != nil {
+		return 0, err
+	}
+	// Reuse the coordinator: root's value rides the reduction, every other
+	// node contributes an identity that the combiner ignores.
+	self := c.ep.ID()
+	var contribution int64
+	if self == root {
+		contribution = v
+	}
+	marker := int64(-1 << 62)
+	f := func(a, b int64) int64 {
+		if a != marker {
+			return a
+		}
+		return b
+	}
+	if self == root {
+		return c.reduce(contribution, f)
+	}
+	return c.reduce(marker, f)
+}

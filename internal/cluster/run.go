@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Run executes fn once per node, concurrently (one goroutine per node,
+// exactly like one process per cluster node), and waits for all of them.
+// It returns the combined error of every failed node. A panicking node is
+// converted into an error so one bad node cannot take the harness down.
+func Run(f Fabric, fn func(ep Endpoint) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, f.Nodes())
+	for i := 0; i < f.Nodes(); i++ {
+		wg.Add(1)
+		go func(n NodeID) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[n] = fmt.Errorf("cluster: node %d panicked: %v", n, r)
+				}
+			}()
+			errs[n] = fn(f.Endpoint(n))
+		}(NodeID(i))
+	}
+	wg.Wait()
+	var failed []error
+	for n, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("node %d: %w", n, err))
+		}
+	}
+	return errors.Join(failed...)
+}

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpFabric runs every node in this process but routes all traffic through
+// loopback TCP connections with a length-prefixed frame protocol, so the
+// full serialize → socket → deserialize path is exercised. One connection
+// exists per ordered node pair (i -> j), established at fabric creation.
+//
+// Wire format: a connection starts with the 4-byte sender id; every frame
+// is then {channel uint32, length uint32, payload [length]byte}, all
+// little-endian.
+type tcpFabric struct {
+	size      int
+	endpoints []*tcpEndpoint
+	listeners []net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  []net.Conn
+}
+
+// NewTCP creates a TCP-over-loopback fabric with `size` nodes. As with
+// NewInProc, buffer <= 0 (the default) makes receive mailboxes unbounded
+// so sends never deadlock; a positive buffer bounds them.
+func NewTCP(size, buffer int) (Fabric, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("cluster: fabric needs at least one node")
+	}
+	f := &tcpFabric{size: size}
+
+	// Start one listener per node.
+	addrs := make([]string, size)
+	for i := 0; i < size; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cluster: listen: %w", err)
+		}
+		f.listeners = append(f.listeners, l)
+		addrs[i] = l.Addr().String()
+		f.endpoints = append(f.endpoints, &tcpEndpoint{
+			fabric: f,
+			id:     NodeID(i),
+			buffer: buffer,
+			boxes:  make(map[ChannelID]*mailbox),
+			peers:  make([]*tcpPeer, size),
+		})
+	}
+
+	// Accept loops: dispatch incoming frames into the local mailboxes.
+	var acceptWG sync.WaitGroup
+	for i := 0; i < size; i++ {
+		ep := f.endpoints[i]
+		need := size - 1
+		acceptWG.Add(1)
+		go func(l net.Listener, ep *tcpEndpoint, need int) {
+			defer acceptWG.Done()
+			for c := 0; c < need; c++ {
+				conn, err := l.Accept()
+				if err != nil {
+					return
+				}
+				f.trackConn(conn)
+				go ep.readLoop(conn)
+			}
+		}(f.listeners[i], ep, need)
+	}
+
+	// Dial the full mesh: node i owns the i->j connection.
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			if i == j {
+				continue
+			}
+			conn, err := net.Dial("tcp", addrs[j])
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cluster: dial %d->%d: %w", i, j, err)
+			}
+			f.trackConn(conn)
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(i))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cluster: handshake %d->%d: %w", i, j, err)
+			}
+			f.endpoints[i].peers[j] = &tcpPeer{conn: conn}
+		}
+	}
+	acceptWG.Wait()
+	return f, nil
+}
+
+func (f *tcpFabric) trackConn(c net.Conn) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		c.Close()
+		return
+	}
+	f.conns = append(f.conns, c)
+}
+
+func (f *tcpFabric) Nodes() int { return f.size }
+
+func (f *tcpFabric) Endpoint(n NodeID) Endpoint {
+	if err := Validate(n, f.size); err != nil {
+		panic(err)
+	}
+	return f.endpoints[n]
+}
+
+func (f *tcpFabric) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	conns := f.conns
+	f.conns = nil
+	f.mu.Unlock()
+
+	for _, l := range f.listeners {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, ep := range f.endpoints {
+		ep.close()
+	}
+	return nil
+}
+
+func (f *tcpFabric) isClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+type tcpEndpoint struct {
+	fabric *tcpFabric
+	id     NodeID
+	buffer int
+	peers  []*tcpPeer
+
+	mu    sync.Mutex
+	boxes map[ChannelID]*mailbox
+}
+
+func (e *tcpEndpoint) box(ch ChannelID) *mailbox {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.boxes[ch]
+	if !ok {
+		b = newMailbox(e.buffer)
+		if e.fabric.isClosed() {
+			b.close()
+		}
+		e.boxes[ch] = b
+	}
+	return b
+}
+
+func (e *tcpEndpoint) close() {
+	e.mu.Lock()
+	boxes := make([]*mailbox, 0, len(e.boxes))
+	for _, b := range e.boxes {
+		boxes = append(boxes, b)
+	}
+	e.mu.Unlock()
+	for _, b := range boxes {
+		b.close()
+	}
+}
+
+// readLoop consumes frames from one inbound connection and dispatches
+// them to mailboxes until the connection or fabric closes.
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return
+	}
+	from := NodeID(binary.LittleEndian.Uint32(hdr[:]))
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(conn, frame[:]); err != nil {
+			return
+		}
+		ch := ChannelID(binary.LittleEndian.Uint32(frame[0:4]))
+		n := binary.LittleEndian.Uint32(frame[4:8])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		if e.box(ch).put(Message{From: from, Channel: ch, Payload: payload}) != nil {
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) ID() NodeID { return e.id }
+
+func (e *tcpEndpoint) Nodes() int { return e.fabric.size }
+
+func (e *tcpEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
+	if err := Validate(to, e.fabric.size); err != nil {
+		return err
+	}
+	if to == e.id {
+		// Local delivery without the wire.
+		return e.box(ch).put(Message{From: e.id, Channel: ch, Payload: payload})
+	}
+	if e.fabric.isClosed() {
+		return ErrClosed
+	}
+	p := e.peers[to]
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(ch))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.conn.Write(frame[:]); err != nil {
+		return fmt.Errorf("cluster: send %d->%d: %w", e.id, to, err)
+	}
+	if _, err := p.conn.Write(payload); err != nil {
+		return fmt.Errorf("cluster: send %d->%d: %w", e.id, to, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Broadcast(ch ChannelID, payload []byte) error {
+	for n := 0; n < e.fabric.size; n++ {
+		if NodeID(n) == e.id {
+			continue
+		}
+		if err := e.Send(NodeID(n), ch, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv(ch ChannelID) (Message, error) {
+	return e.box(ch).get()
+}
+
+func (e *tcpEndpoint) TryRecv(ch ChannelID) (Message, bool, error) {
+	return e.box(ch).tryGet()
+}

@@ -1,0 +1,258 @@
+// Package core assembles the MSSG framework (paper Fig 3.1): a cluster
+// fabric, one GraphDB Service instance per back-end node, the Ingestion
+// Service filters, and the Query Service — all behind one Engine type.
+//
+// The engine maps the paper's deployment onto the simulated cluster: the
+// fabric has one node per back-end storage node, and the configured number
+// of front-end ingest filter copies are placed round-robin across the
+// first nodes (on the real cluster front-ends were distinct machines; the
+// message pattern between the services is identical either way, which is
+// what the experiments measure).
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mssg/internal/cluster"
+	"mssg/internal/datacutter"
+	"mssg/internal/gen"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+	"mssg/internal/ingest"
+	"mssg/internal/query"
+)
+
+// FabricKind selects the message transport.
+type FabricKind int
+
+const (
+	// InProc connects node goroutines with in-process mailboxes.
+	InProc FabricKind = iota
+	// TCP connects node goroutines over loopback TCP.
+	TCP
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Backends is the number of back-end storage nodes (the fabric size).
+	Backends int
+	// FrontEnds is the number of ingest filter copies.
+	FrontEnds int
+	// Backend names the GraphDB implementation ("array", "hashmap",
+	// "mysql", "bdb", "stream", "grdb").
+	Backend string
+	// Dir is the root working directory; node i stores under
+	// Dir/nodeNNN. Required for out-of-core backends.
+	Dir string
+	// DBOptions tunes the backend (cache budget, grDB levels, ...). The
+	// Dir field inside is overwritten per node.
+	DBOptions graphdb.Options
+	// Ingest configures windows/policy/reversal. FrontEnds/Backends
+	// inside it are overwritten from this Config.
+	Ingest ingest.Config
+	// Fabric selects the transport.
+	Fabric FabricKind
+	// MailboxBuffer bounds per-channel queued messages (0 = default).
+	MailboxBuffer int
+}
+
+// Engine is a running MSSG instance.
+type Engine struct {
+	cfg    Config
+	fabric cluster.Fabric
+	dbs    []graphdb.Graph
+	closed bool
+}
+
+// New builds the fabric and opens one GraphDB instance per back-end node.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Backends < 1 {
+		return nil, fmt.Errorf("core: need at least 1 back-end, got %d", cfg.Backends)
+	}
+	if cfg.FrontEnds < 1 {
+		cfg.FrontEnds = 1
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = "grdb"
+	}
+
+	var fabric cluster.Fabric
+	switch cfg.Fabric {
+	case InProc:
+		fabric = cluster.NewInProc(cfg.Backends, cfg.MailboxBuffer)
+	case TCP:
+		f, err := cluster.NewTCP(cfg.Backends, cfg.MailboxBuffer)
+		if err != nil {
+			return nil, err
+		}
+		fabric = f
+	default:
+		return nil, fmt.Errorf("core: unknown fabric kind %d", cfg.Fabric)
+	}
+
+	e := &Engine{cfg: cfg, fabric: fabric}
+	for i := 0; i < cfg.Backends; i++ {
+		opts := cfg.DBOptions
+		if cfg.Dir != "" {
+			opts.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("node%03d", i))
+			if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+				e.Close()
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+		db, err := graphdb.Open(cfg.Backend, opts)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("core: opening %s on node %d: %w", cfg.Backend, i, err)
+		}
+		e.dbs = append(e.dbs, db)
+	}
+	return e, nil
+}
+
+// Backends returns the number of back-end nodes.
+func (e *Engine) Backends() int { return e.cfg.Backends }
+
+// Fabric exposes the cluster fabric (for custom analyses).
+func (e *Engine) Fabric() cluster.Fabric { return e.fabric }
+
+// DB returns back-end node i's GraphDB instance.
+func (e *Engine) DB(i int) graphdb.Graph { return e.dbs[i] }
+
+// Databases returns all back-end instances, indexed by node.
+func (e *Engine) Databases() []graphdb.Graph { return e.dbs }
+
+// Ingest streams edges into the back-ends through the Ingestion Service
+// filter graph. makeReader returns front-end copy i's partition of the
+// input (copies run concurrently). It returns ingest statistics.
+func (e *Engine) Ingest(makeReader func(copy int) (graph.EdgeReader, error)) (*ingest.Stats, error) {
+	if e.closed {
+		return nil, fmt.Errorf("core: engine closed")
+	}
+	icfg := e.cfg.Ingest
+	icfg.FrontEnds = e.cfg.FrontEnds
+	icfg.Backends = e.cfg.Backends
+
+	stats := &ingest.Stats{}
+	g := datacutter.NewGraph()
+	err := ingest.BuildGraph(g, icfg, stats,
+		makeReader,
+		func(copy int) graphdb.Graph { return e.dbs[copy] },
+		datacutter.PlaceCopies(icfg.FrontEnds),
+		datacutter.PlaceOnePerNode(),
+	)
+	if err != nil {
+		return nil, err
+	}
+	rt := datacutter.NewRuntime(e.fabric)
+	if err := rt.Run(g); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// IngestEdges ingests a materialized edge list, splitting it evenly
+// across the configured front-ends.
+func (e *Engine) IngestEdges(edges []graph.Edge) (*ingest.Stats, error) {
+	f := e.cfg.FrontEnds
+	return e.Ingest(func(copy int) (graph.EdgeReader, error) {
+		lo := len(edges) * copy / f
+		hi := len(edges) * (copy + 1) / f
+		return &sliceReader{edges: edges[lo:hi]}, nil
+	})
+}
+
+// IngestGenerated streams a synthetic graph straight from its generator
+// (single front-end; generators are sequential streams).
+func (e *Engine) IngestGenerated(cfg gen.Config) (*ingest.Stats, error) {
+	gen, err := gen.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	save := e.cfg.FrontEnds
+	e.cfg.FrontEnds = 1
+	defer func() { e.cfg.FrontEnds = save }()
+	return e.Ingest(func(copy int) (graph.EdgeReader, error) { return gen, nil })
+}
+
+type sliceReader struct {
+	edges []graph.Edge
+	pos   int
+}
+
+func (r *sliceReader) ReadEdge() (graph.Edge, error) {
+	if r.pos >= len(r.edges) {
+		return graph.Edge{}, io.EOF
+	}
+	e := r.edges[r.pos]
+	r.pos++
+	return e, nil
+}
+
+// BFS runs a parallel out-of-core BFS across the back-ends. The fringe
+// routing follows the ingestion-time declustering (paper §4.2): a
+// directory policy supplies its vertex→node mapping, a policy without a
+// global mapping forces broadcast fringe exchange.
+func (e *Engine) BFS(cfg query.BFSConfig) (query.BFSResult, error) {
+	if e.closed {
+		return query.BFSResult{}, fmt.Errorf("core: engine closed")
+	}
+	if pf := e.cfg.Ingest.Policy; pf != nil {
+		p := pf()
+		switch {
+		case cfg.OwnerOf != nil:
+			// Caller-provided directory wins.
+		case isDirectoryPolicy(p):
+			cfg.OwnerOf = p.(ingest.DirectoryPolicy).OwnerOf
+		case !p.GloballyMapped():
+			cfg.Ownership = query.BroadcastFringe
+		}
+	}
+	return query.ParallelBFS(e.fabric, e.dbs, cfg)
+}
+
+func isDirectoryPolicy(p ingest.Policy) bool {
+	_, ok := p.(ingest.DirectoryPolicy)
+	return ok
+}
+
+// RunAnalysis invokes a registered Query Service analysis by name.
+func (e *Engine) RunAnalysis(name string, params map[string]string) (any, error) {
+	a, ok := query.LookupAnalysis(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown analysis %q (registered: %v)", name, query.Analyses())
+	}
+	return a.Run(e.fabric, e.dbs, params)
+}
+
+// ResetMetadata clears per-vertex metadata on every back-end (between
+// queries).
+func (e *Engine) ResetMetadata() {
+	for _, db := range e.dbs {
+		graphdb.ResetMetadata(db)
+	}
+}
+
+// Close shuts down the databases and the fabric.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	var first error
+	for _, db := range e.dbs {
+		if db == nil {
+			continue
+		}
+		if err := db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := e.fabric.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

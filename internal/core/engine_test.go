@@ -1,0 +1,301 @@
+package core_test
+
+import (
+	"testing"
+
+	"mssg/internal/cluster"
+	"mssg/internal/core"
+	"mssg/internal/gen"
+	"mssg/internal/graph"
+	_ "mssg/internal/graphdb/all"
+	"mssg/internal/ingest"
+	"mssg/internal/query"
+)
+
+// refBFS computes exact BFS distances on the undirected view of edges.
+func refBFS(edges []graph.Edge, src graph.VertexID) map[graph.VertexID]int32 {
+	adj := make(map[graph.VertexID][]graph.VertexID)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	dist := map[graph.VertexID]int32{src: 0}
+	frontier := []graph.VertexID{src}
+	for level := int32(1); len(frontier) > 0; level++ {
+		var next []graph.VertexID
+		for _, v := range frontier {
+			for _, u := range adj[v] {
+				if _, seen := dist[u]; !seen {
+					dist[u] = level
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+func testGraph(t *testing.T) []graph.Edge {
+	t.Helper()
+	edges, err := gen.Generate(gen.Config{Name: "t", Vertices: 600, M: 3, HubFraction: 0.1, Seed: 11})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return edges
+}
+
+func newEngine(t *testing.T, backend string, backends, frontends int) *core.Engine {
+	t.Helper()
+	e, err := core.New(core.Config{
+		Backends:  backends,
+		FrontEnds: frontends,
+		Backend:   backend,
+		Dir:       t.TempDir(),
+		Ingest:    ingest.Config{AddReverse: true},
+	})
+	if err != nil {
+		t.Fatalf("core.New(%s): %v", backend, err)
+	}
+	t.Cleanup(func() {
+		if err := e.Close(); err != nil {
+			t.Errorf("engine close: %v", err)
+		}
+	})
+	return e
+}
+
+// TestEndToEndBFSMatchesReference is the headline integration test: for
+// every backend, ingest through the full filter pipeline and check
+// parallel BFS path lengths against a sequential oracle.
+func TestEndToEndBFSMatchesReference(t *testing.T) {
+	edges := testGraph(t)
+	dist := refBFS(edges, 3)
+	queries := [][2]graph.VertexID{{3, 4}, {3, 57}, {3, 599}, {3, 123}, {3, 3}}
+
+	for _, backend := range []string{"array", "hashmap", "mysql", "bdb", "stream", "grdb"} {
+		t.Run(backend, func(t *testing.T) {
+			e := newEngine(t, backend, 4, 2)
+			stats, err := e.IngestEdges(edges)
+			if err != nil {
+				t.Fatalf("ingest: %v", err)
+			}
+			if got, want := stats.EdgesIn.Load(), int64(len(edges)); got != want {
+				t.Fatalf("EdgesIn = %d, want %d", got, want)
+			}
+			// Both orientations stored (AddReverse; generator emits no
+			// self-loops for these parameters).
+			if got := stats.EdgesStored.Load(); got != 2*int64(len(edges)) {
+				t.Fatalf("EdgesStored = %d, want %d", got, 2*len(edges))
+			}
+			for _, q := range queries {
+				res, err := e.BFS(query.BFSConfig{Source: q[0], Dest: q[1]})
+				if err != nil {
+					t.Fatalf("BFS %v: %v", q, err)
+				}
+				want, reachable := dist[q[1]]
+				if q[0] == q[1] {
+					want, reachable = 0, true
+				}
+				if res.Found != reachable {
+					t.Fatalf("BFS %v Found = %v, want %v", q, res.Found, reachable)
+				}
+				if reachable && res.PathLength != want {
+					t.Fatalf("BFS %v PathLength = %d, want %d", q, res.PathLength, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelinedMatchesLevelSync compares Algorithm 2 against Algorithm 1
+// on the same data.
+func TestPipelinedMatchesLevelSync(t *testing.T) {
+	edges := testGraph(t)
+	e := newEngine(t, "grdb", 4, 1)
+	if _, err := e.IngestEdges(edges); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	pairs := gen.RandomQueryPairs(edges, 600, 20, 77)
+	for _, q := range pairs {
+		a, err := e.BFS(query.BFSConfig{Source: q[0], Dest: q[1]})
+		if err != nil {
+			t.Fatalf("level-sync %v: %v", q, err)
+		}
+		b, err := e.BFS(query.BFSConfig{Source: q[0], Dest: q[1], Pipelined: true, Threshold: 8})
+		if err != nil {
+			t.Fatalf("pipelined %v: %v", q, err)
+		}
+		if a.Found != b.Found || a.PathLength != b.PathLength {
+			t.Fatalf("query %v: level-sync (%v,%d) != pipelined (%v,%d)",
+				q, a.Found, a.PathLength, b.Found, b.PathLength)
+		}
+	}
+}
+
+// TestEdgeGranularityBroadcast ingests with edge-level round-robin (no
+// global mapping) and checks the engine forces broadcast BFS and still
+// returns correct distances.
+func TestEdgeGranularityBroadcast(t *testing.T) {
+	edges := testGraph(t)
+	dist := refBFS(edges, 3)
+	e, err := core.New(core.Config{
+		Backends:  4,
+		FrontEnds: 1,
+		Backend:   "hashmap",
+		Ingest: ingest.Config{
+			AddReverse: true,
+			Policy:     func() ingest.Policy { return &ingest.EdgeRoundRobin{} },
+		},
+	})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.IngestEdges(edges); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	for _, dest := range []graph.VertexID{4, 57, 599} {
+		// Ownership deliberately left at KnownMapping: the engine must
+		// override it to broadcast because the policy is not mapped.
+		res, err := e.BFS(query.BFSConfig{Source: 3, Dest: dest})
+		if err != nil {
+			t.Fatalf("BFS: %v", err)
+		}
+		if !res.Found || res.PathLength != dist[dest] {
+			t.Fatalf("BFS 3->%d = (%v,%d), want (true,%d)", dest, res.Found, res.PathLength, dist[dest])
+		}
+	}
+}
+
+// TestExternalVisited runs BFS with the external-memory visited structure
+// (the Figs 5.8/5.9 configuration).
+func TestExternalVisited(t *testing.T) {
+	edges := testGraph(t)
+	dist := refBFS(edges, 3)
+	e := newEngine(t, "grdb", 4, 1)
+	if _, err := e.IngestEdges(edges); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	visitedDir := t.TempDir()
+	res, err := e.BFS(query.BFSConfig{
+		Source: 3, Dest: 599,
+		NewVisited: func(n cluster.NodeID) (query.Visited, error) {
+			return query.NewExtVisited(visitedDir+"/n"+string(rune('0'+int(n))), 0)
+		},
+	})
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	if !res.Found || res.PathLength != dist[599] {
+		t.Fatalf("BFS = (%v,%d), want (true,%d)", res.Found, res.PathLength, dist[599])
+	}
+}
+
+// TestTCPFabricEndToEnd runs the whole pipeline over loopback TCP.
+func TestTCPFabricEndToEnd(t *testing.T) {
+	edges := testGraph(t)
+	dist := refBFS(edges, 3)
+	e, err := core.New(core.Config{
+		Backends:  3,
+		FrontEnds: 2,
+		Backend:   "hashmap",
+		Fabric:    core.TCP,
+		Ingest:    ingest.Config{AddReverse: true},
+	})
+	if err != nil {
+		t.Fatalf("core.New TCP: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.IngestEdges(edges); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	res, err := e.BFS(query.BFSConfig{Source: 3, Dest: 599})
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	if !res.Found || res.PathLength != dist[599] {
+		t.Fatalf("BFS over TCP = (%v,%d), want (true,%d)", res.Found, res.PathLength, dist[599])
+	}
+}
+
+// TestRunAnalysis exercises the Query Service registry path.
+func TestRunAnalysis(t *testing.T) {
+	edges := testGraph(t)
+	e := newEngine(t, "hashmap", 2, 1)
+	if _, err := e.IngestEdges(edges); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	out, err := e.RunAnalysis("bfs", map[string]string{"source": "3", "dest": "57"})
+	if err != nil {
+		t.Fatalf("RunAnalysis: %v", err)
+	}
+	res, ok := out.(query.BFSResult)
+	if !ok {
+		t.Fatalf("RunAnalysis returned %T", out)
+	}
+	if !res.Found {
+		t.Fatal("analysis BFS did not find destination")
+	}
+	if _, err := e.RunAnalysis("bfs", nil); err == nil {
+		t.Fatal("RunAnalysis without params succeeded, want error")
+	}
+	if _, err := e.RunAnalysis("nope", nil); err == nil {
+		t.Fatal("RunAnalysis of unknown analysis succeeded, want error")
+	}
+}
+
+// TestMoreFrontEndsSameResult: ingesting with 1 vs 4 front-ends must
+// produce identical graphs (same BFS answers).
+func TestMoreFrontEndsSameResult(t *testing.T) {
+	edges := testGraph(t)
+	var results []query.BFSResult
+	for _, fe := range []int{1, 4} {
+		e := newEngine(t, "grdb", 4, fe)
+		if _, err := e.IngestEdges(edges); err != nil {
+			t.Fatalf("ingest fe=%d: %v", fe, err)
+		}
+		res, err := e.BFS(query.BFSConfig{Source: 3, Dest: 599})
+		if err != nil {
+			t.Fatalf("BFS fe=%d: %v", fe, err)
+		}
+		results = append(results, res)
+	}
+	if results[0].Found != results[1].Found || results[0].PathLength != results[1].PathLength {
+		t.Fatalf("1 vs 4 front-ends disagree: %+v vs %+v", results[0], results[1])
+	}
+}
+
+// TestEngineReturnPath exercises path reconstruction through the full
+// engine stack on an out-of-core backend.
+func TestEngineReturnPath(t *testing.T) {
+	edges := testGraph(t)
+	e := newEngine(t, "grdb", 4, 1)
+	if _, err := e.IngestEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.BFS(query.BFSConfig{Source: 3, Dest: 599, ReturnPath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("destination not found")
+	}
+	if int32(len(res.Path))-1 != res.PathLength {
+		t.Fatalf("path %v inconsistent with length %d", res.Path, res.PathLength)
+	}
+	if res.Path[0] != 3 || res.Path[len(res.Path)-1] != 599 {
+		t.Fatalf("path endpoints wrong: %v", res.Path)
+	}
+	// Each hop must be a real undirected edge.
+	adj := make(map[graph.Edge]bool)
+	for _, e := range edges {
+		adj[e] = true
+		adj[e.Reverse()] = true
+	}
+	for i := 0; i+1 < len(res.Path); i++ {
+		if !adj[graph.Edge{Src: res.Path[i], Dst: res.Path[i+1]}] {
+			t.Fatalf("path uses non-edge %d->%d", res.Path[i], res.Path[i+1])
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"testing"
+
+	"mssg/internal/core"
+	"mssg/internal/gen"
+	"mssg/internal/graph"
+	_ "mssg/internal/graphdb/all"
+	"mssg/internal/ingest"
+	"mssg/internal/query"
+)
+
+// TestGreedyClusteringEndToEnd ingests with the summary-based greedy
+// policy (§3.2) and checks that searches routed through its directory
+// return correct distances and move less fringe traffic than the
+// locality-free modulo declustering.
+func TestGreedyClusteringEndToEnd(t *testing.T) {
+	edges, err := gen.Generate(gen.Config{Name: "g", Vertices: 800, M: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := refBFS(edges, 3)
+	queries := [][2]graph.VertexID{{3, 700}, {3, 101}, {3, 555}}
+
+	run := func(policy func() ingest.Policy) (int64, *core.Engine) {
+		e, err := core.New(core.Config{
+			Backends:  4,
+			FrontEnds: 2,
+			Backend:   "hashmap",
+			Ingest:    ingest.Config{AddReverse: true, Policy: policy},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		if _, err := e.IngestEdges(edges); err != nil {
+			t.Fatal(err)
+		}
+		var sent int64
+		for _, q := range queries {
+			res, err := e.BFS(query.BFSConfig{Source: q[0], Dest: q[1]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := dist[q[1]]
+			if !res.Found || res.PathLength != want {
+				t.Fatalf("policy BFS %v = (%v,%d), want (true,%d)", q, res.Found, res.PathLength, want)
+			}
+			sent += res.FringeSent
+		}
+		return sent, e
+	}
+
+	// One shared greedy instance across both front-ends.
+	greedy := ingest.NewGreedyCluster(256)
+	greedySent, _ := run(func() ingest.Policy { return greedy })
+	modSent, _ := run(nil) // default VertexMod
+
+	if greedy.DirectorySize() == 0 {
+		t.Fatal("greedy directory is empty")
+	}
+	// The affinity policy must reduce cross-node fringe traffic.
+	if greedySent >= modSent {
+		t.Fatalf("greedy clustering sent %d fringe vertices, modulo sent %d — no locality win",
+			greedySent, modSent)
+	}
+	t.Logf("fringe sent: greedy=%d, modulo=%d (%.0f%% saved)",
+		greedySent, modSent, 100*(1-float64(greedySent)/float64(modSent)))
+}

@@ -1,0 +1,141 @@
+package datacutter
+
+import (
+	"io"
+	"testing"
+
+	"mssg/internal/cluster"
+)
+
+// TestStreamCounters verifies Sent/Received/Fanout bookkeeping and the
+// broadcast expansion accounting.
+func TestStreamCounters(t *testing.T) {
+	fab := cluster.NewInProc(2, 64)
+	defer fab.Close()
+	g := NewGraph()
+
+	var sent, fanout int64
+	src := func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			out, err := ctx.Output("out")
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 3; i++ {
+				if err := out.Write(Buffer{Tag: int32(i)}); err != nil {
+					return err
+				}
+			}
+			sent = out.Sent()
+			fanout = int64(out.Fanout())
+			return nil
+		}}, nil
+	}
+	var received int64
+	dst := func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			r, err := ctx.Input("in")
+			if err != nil {
+				return err
+			}
+			for {
+				if _, err := r.Read(); err == io.EOF {
+					received = r.Received()
+					return nil
+				} else if err != nil {
+					return err
+				}
+			}
+		}}, nil
+	}
+	if err := g.AddFilter("src", src, PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("dst", dst, PlaceOn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "dst", "in", Broadcast); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRuntime(fab).Run(g); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fanout != 1 {
+		t.Errorf("Fanout = %d, want 1", fanout)
+	}
+	if sent != 3 {
+		t.Errorf("Sent = %d, want 3", sent)
+	}
+	if received != 3 {
+		t.Errorf("Received = %d, want 3", received)
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	in := Instance{Filter: "reader", Copy: 1, Copies: 4, Node: 2}
+	want := "reader[1/4]@node2"
+	if got := in.String(); got != want {
+		t.Fatalf("Instance.String() = %q, want %q", got, want)
+	}
+}
+
+func TestWritePolicyString(t *testing.T) {
+	cases := map[WritePolicy]string{
+		RoundRobin:     "round-robin",
+		Broadcast:      "broadcast",
+		Directed:       "directed",
+		WritePolicy(9): "WritePolicy(9)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestWriteAfterCloseRejected(t *testing.T) {
+	fab := cluster.NewInProc(1, 8)
+	defer fab.Close()
+	g := NewGraph()
+	src := func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			out, err := ctx.Output("out")
+			if err != nil {
+				return err
+			}
+			if err := out.Close(); err != nil {
+				return err
+			}
+			if err := out.Write(Buffer{}); err == nil {
+				t.Error("Write after Close succeeded")
+			}
+			// Double close is harmless.
+			return out.Close()
+		}}, nil
+	}
+	sink := func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			r, err := ctx.Input("in")
+			if err != nil {
+				return err
+			}
+			_, err = r.Read()
+			if err != io.EOF {
+				return err
+			}
+			return nil
+		}}, nil
+	}
+	if err := g.AddFilter("src", src, PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("sink", sink, PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "sink", "in", RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRuntime(fab).Run(g); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

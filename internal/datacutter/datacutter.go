@@ -1,0 +1,96 @@
+// Package datacutter reimplements the component-based middleware MSSG is
+// built on (paper §3.1): applications are *filters* that exchange data
+// buffers over unidirectional logical *streams*. The runtime instantiates
+// filter copies on cluster nodes, connects all logical endpoints, and
+// drives each filter's interface functions (Init, Process, Finalize).
+//
+// Data- and task-parallelism come from "transparent copies": a filter may
+// be placed on many nodes, and stream write policies (round-robin,
+// broadcast, explicit direction) decide which copies receive each buffer.
+// Filters on the same node exchange buffers through the fabric's local
+// path (a queue operation); filters on different nodes go through the
+// message-passing transport — mirroring DataCutter's memcpy-vs-MPI split.
+package datacutter
+
+import (
+	"errors"
+	"fmt"
+
+	"mssg/internal/cluster"
+)
+
+// Buffer is the unit of data exchanged on a stream: an opaque byte
+// payload plus an application tag (DataCutter's work-unit metadata).
+type Buffer struct {
+	Tag  int32
+	Data []byte
+}
+
+// Instance describes one placed copy of a filter.
+type Instance struct {
+	// Filter is the filter's name in the graph.
+	Filter string
+	// Copy is this copy's index, 0..Copies-1.
+	Copy int
+	// Copies is the total number of transparent copies of this filter.
+	Copies int
+	// Node is the cluster node this copy runs on.
+	Node cluster.NodeID
+}
+
+func (in Instance) String() string {
+	return fmt.Sprintf("%s[%d/%d]@node%d", in.Filter, in.Copy, in.Copies, in.Node)
+}
+
+// Filter is the component interface (paper §3.1). A filter must read only
+// from its input streams and write only to its output streams. Process is
+// called once and should loop until its inputs are exhausted; the runtime
+// closes the filter's outputs after Process returns.
+type Filter interface {
+	// Init runs before any Process in the graph consumes data.
+	Init(ctx *Context) error
+	// Process performs the filter's work until inputs are exhausted.
+	Process(ctx *Context) error
+	// Finalize runs after Process returned and outputs were closed.
+	Finalize(ctx *Context) error
+}
+
+// Factory builds the filter object for one placed copy. Factories let each
+// copy hold per-node state (open files, databases, caches).
+type Factory func(in Instance) (Filter, error)
+
+// Context gives a running filter copy access to its identity and streams.
+type Context struct {
+	inst    Instance
+	ep      cluster.Endpoint
+	inputs  map[string]*StreamReader
+	outputs map[string]*StreamWriter
+}
+
+// Instance returns this copy's placement record.
+func (c *Context) Instance() Instance { return c.inst }
+
+// Endpoint exposes the raw cluster endpoint, for services (like the query
+// service) that implement their own side protocols next to the streams.
+func (c *Context) Endpoint() cluster.Endpoint { return c.ep }
+
+// Input returns the reader for a named input port.
+func (c *Context) Input(port string) (*StreamReader, error) {
+	r, ok := c.inputs[port]
+	if !ok {
+		return nil, fmt.Errorf("datacutter: %s has no input port %q", c.inst, port)
+	}
+	return r, nil
+}
+
+// Output returns the writer for a named output port.
+func (c *Context) Output(port string) (*StreamWriter, error) {
+	w, ok := c.outputs[port]
+	if !ok {
+		return nil, fmt.Errorf("datacutter: %s has no output port %q", c.inst, port)
+	}
+	return w, nil
+}
+
+// ErrUnknownFilter reports a Connect against an undeclared filter.
+var ErrUnknownFilter = errors.New("datacutter: unknown filter")

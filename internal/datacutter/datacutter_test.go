@@ -1,0 +1,396 @@
+package datacutter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"testing"
+
+	"mssg/internal/cluster"
+)
+
+// testFilter is a configurable filter for runtime tests.
+type testFilter struct {
+	init     func(ctx *Context) error
+	process  func(ctx *Context) error
+	finalize func(ctx *Context) error
+}
+
+func (f *testFilter) Init(ctx *Context) error {
+	if f.init == nil {
+		return nil
+	}
+	return f.init(ctx)
+}
+
+func (f *testFilter) Process(ctx *Context) error {
+	if f.process == nil {
+		return nil
+	}
+	return f.process(ctx)
+}
+
+func (f *testFilter) Finalize(ctx *Context) error {
+	if f.finalize == nil {
+		return nil
+	}
+	return f.finalize(ctx)
+}
+
+func newFabric(t *testing.T, size int) cluster.Fabric {
+	t.Helper()
+	f := cluster.NewInProc(size, 64)
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// producer emits n tagged buffers then returns.
+func producer(n int) Factory {
+	return func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			out, err := ctx.Output("out")
+			if err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				if err := out.Write(Buffer{Tag: int32(i), Data: []byte{byte(i)}}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}}, nil
+	}
+}
+
+// collector drains its input into a shared map keyed by copy index.
+func collector(mu *sync.Mutex, got map[int][]int32) Factory {
+	return func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			r, err := ctx.Input("in")
+			if err != nil {
+				return err
+			}
+			for {
+				buf, err := r.Read()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				got[in.Copy] = append(got[in.Copy], buf.Tag)
+				mu.Unlock()
+			}
+		}}, nil
+	}
+}
+
+func TestRoundRobinDistribution(t *testing.T) {
+	fab := newFabric(t, 3)
+	g := NewGraph()
+	var mu sync.Mutex
+	got := map[int][]int32{}
+	if err := g.AddFilter("src", producer(9), PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("dst", collector(&mu, got), PlaceOnePerNode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "dst", "in", RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRuntime(fab).Run(g); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for copy := 0; copy < 3; copy++ {
+		if len(got[copy]) != 3 {
+			t.Fatalf("copy %d got %d buffers, want 3: %v", copy, len(got[copy]), got)
+		}
+	}
+}
+
+func TestBroadcastDistribution(t *testing.T) {
+	fab := newFabric(t, 2)
+	g := NewGraph()
+	var mu sync.Mutex
+	got := map[int][]int32{}
+	if err := g.AddFilter("src", producer(4), PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("dst", collector(&mu, got), PlaceCopies(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "dst", "in", Broadcast); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRuntime(fab).Run(g); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for copy := 0; copy < 3; copy++ {
+		if len(got[copy]) != 4 {
+			t.Fatalf("copy %d got %v, want all 4 buffers", copy, got[copy])
+		}
+	}
+}
+
+func TestDirectedRouting(t *testing.T) {
+	fab := newFabric(t, 2)
+	g := NewGraph()
+	var mu sync.Mutex
+	got := map[int][]int32{}
+	directedSrc := func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			out, err := ctx.Output("out")
+			if err != nil {
+				return err
+			}
+			// Plain Write must fail on a Directed stream.
+			if err := out.Write(Buffer{}); err == nil {
+				return fmt.Errorf("Write on directed stream succeeded")
+			}
+			for i := 0; i < 6; i++ {
+				if err := out.WriteTo(i%2, Buffer{Tag: int32(i)}); err != nil {
+					return err
+				}
+			}
+			if err := out.WriteTo(99, Buffer{}); err == nil {
+				return fmt.Errorf("WriteTo out-of-range succeeded")
+			}
+			return nil
+		}}, nil
+	}
+	if err := g.AddFilter("src", directedSrc, PlaceOn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("dst", collector(&mu, got), PlaceCopies(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "dst", "in", Directed); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRuntime(fab).Run(g); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for copy := 0; copy < 2; copy++ {
+		tags := got[copy]
+		sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+		for _, tag := range tags {
+			if int(tag)%2 != copy {
+				t.Fatalf("copy %d received tag %d", copy, tag)
+			}
+		}
+		if len(tags) != 3 {
+			t.Fatalf("copy %d received %d buffers, want 3", copy, len(tags))
+		}
+	}
+}
+
+func TestEOFAfterAllWritersClose(t *testing.T) {
+	// Two producer copies, one consumer: consumer must see all buffers
+	// from both, then EOF.
+	fab := newFabric(t, 2)
+	g := NewGraph()
+	var mu sync.Mutex
+	got := map[int][]int32{}
+	if err := g.AddFilter("src", producer(5), PlaceCopies(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("dst", collector(&mu, got), PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "dst", "in", RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRuntime(fab).Run(g); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got[0]) != 10 {
+		t.Fatalf("consumer got %d buffers, want 10", len(got[0]))
+	}
+}
+
+func TestThreeStagePipeline(t *testing.T) {
+	// src -> relay (2 copies) -> sink; relay transforms tags.
+	fab := newFabric(t, 3)
+	g := NewGraph()
+	relay := func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			r, err := ctx.Input("in")
+			if err != nil {
+				return err
+			}
+			out, err := ctx.Output("out")
+			if err != nil {
+				return err
+			}
+			for {
+				buf, err := r.Read()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				buf.Tag *= 10
+				if err := out.Write(buf); err != nil {
+					return err
+				}
+			}
+		}}, nil
+	}
+	var mu sync.Mutex
+	got := map[int][]int32{}
+	if err := g.AddFilter("src", producer(8), PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("relay", relay, PlaceCopies(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("sink", collector(&mu, got), PlaceOn(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "relay", "in", RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("relay", "out", "sink", "in", RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRuntime(fab).Run(g); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tags := got[0]
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	want := []int32{0, 10, 20, 30, 40, 50, 60, 70}
+	if len(tags) != len(want) {
+		t.Fatalf("sink got %v, want %v", tags, want)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("sink got %v, want %v", tags, want)
+		}
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	g := NewGraph()
+	noop := func(in Instance) (Filter, error) { return &testFilter{}, nil }
+	if err := g.AddFilter("", noop, PlaceOn(0)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := g.AddFilter("a", noop, PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("a", noop, PlaceOn(0)); err == nil {
+		t.Error("duplicate filter accepted")
+	}
+	if err := g.Connect("a", "out", "missing", "in", RoundRobin); err == nil {
+		t.Error("connect to unknown filter accepted")
+	}
+	if err := g.AddFilter("b", noop, PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("a", "out", "b", "in", RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("a", "out", "b", "in2", RoundRobin); err == nil {
+		t.Error("double-connected output port accepted")
+	}
+}
+
+func TestProcessErrorPropagates(t *testing.T) {
+	fab := newFabric(t, 2)
+	g := NewGraph()
+	failing := func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			return fmt.Errorf("deliberate failure")
+		}}, nil
+	}
+	var mu sync.Mutex
+	got := map[int][]int32{}
+	if err := g.AddFilter("src", failing, PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("dst", collector(&mu, got), PlaceOn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "dst", "in", RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	err := NewRuntime(fab).Run(g)
+	if err == nil {
+		t.Fatal("Run swallowed the process error")
+	}
+	// Crucially, the consumer must have terminated (outputs were closed
+	// even though the producer failed) — Run returning proves it.
+}
+
+func TestPanicInProcessIsCaptured(t *testing.T) {
+	fab := newFabric(t, 1)
+	g := NewGraph()
+	panicky := func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error { panic("boom") }}, nil
+	}
+	if err := g.AddFilter("p", panicky, PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	err := NewRuntime(fab).Run(g)
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestInitBarrier(t *testing.T) {
+	// A filter whose Init fails must prevent every Process from running.
+	fab := newFabric(t, 2)
+	g := NewGraph()
+	processRan := false
+	var mu sync.Mutex
+	badInit := func(in Instance) (Filter, error) {
+		return &testFilter{init: func(ctx *Context) error {
+			return fmt.Errorf("init failure")
+		}}, nil
+	}
+	watcher := func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			mu.Lock()
+			processRan = true
+			mu.Unlock()
+			return nil
+		}}, nil
+	}
+	if err := g.AddFilter("bad", badInit, PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("watch", watcher, PlaceOn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRuntime(fab).Run(g); err == nil {
+		t.Fatal("Run ignored init failure")
+	}
+	if processRan {
+		t.Fatal("Process ran despite failed Init elsewhere in the graph")
+	}
+}
+
+func TestPlacements(t *testing.T) {
+	if _, err := PlaceOn(5)(3); err == nil {
+		t.Error("PlaceOn out-of-range node accepted")
+	}
+	nodes, err := PlaceOnePerNode()(4)
+	if err != nil || len(nodes) != 4 {
+		t.Errorf("PlaceOnePerNode = %v, %v", nodes, err)
+	}
+	nodes, err = PlaceCopies(5)(2)
+	if err != nil || len(nodes) != 5 || nodes[4] != 0 {
+		t.Errorf("PlaceCopies = %v, %v", nodes, err)
+	}
+	nodes, err = PlaceRange(1, 2)(4)
+	if err != nil || len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 2 {
+		t.Errorf("PlaceRange = %v, %v", nodes, err)
+	}
+	if _, err := PlaceRange(3, 2)(4); err == nil {
+		t.Error("PlaceRange past fabric end accepted")
+	}
+}

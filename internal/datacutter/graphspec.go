@@ -1,0 +1,143 @@
+package datacutter
+
+import (
+	"fmt"
+
+	"mssg/internal/cluster"
+)
+
+// Placement decides which nodes the copies of a filter run on, given the
+// fabric size. The i-th returned node hosts copy i.
+type Placement func(fabricSize int) ([]cluster.NodeID, error)
+
+// PlaceOn places one copy on each listed node, in order.
+func PlaceOn(nodes ...cluster.NodeID) Placement {
+	return func(size int) ([]cluster.NodeID, error) {
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("datacutter: PlaceOn with no nodes")
+		}
+		for _, n := range nodes {
+			if err := cluster.Validate(n, size); err != nil {
+				return nil, err
+			}
+		}
+		out := make([]cluster.NodeID, len(nodes))
+		copy(out, nodes)
+		return out, nil
+	}
+}
+
+// PlaceOnePerNode places one copy on every node of the fabric.
+func PlaceOnePerNode() Placement {
+	return func(size int) ([]cluster.NodeID, error) {
+		out := make([]cluster.NodeID, size)
+		for i := range out {
+			out[i] = cluster.NodeID(i)
+		}
+		return out, nil
+	}
+}
+
+// PlaceRange places one copy on each of nodes [start, start+count).
+func PlaceRange(start cluster.NodeID, count int) Placement {
+	return func(size int) ([]cluster.NodeID, error) {
+		if count < 1 {
+			return nil, fmt.Errorf("datacutter: PlaceRange with count %d", count)
+		}
+		out := make([]cluster.NodeID, count)
+		for i := 0; i < count; i++ {
+			n := start + cluster.NodeID(i)
+			if err := cluster.Validate(n, size); err != nil {
+				return nil, err
+			}
+			out[i] = n
+		}
+		return out, nil
+	}
+}
+
+// PlaceCopies places n copies round-robin across the whole fabric.
+func PlaceCopies(n int) Placement {
+	return func(size int) ([]cluster.NodeID, error) {
+		if n < 1 {
+			return nil, fmt.Errorf("datacutter: PlaceCopies with n=%d", n)
+		}
+		out := make([]cluster.NodeID, n)
+		for i := 0; i < n; i++ {
+			out[i] = cluster.NodeID(i % size)
+		}
+		return out, nil
+	}
+}
+
+type filterSpec struct {
+	name      string
+	factory   Factory
+	placement Placement
+}
+
+type streamSpec struct {
+	idx     int
+	src     string
+	srcPort string
+	dst     string
+	dstPort string
+	policy  WritePolicy
+}
+
+// Graph is a filter-graph specification: declared filters plus the logical
+// streams connecting their ports. Build one, then hand it to a Runtime.
+type Graph struct {
+	filters []filterSpec
+	byName  map[string]int
+	streams []streamSpec
+}
+
+// NewGraph returns an empty filter graph.
+func NewGraph() *Graph {
+	return &Graph{byName: make(map[string]int)}
+}
+
+// AddFilter declares a filter with its factory and placement.
+func (g *Graph) AddFilter(name string, factory Factory, placement Placement) error {
+	if name == "" {
+		return fmt.Errorf("datacutter: filter needs a name")
+	}
+	if _, dup := g.byName[name]; dup {
+		return fmt.Errorf("datacutter: duplicate filter %q", name)
+	}
+	if factory == nil || placement == nil {
+		return fmt.Errorf("datacutter: filter %q needs a factory and a placement", name)
+	}
+	g.byName[name] = len(g.filters)
+	g.filters = append(g.filters, filterSpec{name: name, factory: factory, placement: placement})
+	return nil
+}
+
+// Connect declares a logical stream from src's output port to dst's input
+// port with the given write policy.
+func (g *Graph) Connect(src, srcPort, dst, dstPort string, policy WritePolicy) error {
+	if _, ok := g.byName[src]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownFilter, src)
+	}
+	if _, ok := g.byName[dst]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownFilter, dst)
+	}
+	for _, s := range g.streams {
+		if s.src == src && s.srcPort == srcPort {
+			return fmt.Errorf("datacutter: output port %s.%s already connected", src, srcPort)
+		}
+		if s.dst == dst && s.dstPort == dstPort {
+			return fmt.Errorf("datacutter: input port %s.%s already connected", dst, dstPort)
+		}
+	}
+	g.streams = append(g.streams, streamSpec{
+		idx:     len(g.streams),
+		src:     src,
+		srcPort: srcPort,
+		dst:     dst,
+		dstPort: dstPort,
+		policy:  policy,
+	})
+	return nil
+}

@@ -1,0 +1,173 @@
+package datacutter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mssg/internal/cluster"
+)
+
+// Runtime instantiates filter graphs on a cluster fabric and executes them
+// to completion (the paper's "filtering service").
+type Runtime struct {
+	fabric cluster.Fabric
+}
+
+// NewRuntime binds a runtime to a fabric. Several graphs may be run in
+// sequence on the same runtime; a single runtime must not run two graphs
+// concurrently (their stream channels would collide).
+func NewRuntime(f cluster.Fabric) *Runtime {
+	return &Runtime{fabric: f}
+}
+
+// placedCopy is one fully wired filter instance, ready to execute.
+type placedCopy struct {
+	inst   Instance
+	filter Filter
+	ctx    *Context
+}
+
+// Run places every filter copy, wires every stream endpoint, then drives
+// all copies through Init (graph-wide barrier) → Process → output close →
+// Finalize. It returns the joined error of every failed copy.
+func (r *Runtime) Run(g *Graph) error {
+	if len(g.filters) == 0 {
+		return fmt.Errorf("datacutter: empty graph")
+	}
+	size := r.fabric.Nodes()
+
+	// Resolve placements.
+	placements := make([][]cluster.NodeID, len(g.filters))
+	for i, f := range g.filters {
+		nodes, err := f.placement(size)
+		if err != nil {
+			return fmt.Errorf("datacutter: placing %q: %w", f.name, err)
+		}
+		if len(nodes) > maxCopies {
+			return fmt.Errorf("datacutter: filter %q has %d copies, max %d", f.name, len(nodes), maxCopies)
+		}
+		placements[i] = nodes
+	}
+
+	// Build contexts for every copy.
+	copies := make(map[string][]*placedCopy, len(g.filters))
+	var all []*placedCopy
+	for i, f := range g.filters {
+		nodes := placements[i]
+		for c, node := range nodes {
+			inst := Instance{Filter: f.name, Copy: c, Copies: len(nodes), Node: node}
+			ctx := &Context{
+				inst:    inst,
+				ep:      r.fabric.Endpoint(node),
+				inputs:  make(map[string]*StreamReader),
+				outputs: make(map[string]*StreamWriter),
+			}
+			pc := &placedCopy{inst: inst, ctx: ctx}
+			copies[f.name] = append(copies[f.name], pc)
+			all = append(all, pc)
+		}
+	}
+
+	// Wire stream endpoints.
+	for _, s := range g.streams {
+		srcCopies := copies[s.src]
+		dstCopies := copies[s.dst]
+		dests := make([]dest, len(dstCopies))
+		for c, dc := range dstCopies {
+			ch := streamChannel(s.idx, c)
+			dests[c] = dest{node: dc.inst.Node, ch: ch}
+			dc.ctx.inputs[s.dstPort] = &StreamReader{
+				name:    fmt.Sprintf("%s.%s->%s.%s", s.src, s.srcPort, s.dst, s.dstPort),
+				ep:      dc.ctx.ep,
+				ch:      ch,
+				writers: len(srcCopies),
+			}
+		}
+		for _, sc := range srcCopies {
+			sc.ctx.outputs[s.srcPort] = &StreamWriter{
+				name:   fmt.Sprintf("%s.%s->%s.%s", s.src, s.srcPort, s.dst, s.dstPort),
+				ep:     sc.ctx.ep,
+				policy: s.policy,
+				dests:  dests,
+			}
+		}
+	}
+
+	// Construct filter objects.
+	for _, pc := range all {
+		idx := g.byName[pc.inst.Filter]
+		f, err := g.filters[idx].factory(pc.inst)
+		if err != nil {
+			return fmt.Errorf("datacutter: constructing %s: %w", pc.inst, err)
+		}
+		pc.filter = f
+	}
+
+	// Phase 1: Init everywhere before any Process starts, so no filter
+	// consumes data before its consumers exist.
+	errsMu := sync.Mutex{}
+	var errs []error
+	report := func(pc *placedCopy, stage string, err error) {
+		errsMu.Lock()
+		errs = append(errs, fmt.Errorf("%s: %s: %w", pc.inst, stage, err))
+		errsMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for _, pc := range all {
+		wg.Add(1)
+		go func(pc *placedCopy) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					report(pc, "init", fmt.Errorf("panic: %v", rec))
+				}
+			}()
+			if err := pc.filter.Init(pc.ctx); err != nil {
+				report(pc, "init", err)
+			}
+		}(pc)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+
+	// Phase 2: Process; each copy closes its outputs when done (success or
+	// failure — downstream readers must unblock either way), then
+	// finalizes.
+	for _, pc := range all {
+		wg.Add(1)
+		go func(pc *placedCopy) {
+			defer wg.Done()
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						report(pc, "process", fmt.Errorf("panic: %v", rec))
+					}
+				}()
+				if err := pc.filter.Process(pc.ctx); err != nil {
+					report(pc, "process", err)
+				}
+			}()
+			for _, w := range pc.ctx.outputs {
+				if err := w.Close(); err != nil {
+					report(pc, "close", err)
+				}
+			}
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						report(pc, "finalize", fmt.Errorf("panic: %v", rec))
+					}
+				}()
+				if err := pc.filter.Finalize(pc.ctx); err != nil {
+					report(pc, "finalize", err)
+				}
+			}()
+		}(pc)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

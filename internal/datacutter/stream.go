@@ -1,0 +1,183 @@
+package datacutter
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mssg/internal/cluster"
+)
+
+// Stream wire format, carried over one fabric channel per (stream,
+// destination copy): a 5-byte header {kind byte, tag int32 LE} followed by
+// the payload. kindEOS marks an upstream copy's close; a reader sees EOF
+// once every upstream writer has closed.
+const (
+	kindData byte = 0
+	kindEOS  byte = 1
+)
+
+// dcChannelBase offsets DataCutter stream channels away from the channel
+// ranges other services use on the same fabric.
+const dcChannelBase cluster.ChannelID = 1 << 16
+
+// maxCopies bounds transparent copies per filter (channel space layout).
+const maxCopies = 1024
+
+func streamChannel(streamIdx, destCopy int) cluster.ChannelID {
+	return dcChannelBase + cluster.ChannelID(streamIdx*maxCopies+destCopy)
+}
+
+func encodeFrame(kind byte, tag int32, data []byte) []byte {
+	buf := make([]byte, 5+len(data))
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(tag))
+	copy(buf[5:], data)
+	return buf
+}
+
+func decodeFrame(p []byte) (kind byte, tag int32, data []byte, err error) {
+	if len(p) < 5 {
+		return 0, 0, nil, fmt.Errorf("datacutter: short stream frame (%d bytes)", len(p))
+	}
+	return p[0], int32(binary.LittleEndian.Uint32(p[1:5])), p[5:], nil
+}
+
+// WritePolicy selects the destination copy (or copies) for each buffer
+// written to a stream.
+type WritePolicy int
+
+const (
+	// RoundRobin cycles buffers across the destination copies.
+	RoundRobin WritePolicy = iota
+	// Broadcast delivers every buffer to every destination copy.
+	Broadcast
+	// Directed requires the writer to address a copy explicitly with
+	// WriteTo; plain Write is an error. This is how the Ingestion Service
+	// scatters declustered blocks to specific back-end nodes.
+	Directed
+)
+
+func (p WritePolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case Broadcast:
+		return "broadcast"
+	case Directed:
+		return "directed"
+	}
+	return fmt.Sprintf("WritePolicy(%d)", int(p))
+}
+
+// dest is one receiving copy of the downstream filter.
+type dest struct {
+	node cluster.NodeID
+	ch   cluster.ChannelID
+}
+
+// StreamWriter is a filter copy's handle on one output stream.
+type StreamWriter struct {
+	name   string
+	ep     cluster.Endpoint
+	policy WritePolicy
+	dests  []dest
+	next   int
+	closed bool
+	sent   int64
+}
+
+// Write emits one buffer according to the stream's policy.
+func (w *StreamWriter) Write(b Buffer) error {
+	if w.closed {
+		return fmt.Errorf("datacutter: write on closed stream %s", w.name)
+	}
+	switch w.policy {
+	case RoundRobin:
+		d := w.dests[w.next%len(w.dests)]
+		w.next++
+		w.sent++
+		return w.ep.Send(d.node, d.ch, encodeFrame(kindData, b.Tag, b.Data))
+	case Broadcast:
+		for _, d := range w.dests {
+			if err := w.ep.Send(d.node, d.ch, encodeFrame(kindData, b.Tag, b.Data)); err != nil {
+				return err
+			}
+			w.sent++
+		}
+		return nil
+	case Directed:
+		return fmt.Errorf("datacutter: stream %s is directed; use WriteTo", w.name)
+	}
+	return fmt.Errorf("datacutter: stream %s has unknown policy", w.name)
+}
+
+// WriteTo emits one buffer to a specific destination copy. Valid for any
+// policy; required for Directed streams.
+func (w *StreamWriter) WriteTo(copy int, b Buffer) error {
+	if w.closed {
+		return fmt.Errorf("datacutter: write on closed stream %s", w.name)
+	}
+	if copy < 0 || copy >= len(w.dests) {
+		return fmt.Errorf("datacutter: stream %s: destination copy %d out of range [0,%d)", w.name, copy, len(w.dests))
+	}
+	d := w.dests[copy]
+	w.sent++
+	return w.ep.Send(d.node, d.ch, encodeFrame(kindData, b.Tag, b.Data))
+}
+
+// Fanout returns the number of destination copies.
+func (w *StreamWriter) Fanout() int { return len(w.dests) }
+
+// Sent returns the number of buffers sent so far (after broadcast
+// expansion).
+func (w *StreamWriter) Sent() int64 { return w.sent }
+
+// Close signals end-of-stream to every destination copy. The runtime
+// closes any writer the filter did not close itself.
+func (w *StreamWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	for _, d := range w.dests {
+		if err := w.ep.Send(d.node, d.ch, encodeFrame(kindEOS, 0, nil)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamReader is a filter copy's handle on one input stream.
+type StreamReader struct {
+	name    string
+	ep      cluster.Endpoint
+	ch      cluster.ChannelID
+	writers int // upstream copies still open
+	recvd   int64
+}
+
+// Read blocks for the next buffer. It returns io.EOF once every upstream
+// writer has closed the stream.
+func (r *StreamReader) Read() (Buffer, error) {
+	for r.writers > 0 {
+		msg, err := r.ep.Recv(r.ch)
+		if err != nil {
+			return Buffer{}, err
+		}
+		kind, tag, data, err := decodeFrame(msg.Payload)
+		if err != nil {
+			return Buffer{}, err
+		}
+		if kind == kindEOS {
+			r.writers--
+			continue
+		}
+		r.recvd++
+		return Buffer{Tag: tag, Data: data}, nil
+	}
+	return Buffer{}, io.EOF
+}
+
+// Received returns the number of data buffers read so far.
+func (r *StreamReader) Received() int64 { return r.recvd }

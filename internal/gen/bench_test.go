@@ -1,0 +1,38 @@
+package gen
+
+import (
+	"io"
+	"testing"
+)
+
+func BenchmarkGenerateEdges(b *testing.B) {
+	cfg := Config{Name: "bench", Vertices: 100000, M: 5, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var count int64
+		for {
+			_, err := g.ReadEdge()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			count++
+		}
+		b.ReportMetric(float64(count), "edges")
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

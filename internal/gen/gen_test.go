@@ -1,0 +1,298 @@
+package gen
+
+import (
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mssg/internal/graph"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGInt63nBounds(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []int64{1, 2, 3, 10, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGInt63nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	NewRNG(1).Int63n(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	p := NewRNG(5).Perm(50)
+	seen := make(map[int64]bool)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{Name: "d", Vertices: 500, M: 3, HubFraction: 0.1, Seed: 123}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config generated different graphs")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	bad := []Config{
+		{Vertices: 1, M: 1},
+		{Vertices: 100, M: 0},
+		{Vertices: 10, M: 10},
+		{Vertices: 100, M: 2, HubFraction: 1.5},
+		{Vertices: 100, M: 2, HubFraction: -0.1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+}
+
+func TestGeneratorNoSelfLoopsNoDuplicatePerVertexBatch(t *testing.T) {
+	edges, err := Generate(Config{Name: "s", Vertices: 2000, M: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			t.Fatalf("self loop: %v", e)
+		}
+	}
+}
+
+func TestGeneratorEdgesWithinVertexSpace(t *testing.T) {
+	cfg := Config{Name: "r", Vertices: 300, M: 2, HubFraction: 0.3, Seed: 8}
+	edges, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if int64(e.Src) >= cfg.Vertices || int64(e.Dst) >= cfg.Vertices || e.Src < 0 || e.Dst < 0 {
+			t.Fatalf("edge %v outside [0,%d)", e, cfg.Vertices)
+		}
+	}
+}
+
+// TestPowerLawShape checks the heavy tail: the degree histogram must be
+// monotonically decreasing over the low buckets (many low-degree
+// vertices) while still containing high-degree vertices.
+func TestPowerLawShape(t *testing.T) {
+	cfg := Config{Name: "p", Vertices: 20000, M: 5, Seed: 99}
+	edges, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := DegreeHistogram(edges, cfg.Vertices)
+	// Above the attachment mean (2M = 10, bucket 3), counts must fall
+	// monotonically — the power-law tail.
+	for b := 3; b < 7; b++ {
+		if hist[b] < hist[b+1] {
+			t.Fatalf("histogram not heavy-tailed: bucket %d = %d < bucket %d = %d\n%v",
+				b, hist[b], b+1, hist[b+1], hist)
+		}
+	}
+	// Some vertex must exceed degree 128 (preferential attachment hubs).
+	var tail int64
+	for b, c := range hist {
+		if b >= 7 {
+			tail += c
+		}
+	}
+	if tail == 0 {
+		t.Fatalf("no hub vertices generated: %v", hist)
+	}
+}
+
+func TestHubInjectionRaisesMaxDegree(t *testing.T) {
+	base := Config{Name: "h0", Vertices: 5000, M: 3, Seed: 4}
+	hub := base
+	hub.Name = "h1"
+	hub.HubFraction = 0.2
+	e0, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := Generate(hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := ComputeStats("h0", &sliceReader{edges: e0}, base.Vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := ComputeStats("h1", &sliceReader{edges: e1}, hub.Vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.MaxDegree < 2*s0.MaxDegree {
+		t.Fatalf("hub injection barely moved max degree: %d vs %d", s1.MaxDegree, s0.MaxDegree)
+	}
+	if s1.MaxDegreeVertex != 0 {
+		t.Fatalf("hub is vertex %d, want 0", s1.MaxDegreeVertex)
+	}
+	// Hub fraction should land near the configured 20%.
+	frac := float64(s1.MaxDegree) / float64(hub.Vertices)
+	if frac < 0.15 || frac > 0.30 {
+		t.Fatalf("hub degree fraction %.3f far from 0.2", frac)
+	}
+}
+
+type sliceReader struct {
+	edges []graph.Edge
+	pos   int
+}
+
+func (r *sliceReader) ReadEdge() (graph.Edge, error) {
+	if r.pos >= len(r.edges) {
+		return graph.Edge{}, io.EOF
+	}
+	e := r.edges[r.pos]
+	r.pos++
+	return e, nil
+}
+
+func TestComputeStatsSmall(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}}
+	s, err := ComputeStats("tiny", &sliceReader{edges: edges}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Vertices != 3 || s.UndEdges != 3 {
+		t.Fatalf("V=%d E=%d, want 3/3", s.Vertices, s.UndEdges)
+	}
+	if s.MinDegree != 2 || s.MaxDegree != 2 || s.AvgDegree != 2 {
+		t.Fatalf("degrees %d/%d/%.1f, want 2/2/2.0", s.MinDegree, s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestComputeStatsRejectsOutOfRange(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 5}}
+	if _, err := ComputeStats("bad", &sliceReader{edges: edges}, 3); err == nil {
+		t.Fatal("edge outside vertex space accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"pubmed-s", "pubmed-l", "syn-2b"} {
+		cfg, err := Preset(name, 0.001)
+		if err != nil {
+			t.Fatalf("Preset(%s): %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Preset(%s) invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("nope", 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	// Full-scale presets must match the paper's vertex counts.
+	if v := PubMedS(1).Vertices; v != 3_751_921 {
+		t.Fatalf("PubMedS(1).Vertices = %d", v)
+	}
+	if v := PubMedL(1).Vertices; v != 26_676_177 {
+		t.Fatalf("PubMedL(1).Vertices = %d", v)
+	}
+	if v := Syn2B(1).Vertices; v != 100_000_000 {
+		t.Fatalf("Syn2B(1).Vertices = %d", v)
+	}
+}
+
+func TestRandomQueryPairsDeterministicAndValid(t *testing.T) {
+	edges, err := Generate(Config{Name: "q", Vertices: 400, M: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := RandomQueryPairs(edges, 400, 25, 5)
+	p2 := RandomQueryPairs(edges, 400, 25, 5)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same seed gave different query pairs")
+	}
+	present := make(map[graph.VertexID]bool)
+	for _, e := range edges {
+		present[e.Src] = true
+		present[e.Dst] = true
+	}
+	for _, p := range p1 {
+		if p[0] == p[1] {
+			t.Fatalf("degenerate pair %v", p)
+		}
+		if !present[p[0]] || !present[p[1]] {
+			t.Fatalf("pair %v uses isolated vertex", p)
+		}
+	}
+}
+
+// Property: average degree tracks 2M within tolerance for any seed.
+func TestQuickAvgDegreeTracksM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	check := func(seed int64) bool {
+		cfg := Config{Name: "q", Vertices: 3000, M: 4, Seed: seed}
+		edges, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		s, err := ComputeStats("q", &sliceReader{edges: edges}, cfg.Vertices)
+		if err != nil {
+			return false
+		}
+		return s.AvgDegree > 6.0 && s.AvgDegree < 9.0 // 2M = 8 ± slack
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package gen
+
+import "fmt"
+
+// Presets matching Table 5.1 of the paper. Scale 1.0 would reproduce the
+// paper's vertex counts (3.75M / 26.7M / 100M vertices); the experiment
+// harness defaults to much smaller scales so a full run completes on one
+// machine, and prints the statistics table for whatever scale is chosen.
+//
+//	Graph     Vertices     Und.Edges    MinDeg MaxDeg    AvgDeg
+//	PubMed-S  3,751,921    27,841,339   1      722,692   14.84
+//	PubMed-L  26,676,177   259,815,339  1      6,114,328 19.48
+//	Syn-2B    100,000,000  999,999,820  1      42,964    20.00
+const (
+	pubMedSVertices = 3_751_921
+	pubMedLVertices = 26_676_177
+	syn2BVertices   = 100_000_000
+)
+
+// PubMedS returns a configuration for a PubMed-S analogue at the given
+// scale (fraction of the paper's vertex count). Average undirected degree
+// ≈ 14.8 via M=7 attachment plus an ~19% hub, matching the paper's
+// max-degree-to-vertices ratio (722,692 / 3,751,921 ≈ 0.193).
+func PubMedS(scale float64) Config {
+	return Config{
+		Name:        "PubMed-S'",
+		Vertices:    scaled(pubMedSVertices, scale),
+		M:           7,
+		HubFraction: 0.193,
+		Seed:        20060501,
+	}
+}
+
+// PubMedL returns a configuration for a PubMed-L analogue. Average degree
+// ≈ 19.5 via M=9 attachment plus a ~23% hub (6,114,328 / 26,676,177 ≈
+// 0.229).
+func PubMedL(scale float64) Config {
+	return Config{
+		Name:        "PubMed-L'",
+		Vertices:    scaled(pubMedLVertices, scale),
+		M:           9,
+		HubFraction: 0.229,
+		Seed:        20060502,
+	}
+}
+
+// Syn2B returns a configuration for a Syn-2B analogue: pure preferential
+// attachment with average degree 20 (M=10) and no injected hub; the
+// paper's synthetic graph likewise has a comparatively modest maximum
+// degree (42,964 of 100M vertices).
+func Syn2B(scale float64) Config {
+	return Config{
+		Name:     "Syn'",
+		Vertices: scaled(syn2BVertices, scale),
+		M:        10,
+		Seed:     20060503,
+	}
+}
+
+func scaled(n int64, scale float64) int64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	v := int64(float64(n) * scale)
+	if v < 32 {
+		v = 32
+	}
+	return v
+}
+
+// Preset looks up a preset by the names used in the paper and the bench
+// harness: "pubmed-s", "pubmed-l", "syn-2b".
+func Preset(name string, scale float64) (Config, error) {
+	switch name {
+	case "pubmed-s", "pubmeds", "PubMed-S":
+		return PubMedS(scale), nil
+	case "pubmed-l", "pubmedl", "PubMed-L":
+		return PubMedL(scale), nil
+	case "syn-2b", "syn2b", "syn", "Syn-2B":
+		return Syn2B(scale), nil
+	}
+	return Config{}, fmt.Errorf("gen: unknown preset %q (want pubmed-s, pubmed-l or syn-2b)", name)
+}

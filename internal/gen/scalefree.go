@@ -1,0 +1,184 @@
+package gen
+
+import (
+	"fmt"
+	"io"
+
+	"mssg/internal/graph"
+)
+
+// Config parameterizes a synthetic scale-free graph.
+//
+// The generator is Barabási–Albert preferential attachment (each new vertex
+// attaches to M existing vertices chosen proportionally to degree), which
+// yields the power-law degree distribution the paper targets, optionally
+// followed by "hub injection": vertex 0 gains an edge to each other vertex
+// with probability HubFraction. Hub injection models the enormous maximum
+// degrees of the PubMed extracts (Table 5.1: max degree 722,692 of
+// 3,751,921 vertices in PubMed-S — a single entity adjacent to ~19% of the
+// graph), which plain BA cannot reach.
+type Config struct {
+	// Name labels the graph in reports (e.g. "PubMed-S'").
+	Name string
+	// Vertices is the number of vertices; IDs are 0..Vertices-1.
+	Vertices int64
+	// M is the number of attachment edges per new vertex (≈ half the
+	// average undirected degree).
+	M int
+	// HubFraction, if positive, connects vertex 0 to each other vertex
+	// with this probability.
+	HubFraction float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Vertices < 2 {
+		return fmt.Errorf("gen: need at least 2 vertices, got %d", c.Vertices)
+	}
+	if c.M < 1 {
+		return fmt.Errorf("gen: attachment count M must be >= 1, got %d", c.M)
+	}
+	if int64(c.M) >= c.Vertices {
+		return fmt.Errorf("gen: M (%d) must be < Vertices (%d)", c.M, c.Vertices)
+	}
+	if c.HubFraction < 0 || c.HubFraction > 1 {
+		return fmt.Errorf("gen: HubFraction must be in [0,1], got %g", c.HubFraction)
+	}
+	return nil
+}
+
+// Generator produces the edges of one synthetic graph as a stream. It
+// implements graph.EdgeReader so graphs can be piped straight into the
+// Ingestion Service without materializing the edge list.
+type Generator struct {
+	cfg Config
+	rng *RNG
+
+	// targets holds one entry per edge endpoint emitted so far; sampling
+	// uniformly from it realizes preferential attachment.
+	targets []graph.VertexID
+
+	next     int64 // next vertex to attach
+	mi       int   // attachment edges already emitted for vertex `next`
+	mTarget  int   // attachment edges vertex `next` will emit in total
+	dedup    map[graph.VertexID]bool
+	hubNext  int64 // next candidate for hub injection (phase 2)
+	inHub    bool
+	produced int64
+}
+
+// NewGenerator validates cfg and returns a streaming generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:   cfg,
+		rng:   NewRNG(cfg.Seed),
+		dedup: make(map[graph.VertexID]bool, cfg.M),
+	}
+	// Seed the process with a (M+1)-vertex star so every early vertex has
+	// non-zero degree; attachment starts at vertex M+1... unless the graph
+	// is tiny, in which case the star is the whole graph.
+	seedN := int64(cfg.M) + 1
+	if seedN > cfg.Vertices {
+		seedN = cfg.Vertices
+	}
+	for v := int64(1); v < seedN; v++ {
+		g.targets = append(g.targets, 0, graph.VertexID(v))
+	}
+	g.next = seedN
+	g.hubNext = 1
+	return g, nil
+}
+
+// seedEdges returns the number of edges in the seed star.
+func (g *Generator) seedEdges() int64 {
+	seedN := int64(g.cfg.M) + 1
+	if seedN > g.cfg.Vertices {
+		seedN = g.cfg.Vertices
+	}
+	return seedN - 1
+}
+
+// ReadEdge implements graph.EdgeReader. Edges are emitted in three phases:
+// the seed star, preferential attachment, then hub injection.
+func (g *Generator) ReadEdge() (graph.Edge, error) {
+	// Phase 0: replay the seed star (targets was pre-filled pairwise).
+	if g.produced < g.seedEdges() {
+		e := graph.Edge{
+			Src: g.targets[2*g.produced],
+			Dst: g.targets[2*g.produced+1],
+		}
+		g.produced++
+		return e, nil
+	}
+	// Phase 1: preferential attachment. Each vertex attaches with a
+	// uniformly drawn count in [1, 2M-1] (mean M), so the generated
+	// graphs include the degree-1 vertices of the paper's Table 5.1
+	// while keeping the target average degree.
+	for g.next < g.cfg.Vertices {
+		if g.mi == 0 {
+			clear(g.dedup)
+			g.mTarget = 1
+			if g.cfg.M > 1 {
+				g.mTarget = 1 + int(g.rng.Int63n(int64(2*g.cfg.M-1)))
+			}
+		}
+		for g.mi < g.mTarget {
+			// Sample an existing endpoint proportional to degree; retry on
+			// self-loops and duplicates. Bounded retries keep generation
+			// O(1) amortized even for small graphs.
+			var t graph.VertexID
+			found := false
+			for attempt := 0; attempt < 32; attempt++ {
+				t = g.targets[g.rng.Int63n(int64(len(g.targets)))]
+				if t != graph.VertexID(g.next) && !g.dedup[t] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				// Degenerate corner (few distinct candidates): fall back to
+				// a uniform pick among earlier vertices.
+				t = graph.VertexID(g.rng.Int63n(g.next))
+				if t == graph.VertexID(g.next) || g.dedup[t] {
+					g.mi++
+					continue
+				}
+			}
+			g.dedup[t] = true
+			e := graph.Edge{Src: graph.VertexID(g.next), Dst: t}
+			g.targets = append(g.targets, e.Src, e.Dst)
+			g.mi++
+			g.produced++
+			return e, nil
+		}
+		g.next++
+		g.mi = 0
+	}
+	// Phase 2: hub injection.
+	if g.cfg.HubFraction > 0 {
+		for g.hubNext < g.cfg.Vertices {
+			v := g.hubNext
+			g.hubNext++
+			if g.rng.Float64() < g.cfg.HubFraction {
+				g.produced++
+				return graph.Edge{Src: 0, Dst: graph.VertexID(v)}, nil
+			}
+		}
+	}
+	return graph.Edge{}, io.EOF
+}
+
+// Generate materializes the whole edge list. Convenient for tests and for
+// the smaller experiment scales.
+func Generate(cfg Config) ([]graph.Edge, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return graph.ReadAllEdges(g)
+}

@@ -1,0 +1,91 @@
+// Package graph defines the base vocabulary shared by every MSSG
+// component: vertex identifiers, edges, adjacency containers, and the
+// semantic-typing layer (ontologies) described in chapter 1 of the paper.
+//
+// The storage backends (package graphdb and its children), the ingestion
+// and query services, and the cluster runtime all speak in these types.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VertexID is a global vertex identifier (GID).
+//
+// IDs are 64-bit, but only the low 61 bits are usable: grDB reserves the
+// three most significant bits as pointer tag bits (paper §4.1.6), and the
+// rest of the framework honours that restriction so any graph can be stored
+// in any backend. That still allows 2×10^18 vertices.
+type VertexID int64
+
+// MaxVertexID is the largest legal vertex identifier (2^61 - 1).
+const MaxVertexID VertexID = (1 << 61) - 1
+
+// Valid reports whether the ID lies in the legal 61-bit range.
+func (v VertexID) Valid() bool { return v >= 0 && v <= MaxVertexID }
+
+// Edge is a single directed adjacency record: Src knows Dst as a
+// distance-1 neighbour. Undirected semantic edges are represented by
+// storing both orientations, which is what the Ingestion Service does by
+// default (paper Table 5.1 counts undirected edges).
+type Edge struct {
+	Src VertexID
+	Dst VertexID
+}
+
+// Reverse returns the opposite orientation of e.
+func (e Edge) Reverse() Edge { return Edge{Src: e.Dst, Dst: e.Src} }
+
+func (e Edge) String() string { return fmt.Sprintf("%d->%d", e.Src, e.Dst) }
+
+// ErrInvalidVertex is returned when a vertex ID falls outside the legal
+// 61-bit range.
+var ErrInvalidVertex = errors.New("graph: vertex id outside 61-bit range")
+
+// ValidateEdge checks both endpoints of e.
+func ValidateEdge(e Edge) error {
+	if !e.Src.Valid() || !e.Dst.Valid() {
+		return fmt.Errorf("%w: %v", ErrInvalidVertex, e)
+	}
+	return nil
+}
+
+// AdjList is a growable list of neighbour vertex IDs. It plays the role of
+// the paper's FastLongArrayStorage (Listing 3.1): a reusable container that
+// query algorithms pass into the GraphDB layer so adjacency retrieval does
+// not allocate per call.
+type AdjList struct {
+	ids []VertexID
+}
+
+// NewAdjList returns an AdjList with the given initial capacity.
+func NewAdjList(capacity int) *AdjList {
+	return &AdjList{ids: make([]VertexID, 0, capacity)}
+}
+
+// Reset empties the list, keeping the underlying storage for reuse.
+func (a *AdjList) Reset() { a.ids = a.ids[:0] }
+
+// Append adds one neighbour.
+func (a *AdjList) Append(v VertexID) { a.ids = append(a.ids, v) }
+
+// AppendAll adds a batch of neighbours.
+func (a *AdjList) AppendAll(vs []VertexID) { a.ids = append(a.ids, vs...) }
+
+// Len returns the number of neighbours currently held.
+func (a *AdjList) Len() int { return len(a.ids) }
+
+// At returns the i-th neighbour.
+func (a *AdjList) At(i int) VertexID { return a.ids[i] }
+
+// IDs exposes the backing slice; valid until the next mutation. Callers
+// must not retain it across Reset/Append.
+func (a *AdjList) IDs() []VertexID { return a.ids }
+
+// Clone returns an independent copy.
+func (a *AdjList) Clone() *AdjList {
+	c := &AdjList{ids: make([]VertexID, len(a.ids))}
+	copy(c.ids, a.ids)
+	return c
+}

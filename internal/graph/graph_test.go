@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVertexIDValid(t *testing.T) {
+	cases := []struct {
+		v    VertexID
+		want bool
+	}{
+		{0, true},
+		{1, true},
+		{MaxVertexID, true},
+		{MaxVertexID + 1, false},
+		{-1, false},
+	}
+	for _, tc := range cases {
+		if got := tc.v.Valid(); got != tc.want {
+			t.Errorf("VertexID(%d).Valid() = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestValidateEdge(t *testing.T) {
+	if err := ValidateEdge(Edge{Src: 1, Dst: 2}); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if err := ValidateEdge(Edge{Src: -1, Dst: 2}); err == nil {
+		t.Error("negative src accepted")
+	}
+	if err := ValidateEdge(Edge{Src: 1, Dst: MaxVertexID + 1}); err == nil {
+		t.Error("overflow dst accepted")
+	}
+}
+
+func TestEdgeReverse(t *testing.T) {
+	e := Edge{Src: 7, Dst: 9}
+	if got := e.Reverse(); got != (Edge{Src: 9, Dst: 7}) {
+		t.Errorf("Reverse = %v", got)
+	}
+	if got := e.Reverse().Reverse(); got != e {
+		t.Errorf("double Reverse = %v, want %v", got, e)
+	}
+}
+
+func TestAdjListReuse(t *testing.T) {
+	a := NewAdjList(2)
+	a.Append(1)
+	a.AppendAll([]VertexID{2, 3})
+	if a.Len() != 3 || a.At(2) != 3 {
+		t.Fatalf("unexpected contents: %v", a.IDs())
+	}
+	c := a.Clone()
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatal("Reset did not empty list")
+	}
+	if c.Len() != 3 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestASCIIEdgeRoundTrip(t *testing.T) {
+	edges := []Edge{{0, 1}, {5, 7}, {MaxVertexID, 0}}
+	var buf bytes.Buffer
+	w := NewASCIIEdgeWriter(&buf)
+	if err := WriteAllEdges(w, edges); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadAllEdges(NewASCIIEdgeReader(&buf))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(got, edges) {
+		t.Fatalf("round trip = %v, want %v", got, edges)
+	}
+}
+
+func TestASCIIEdgeReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1 2\n  \n# mid\n3 4 extra-ignored\n"
+	got, err := ReadAllEdges(NewASCIIEdgeReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	want := []Edge{{1, 2}, {3, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestASCIIEdgeReaderErrors(t *testing.T) {
+	cases := []string{
+		"1\n",                      // missing dst
+		"a b\n",                    // non-numeric
+		"1 x\n",                    // bad dst
+		"-1 2\n",                   // invalid vertex
+		"1 99999999999999999999\n", // overflow
+	}
+	for _, in := range cases {
+		_, err := ReadAllEdges(NewASCIIEdgeReader(strings.NewReader(in)))
+		if err == nil {
+			t.Errorf("input %q accepted, want error", in)
+		}
+	}
+}
+
+func TestBinaryEdgeRoundTrip(t *testing.T) {
+	edges := []Edge{{0, 1}, {1 << 60, 42}, {9, 9}}
+	var buf bytes.Buffer
+	w := NewBinaryEdgeWriter(&buf)
+	if err := WriteAllEdges(w, edges); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if buf.Len() != 16*len(edges) {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), 16*len(edges))
+	}
+	got, err := ReadAllEdges(NewBinaryEdgeReader(&buf))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(got, edges) {
+		t.Fatalf("round trip = %v, want %v", got, edges)
+	}
+}
+
+func TestBinaryEdgeReaderTruncated(t *testing.T) {
+	r := NewBinaryEdgeReader(strings.NewReader("short"))
+	if _, err := r.ReadEdge(); err == nil || err == io.EOF {
+		t.Fatalf("truncated record: err = %v, want explicit error", err)
+	}
+}
+
+// Property: any slice of valid edges survives both encodings unchanged.
+func TestQuickEdgeCodecs(t *testing.T) {
+	check := func(raw []struct{ S, D uint32 }) bool {
+		edges := make([]Edge, len(raw))
+		for i, r := range raw {
+			edges[i] = Edge{Src: VertexID(r.S), Dst: VertexID(r.D)}
+		}
+		var ab, bb bytes.Buffer
+		if err := WriteAllEdges(NewASCIIEdgeWriter(&ab), edges); err != nil {
+			return false
+		}
+		if err := WriteAllEdges(NewBinaryEdgeWriter(&bb), edges); err != nil {
+			return false
+		}
+		ga, err := ReadAllEdges(NewASCIIEdgeReader(&ab))
+		if err != nil {
+			return false
+		}
+		gb, err := ReadAllEdges(NewBinaryEdgeReader(&bb))
+		if err != nil {
+			return false
+		}
+		if len(edges) == 0 {
+			return len(ga) == 0 && len(gb) == 0
+		}
+		return reflect.DeepEqual(ga, edges) && reflect.DeepEqual(gb, edges)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOntologyFigure11(t *testing.T) {
+	o := NewOntology()
+	person := o.DefineVertexType("Person")
+	meeting := o.DefineVertexType("Meeting")
+	date := o.DefineVertexType("Date")
+	attends := o.DefineEdgeType("attends")
+	occurred := o.DefineEdgeType("occurred on")
+	o.AllowSymmetric(person, attends, meeting)
+	o.AllowSymmetric(meeting, occurred, date)
+
+	ok := TypedEdge{Edge: Edge{1, 2}, SrcType: person, EdgeType: attends, DstType: meeting}
+	if err := o.Validate(ok); err != nil {
+		t.Errorf("legal edge rejected: %v", err)
+	}
+	rev := TypedEdge{Edge: Edge{2, 1}, SrcType: meeting, EdgeType: attends, DstType: person}
+	if err := o.Validate(rev); err != nil {
+		t.Errorf("symmetric orientation rejected: %v", err)
+	}
+	// The Figure 1.1 restriction: Person never connects directly to Date.
+	bad := TypedEdge{Edge: Edge{1, 3}, SrcType: person, EdgeType: attends, DstType: date}
+	if err := o.Validate(bad); err == nil {
+		t.Error("Person->Date accepted; ontology must reject it")
+	}
+}
+
+func TestOntologyTypeNamesAndIdempotentDefine(t *testing.T) {
+	o := NewOntology()
+	a := o.DefineVertexType("A")
+	a2 := o.DefineVertexType("A")
+	if a != a2 {
+		t.Fatalf("re-defining type gave %d then %d", a, a2)
+	}
+	name, ok := o.VertexTypeName(a)
+	if !ok || name != "A" {
+		t.Fatalf("VertexTypeName = %q, %v", name, ok)
+	}
+	if _, ok := o.VertexTypeName(99); ok {
+		t.Fatal("unknown TypeID resolved")
+	}
+	if o.NumVertexTypes() != 2 { // untyped + A
+		t.Fatalf("NumVertexTypes = %d", o.NumVertexTypes())
+	}
+}
+
+func TestOntologyUntypedAlwaysAllowed(t *testing.T) {
+	o := NewOntology()
+	e := TypedEdge{Edge: Edge{1, 2}} // all types zero
+	if err := o.Validate(e); err != nil {
+		t.Fatalf("untyped edge rejected: %v", err)
+	}
+}
+
+func TestOntologyTriplesDeterministic(t *testing.T) {
+	o := NewOntology()
+	a := o.DefineVertexType("A")
+	b := o.DefineVertexType("B")
+	e := o.DefineEdgeType("rel")
+	o.AllowSymmetric(a, e, b)
+	t1 := o.Triples()
+	t2 := o.Triples()
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("Triples order is not deterministic")
+	}
+	if len(t1) != 3 { // untyped default + both orientations
+		t.Fatalf("len(Triples) = %d, want 3", len(t1))
+	}
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TypeID identifies a vertex type or an edge type within an Ontology.
+// Type 0 is reserved for "untyped".
+type TypeID int32
+
+// Untyped is the zero TypeID, used for plain (non-semantic) graphs.
+const Untyped TypeID = 0
+
+// Ontology is a semantic-graph blueprint (paper Fig 1.1): it names vertex
+// and edge types and records which (source type, edge type, target type)
+// triples an instance graph may contain. An ontology is itself just a small
+// semantic graph; when used as a blueprint it restricts the topology of
+// instance graphs.
+//
+// Ontology is safe for concurrent use after construction; mutating methods
+// (DefineVertexType, DefineEdgeType, Allow) take an internal lock so an
+// ontology can also be grown while ingestion is running.
+type Ontology struct {
+	mu          sync.RWMutex
+	vertexTypes []string // index = TypeID
+	edgeTypes   []string // index = TypeID
+	vertexIdx   map[string]TypeID
+	edgeIdx     map[string]TypeID
+	allowed     map[ontTriple]bool
+}
+
+type ontTriple struct {
+	src  TypeID
+	edge TypeID
+	dst  TypeID
+}
+
+// NewOntology returns an empty ontology. TypeID 0 is pre-defined as the
+// untyped vertex/edge type, and untyped edges between untyped vertices are
+// always allowed so plain graphs validate trivially.
+func NewOntology() *Ontology {
+	o := &Ontology{
+		vertexTypes: []string{"<untyped>"},
+		edgeTypes:   []string{"<untyped>"},
+		vertexIdx:   map[string]TypeID{"<untyped>": Untyped},
+		edgeIdx:     map[string]TypeID{"<untyped>": Untyped},
+		allowed:     map[ontTriple]bool{{Untyped, Untyped, Untyped}: true},
+	}
+	return o
+}
+
+// DefineVertexType registers (or looks up) a vertex type by name.
+func (o *Ontology) DefineVertexType(name string) TypeID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if id, ok := o.vertexIdx[name]; ok {
+		return id
+	}
+	id := TypeID(len(o.vertexTypes))
+	o.vertexTypes = append(o.vertexTypes, name)
+	o.vertexIdx[name] = id
+	return id
+}
+
+// DefineEdgeType registers (or looks up) an edge type by name.
+func (o *Ontology) DefineEdgeType(name string) TypeID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if id, ok := o.edgeIdx[name]; ok {
+		return id
+	}
+	id := TypeID(len(o.edgeTypes))
+	o.edgeTypes = append(o.edgeTypes, name)
+	o.edgeIdx[name] = id
+	return id
+}
+
+// Allow records that edges of type et may connect a source vertex of type
+// st to a destination vertex of type dt. Semantic edges are typically
+// symmetric relationships, so AllowSymmetric is usually what ingestion
+// pipelines want.
+func (o *Ontology) Allow(st, et, dt TypeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.allowed[ontTriple{st, et, dt}] = true
+}
+
+// AllowSymmetric records both orientations of the triple.
+func (o *Ontology) AllowSymmetric(st, et, dt TypeID) {
+	o.Allow(st, et, dt)
+	o.Allow(dt, et, st)
+}
+
+// Allows reports whether the triple is legal under the ontology.
+func (o *Ontology) Allows(st, et, dt TypeID) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.allowed[ontTriple{st, et, dt}]
+}
+
+// VertexTypeName resolves a vertex TypeID to its name.
+func (o *Ontology) VertexTypeName(id TypeID) (string, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if id < 0 || int(id) >= len(o.vertexTypes) {
+		return "", false
+	}
+	return o.vertexTypes[id], true
+}
+
+// EdgeTypeName resolves an edge TypeID to its name.
+func (o *Ontology) EdgeTypeName(id TypeID) (string, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if id < 0 || int(id) >= len(o.edgeTypes) {
+		return "", false
+	}
+	return o.edgeTypes[id], true
+}
+
+// NumVertexTypes returns the number of registered vertex types, including
+// the reserved untyped type.
+func (o *Ontology) NumVertexTypes() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.vertexTypes)
+}
+
+// NumEdgeTypes returns the number of registered edge types, including the
+// reserved untyped type.
+func (o *Ontology) NumEdgeTypes() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.edgeTypes)
+}
+
+// Triples returns all allowed triples in deterministic order (useful for
+// printing an ontology and in tests).
+func (o *Ontology) Triples() [][3]TypeID {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([][3]TypeID, 0, len(o.allowed))
+	for t := range o.allowed {
+		out = append(out, [3]TypeID{t.src, t.edge, t.dst})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		if out[i][1] != out[j][1] {
+			return out[i][1] < out[j][1]
+		}
+		return out[i][2] < out[j][2]
+	})
+	return out
+}
+
+// TypedEdge is an edge carrying semantic type information for both
+// endpoints and the relationship itself.
+type TypedEdge struct {
+	Edge
+	SrcType  TypeID
+	EdgeType TypeID
+	DstType  TypeID
+}
+
+// ErrOntologyViolation is returned by Validate for edges whose type triple
+// the ontology does not allow.
+var ErrOntologyViolation = errors.New("graph: edge violates ontology")
+
+// Validate checks a typed edge against the ontology.
+func (o *Ontology) Validate(e TypedEdge) error {
+	if err := ValidateEdge(e.Edge); err != nil {
+		return err
+	}
+	if !o.Allows(e.SrcType, e.EdgeType, e.DstType) {
+		sn, _ := o.VertexTypeName(e.SrcType)
+		en, _ := o.EdgeTypeName(e.EdgeType)
+		dn, _ := o.VertexTypeName(e.DstType)
+		return fmt.Errorf("%w: (%s)-[%s]->(%s)", ErrOntologyViolation, sn, en, dn)
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package all registers every built-in GraphDB backend with the graphdb
+// registry, in the manner of image format packages. Import it for side
+// effects:
+//
+//	import _ "mssg/internal/graphdb/all"
+//
+// Registered names: "array", "hashmap", "mysql", "bdb", "stream", "grdb" —
+// the six instances of paper §4.1.
+package all
+
+import (
+	_ "mssg/internal/graphdb/arraydb"
+	_ "mssg/internal/graphdb/btreedb"
+	_ "mssg/internal/graphdb/grdb"
+	_ "mssg/internal/graphdb/hashdb"
+	_ "mssg/internal/graphdb/reldb"
+	_ "mssg/internal/graphdb/streamdb"
+)

@@ -1,0 +1,101 @@
+package arraydb
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+func adjacency(t *testing.T, d *DB, v graph.VertexID) []graph.VertexID {
+	t.Helper()
+	out := graph.NewAdjList(8)
+	if err := graphdb.Adjacency(d, v, out); err != nil {
+		t.Fatalf("Adjacency(%d): %v", v, err)
+	}
+	ids := append([]graph.VertexID(nil), out.IDs()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestCSRLayoutAfterFlush(t *testing.T) {
+	// The Fig 4.1 example graph: adjacency of 0 = {1,2,3}, of 1 = {0,2}.
+	d := New()
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3},
+		{Src: 1, Dst: 0}, {Src: 1, Dst: 2},
+		{Src: 3, Dst: 0},
+	}
+	if err := d.StoreEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := adjacency(t, d, 0); !reflect.DeepEqual(got, []graph.VertexID{1, 2, 3}) {
+		t.Fatalf("adj(0) = %v", got)
+	}
+	if got := adjacency(t, d, 1); !reflect.DeepEqual(got, []graph.VertexID{0, 2}) {
+		t.Fatalf("adj(1) = %v", got)
+	}
+	// Vertex 2 exists (as a destination) but has no out-edges.
+	if got := adjacency(t, d, 2); len(got) != 0 {
+		t.Fatalf("adj(2) = %v, want empty", got)
+	}
+}
+
+func TestAdjacencyBeforeFlushRejected(t *testing.T) {
+	// CSR is static: the paper's prototype stages through a hash table
+	// and compacts at flush; reading with staged edges is a bug.
+	d := New()
+	if err := d.StoreEdges([]graph.Edge{{Src: 0, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := graph.NewAdjList(2)
+	if err := d.AdjacencyUsingMetadata(0, out, 0, graphdb.MetaIgnore); err == nil {
+		t.Fatal("adjacency with staged edges succeeded")
+	}
+}
+
+func TestIncrementalFlushesMerge(t *testing.T) {
+	// Multiple store+flush rounds must accumulate, not replace.
+	d := New()
+	if err := d.StoreEdges([]graph.Edge{{Src: 5, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StoreEdges([]graph.Edge{{Src: 5, Dst: 2}, {Src: 9, Dst: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := adjacency(t, d, 5); !reflect.DeepEqual(got, []graph.VertexID{1, 2}) {
+		t.Fatalf("adj(5) after two flushes = %v", got)
+	}
+	if got := adjacency(t, d, 9); !reflect.DeepEqual(got, []graph.VertexID{5}) {
+		t.Fatalf("adj(9) = %v", got)
+	}
+	// The second flush grew the ID space from 6 to 10 vertices.
+	if got := adjacency(t, d, 8); len(got) != 0 {
+		t.Fatalf("adj(8) = %v", got)
+	}
+}
+
+func TestEmptyFlushIsNoOp(t *testing.T) {
+	d := New()
+	if err := d.Flush(); err != nil {
+		t.Fatalf("empty flush: %v", err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("second empty flush: %v", err)
+	}
+	out := graph.NewAdjList(2)
+	if err := graphdb.Adjacency(d, 0, out); err != nil {
+		t.Fatalf("adjacency on empty DB: %v", err)
+	}
+}

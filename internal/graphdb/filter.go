@@ -1,0 +1,22 @@
+package graphdb
+
+import "mssg/internal/graph"
+
+// FilterAppend applies the Listing 3.1 metadata filter to a candidate
+// neighbour set: each neighbour whose metadata passes (op, ref) is
+// appended to out. It returns the number appended. Shared by every
+// backend so filter semantics cannot drift between implementations.
+func FilterAppend(mm *MetaMap, neighbors []graph.VertexID, out *graph.AdjList, ref int32, op MetaOp) int64 {
+	if op == MetaIgnore {
+		out.AppendAll(neighbors)
+		return int64(len(neighbors))
+	}
+	var n int64
+	for _, u := range neighbors {
+		if op.Matches(mm.Get(u), ref) {
+			out.Append(u)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+// Package graphdb defines the GraphDB Service interface (paper §3.4,
+// Listing 3.1): the smallest complete set of local graph-storage
+// operations — store edges, get/set per-vertex metadata, and retrieve
+// metadata-filtered adjacency lists — plus a registry of the six concrete
+// implementations from §4.1 (Array, HashMap, MySQL-substitute,
+// BerkeleyDB-substitute, StreamDB, grDB).
+//
+// None of these methods communicate: every implementation operates only on
+// data local to its back-end node, exactly as the paper specifies. The
+// Query Service (package query) handles all distribution concerns.
+package graphdb
+
+import (
+	"errors"
+	"fmt"
+
+	"mssg/internal/graph"
+)
+
+// MetaOp selects how AdjacencyUsingMetadata filters neighbours by their
+// metadata, using the operation encoding from Listing 3.1.
+type MetaOp int32
+
+const (
+	// MetaIgnore returns all neighbours regardless of metadata (-2).
+	MetaIgnore MetaOp = -2
+	// MetaNotEqual returns neighbours whose metadata != the input (-1).
+	MetaNotEqual MetaOp = -1
+	// MetaEqual returns neighbours whose metadata == the input (0).
+	MetaEqual MetaOp = 0
+	// MetaGreater returns neighbours whose metadata > the input (1).
+	MetaGreater MetaOp = 1
+	// MetaLess returns neighbours whose metadata < the input (2).
+	MetaLess MetaOp = 2
+)
+
+func (op MetaOp) String() string {
+	switch op {
+	case MetaIgnore:
+		return "ignore"
+	case MetaNotEqual:
+		return "!="
+	case MetaEqual:
+		return "=="
+	case MetaGreater:
+		return ">"
+	case MetaLess:
+		return "<"
+	}
+	return fmt.Sprintf("MetaOp(%d)", int32(op))
+}
+
+// Matches applies the operator: does a neighbour with metadata md pass a
+// filter with reference value ref?
+func (op MetaOp) Matches(md, ref int32) bool {
+	switch op {
+	case MetaIgnore:
+		return true
+	case MetaNotEqual:
+		return md != ref
+	case MetaEqual:
+		return md == ref
+	case MetaGreater:
+		return md > ref
+	case MetaLess:
+		return md < ref
+	}
+	return false
+}
+
+// ErrClosed is returned by operations on a closed database.
+var ErrClosed = errors.New("graphdb: database closed")
+
+// Stats reports logical work done by a Graph instance.
+type Stats struct {
+	// EdgesStored counts edges accepted by StoreEdges.
+	EdgesStored int64
+	// AdjacencyCalls counts adjacency-list retrievals.
+	AdjacencyCalls int64
+	// NeighborsReturned counts neighbours produced by retrievals.
+	NeighborsReturned int64
+}
+
+// Graph is the GraphDB Service interface (Listing 3.1). Implementations
+// are not safe for concurrent use; MSSG gives each back-end node its own
+// instance driven by that node's service goroutine.
+type Graph interface {
+	// StoreEdges adds a batch of directed adjacency records.
+	StoreEdges(edges []graph.Edge) error
+
+	// Metadata returns vertex v's metadata word (0 if never set).
+	Metadata(v graph.VertexID) (int32, error)
+
+	// SetMetadata sets vertex v's metadata word.
+	SetMetadata(v graph.VertexID, md int32) error
+
+	// AdjacencyUsingMetadata appends v's distance-1 neighbours that pass
+	// the (md, op) filter to out. Vertices this instance has never seen
+	// yield no neighbours and no error (the paper's algorithms rely on
+	// the empty set for non-local vertices, §4.2).
+	AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int32, op MetaOp) error
+
+	// Flush makes all stored edges durable/visible for retrieval.
+	Flush() error
+
+	// Close flushes and releases resources.
+	Close() error
+
+	// Stats reports logical operation counts.
+	Stats() Stats
+}
+
+// Adjacency retrieves the unfiltered adjacency list of v (MetaIgnore).
+func Adjacency(g Graph, v graph.VertexID, out *graph.AdjList) error {
+	return g.AdjacencyUsingMetadata(v, out, 0, MetaIgnore)
+}
+
+// BatchGraph is an optional extension for storage formats that answer a
+// whole fringe in one pass. StreamDB implements it: its append-only log
+// cannot serve per-vertex lookups without a full scan, so the search
+// algorithm posts all fringe vertices at once (paper §4.1.5).
+type BatchGraph interface {
+	// AdjacencyBatch retrieves adjacency for every fringe vertex,
+	// filtered exactly like AdjacencyUsingMetadata, appending all
+	// surviving neighbours to out.
+	AdjacencyBatch(fringe []graph.VertexID, out *graph.AdjList, md int32, op MetaOp) error
+}
+
+// AdjacencyBatch expands a whole fringe: it uses the BatchGraph fast path
+// when g provides one and falls back to per-vertex retrieval otherwise.
+func AdjacencyBatch(g Graph, fringe []graph.VertexID, out *graph.AdjList, md int32, op MetaOp) error {
+	if bg, ok := g.(BatchGraph); ok {
+		return bg.AdjacencyBatch(fringe, out, md, op)
+	}
+	for _, v := range fringe {
+		if err := g.AdjacencyUsingMetadata(v, out, md, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prefetcher is an optional extension for backends that can warm their
+// caches for a whole fringe with offset-sorted reads before expansion
+// (the pre-fetching optimization of paper §4.2). It returns the number
+// of blocks touched.
+type Prefetcher interface {
+	PrefetchAdjacency(fringe []graph.VertexID) (int, error)
+}
+
+// IOCounters is an optional extension reporting physical I/O for
+// out-of-core implementations.
+type IOCounters interface {
+	IOCounters() (blockReads, blockWrites int64)
+}
+
+// CacheStats is an optional extension exposing block-cache behaviour.
+type CacheStats interface {
+	CacheStats() (hits, misses int64)
+}

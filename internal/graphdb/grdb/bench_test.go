@@ -1,0 +1,83 @@
+package grdb
+
+import (
+	"testing"
+
+	"mssg/internal/gen"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+func benchDB(b *testing.B) *DB {
+	b.Helper()
+	d, err := Open(graphdb.Options{Dir: b.TempDir(), CacheBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { d.Close() })
+	return d
+}
+
+// BenchmarkStoreEdgesBatch measures windowed ingestion into the default
+// 6-level ladder.
+func BenchmarkStoreEdgesBatch(b *testing.B) {
+	edges, err := gen.Generate(gen.Config{Name: "b", Vertices: 20000, M: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := benchDB(b)
+		b.StartTimer()
+		for lo := 0; lo < len(edges); lo += 4096 {
+			hi := lo + 4096
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			if err := d.StoreEdges(edges[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(len(edges)) * 16)
+}
+
+// BenchmarkAdjacencyWalk measures chain reads across the degree
+// spectrum (low-degree level-0 hits and hub chains).
+func BenchmarkAdjacencyWalk(b *testing.B) {
+	edges, err := gen.Generate(gen.Config{Name: "b", Vertices: 20000, M: 5, HubFraction: 0.1, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := benchDB(b)
+	if err := d.StoreEdges(edges); err != nil {
+		b.Fatal(err)
+	}
+	out := graph.NewAdjList(4096)
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		out.Reset()
+		if err := graphdb.Adjacency(d, graph.VertexID(i%20000), out); err != nil {
+			b.Fatal(err)
+		}
+		total += int64(out.Len())
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "neighbors/op")
+}
+
+// BenchmarkFillPoint measures the binary-search fill probe on the
+// largest sub-block size.
+func BenchmarkFillPoint(b *testing.B) {
+	sub := make([]byte, 16384*wordBytes)
+	for i := 0; i < 10000; i++ {
+		setWord(sub, i, encodeNeighbor(graph.VertexID(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fillPoint(sub) != 10000 {
+			b.Fatal("wrong fill point")
+		}
+	}
+}

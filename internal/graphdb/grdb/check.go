@@ -1,0 +1,122 @@
+package grdb
+
+import (
+	"fmt"
+
+	"mssg/internal/graph"
+)
+
+// CheckReport summarizes a storage integrity scan.
+type CheckReport struct {
+	// Vertices is the number of vertices with stored adjacency.
+	Vertices int64
+	// Edges is the total number of stored neighbour entries.
+	Edges int64
+	// Chains is the total number of chain sub-blocks in use (excluding
+	// empty level-0 sub-blocks).
+	Chains int64
+	// MaxChain is the longest chain encountered.
+	MaxChain int
+	// LevelSubBlocks[ℓ] counts live sub-blocks per level.
+	LevelSubBlocks []int64
+}
+
+// Check walks every vertex chain and validates the storage invariants
+// the format relies on (a database fsck):
+//
+//   - every pointer targets a level inside the ladder and a sub-block
+//     below that level's allocation high-water mark;
+//   - no chain revisits a sub-block (no cycles);
+//   - slots fill contiguously: no neighbour word follows an empty slot;
+//   - every stored neighbour ID is a legal 61-bit vertex.
+//
+// It returns a report, or the first violation found.
+func (d *DB) Check() (CheckReport, error) {
+	if d.closed {
+		return CheckReport{}, fmt.Errorf("grdb: check on closed database")
+	}
+	report := CheckReport{LevelSubBlocks: make([]int64, len(d.levels))}
+	for v := graph.VertexID(0); v <= d.maxVertex; v++ {
+		visited := make(map[tailPos]bool)
+		ℓ, s := 0, int64(v)
+		hops := 0
+		for {
+			pos := tailPos{level: ℓ, sub: s}
+			if visited[pos] {
+				return report, fmt.Errorf("grdb: vertex %d: chain cycle at level %d sub-block %d", v, ℓ, s)
+			}
+			visited[pos] = true
+
+			h, sub, err := d.subBlock(ℓ, s)
+			if err != nil {
+				return report, err
+			}
+			capSlots := d.levels[ℓ].d
+			fill := fillPoint(sub)
+
+			// Contiguity: every word past the fill point must be empty.
+			for i := fill; i < capSlots; i++ {
+				if getWord(sub, i) != wordEmpty {
+					h.Release()
+					return report, fmt.Errorf("grdb: vertex %d: level %d sub-block %d has data after fill point %d",
+						v, ℓ, s, fill)
+				}
+			}
+			if fill == 0 {
+				h.Release()
+				break
+			}
+			if hops == 0 {
+				report.Vertices++
+			}
+			hops++
+			report.Chains++
+			report.LevelSubBlocks[ℓ]++
+
+			n := fill
+			var next uint64
+			if fill == capSlots {
+				if last := getWord(sub, capSlots-1); isPointer(last) {
+					n = capSlots - 1
+					next = last
+				}
+			}
+			for i := 0; i < n; i++ {
+				w := getWord(sub, i)
+				if isPointer(w) {
+					h.Release()
+					return report, fmt.Errorf("grdb: vertex %d: level %d sub-block %d slot %d holds a pointer before the last slot",
+						v, ℓ, s, i)
+				}
+				u := decodeNeighbor(w)
+				if !u.Valid() {
+					h.Release()
+					return report, fmt.Errorf("grdb: vertex %d: invalid stored neighbour %d", v, u)
+				}
+				report.Edges++
+			}
+			if err := h.Release(); err != nil {
+				return report, err
+			}
+			if next == 0 {
+				break
+			}
+			nl, ns := decodePointer(next)
+			if nl < 0 || nl >= len(d.levels) {
+				return report, fmt.Errorf("grdb: vertex %d: pointer to level %d outside ladder", v, nl)
+			}
+			if nl == 0 {
+				return report, fmt.Errorf("grdb: vertex %d: pointer back into level 0", v)
+			}
+			if ns < 0 || ns >= d.nextFree[nl] {
+				return report, fmt.Errorf("grdb: vertex %d: pointer to unallocated level-%d sub-block %d (high-water %d)",
+					v, nl, ns, d.nextFree[nl])
+			}
+			ℓ, s = nl, ns
+		}
+		if hops > report.MaxChain {
+			report.MaxChain = hops
+		}
+	}
+	return report, nil
+}

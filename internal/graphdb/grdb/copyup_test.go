@@ -1,0 +1,236 @@
+package grdb
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+func openTinyCopyUp(t *testing.T) *DB {
+	t.Helper()
+	d, err := Open(graphdb.Options{
+		Dir:              t.TempDir(),
+		CacheBytes:       1 << 20,
+		MaxFileBytes:     4096,
+		Levels:           tinyLevels(),
+		CopyUpOnOverflow: true,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// TestCopyUpCorrectness runs the same degree boundaries as the link-mode
+// test: both overflow strategies must store identical adjacency.
+func TestCopyUpCorrectness(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 12, 13, 20, 40, 100} {
+		d := openTinyCopyUp(t)
+		want := storeN(t, d, 7, n)
+		got := neighbors(t, d, 7)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("degree %d: got %d neighbours, want %d: %v", n, len(got), n, got)
+		}
+	}
+}
+
+// TestCopyUpIncrementalKeepsChainsShort is the strategy's point: even
+// one-edge-at-a-time ingestion leaves at most level-0 + one tail until
+// the ladder tops out.
+func TestCopyUpIncrementalKeepsChainsShort(t *testing.T) {
+	d := openTinyCopyUp(t)
+	var want []graph.VertexID
+	// d = 2,4,8: degrees up to 1 + 3 + 8 = fully inside the ladder reach
+	// only need two chain blocks.
+	for i := 0; i < 9; i++ {
+		u := graph.VertexID(200 + i)
+		want = append(want, u)
+		if err := d.StoreEdges([]graph.Edge{{Src: 3, Dst: u}}); err != nil {
+			t.Fatalf("StoreEdges #%d: %v", i, err)
+		}
+		got := neighbors(t, d, 3)
+		sortedWant := append([]graph.VertexID(nil), want...)
+		sort.Slice(sortedWant, func(a, b int) bool { return sortedWant[a] < sortedWant[b] })
+		if !reflect.DeepEqual(got, sortedWant) {
+			t.Fatalf("after %d stores: got %v, want %v", i+1, got, sortedWant)
+		}
+		hops, err := d.ChainLength(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hops > 2 {
+			t.Fatalf("degree %d: chain length %d, copy-up must keep it <= 2", i+1, hops)
+		}
+	}
+
+	// Compare with link mode at the same degree: the link chain is
+	// strictly longer.
+	dl := openTiny(t, 1<<20)
+	for i := 0; i < 9; i++ {
+		if err := dl.StoreEdges([]graph.Edge{{Src: 3, Dst: graph.VertexID(200 + i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	linkHops, err := dl.ChainLength(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linkHops <= 2 {
+		t.Fatalf("link-mode chain is %d hops; expected > 2 for this workload", linkHops)
+	}
+}
+
+// TestCopyUpCheckInvariants: the fsck must accept copy-up databases
+// (abandoned sub-blocks are unreachable, not violations).
+func TestCopyUpCheckInvariants(t *testing.T) {
+	d := openTinyCopyUp(t)
+	var edges []graph.Edge
+	for v := graph.VertexID(0); v < 20; v++ {
+		for i := 0; i <= int(v); i++ {
+			edges = append(edges, graph.Edge{Src: v, Dst: graph.VertexID(500 + i)})
+		}
+	}
+	// One edge per batch: maximum overflow churn.
+	for _, e := range edges {
+		if err := d.StoreEdges([]graph.Edge{e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := d.Check()
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if rep.Edges != int64(len(edges)) {
+		t.Fatalf("Check counted %d edges, want %d", rep.Edges, len(edges))
+	}
+
+	// Same workload in link mode: copy-up must produce strictly shorter
+	// worst-case chains (once the ladder tops out both chain at the top
+	// level, so copy-up is shorter, not constant).
+	dl := openTiny(t, 1<<20)
+	for _, e := range edges {
+		if err := dl.StoreEdges([]graph.Edge{e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	linkRep, err := dl.Check()
+	if err != nil {
+		t.Fatalf("link Check: %v", err)
+	}
+	if rep.MaxChain >= linkRep.MaxChain {
+		t.Fatalf("copy-up MaxChain = %d, link MaxChain = %d; copy-up must be shorter",
+			rep.MaxChain, linkRep.MaxChain)
+	}
+}
+
+// TestCopyUpPersistence: reopened copy-up databases keep working.
+func TestCopyUpPersistence(t *testing.T) {
+	dir := t.TempDir()
+	opts := graphdb.Options{
+		Dir: dir, MaxFileBytes: 4096, Levels: tinyLevels(), CopyUpOnOverflow: true,
+	}
+	d, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := storeN(t, d, 5, 9)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if got := neighbors(t, d2, 5); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after reopen: %v, want %v", got, want)
+	}
+	// Continue appending past another overflow.
+	extra := storeN(t, d2, 5, 0)
+	_ = extra
+	for i := 0; i < 10; i++ {
+		if err := d2.StoreEdges([]graph.Edge{{Src: 5, Dst: graph.VertexID(3000 + i)}}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, graph.VertexID(3000+i))
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if got := neighbors(t, d2, 5); !reflect.DeepEqual(got, want) {
+		t.Fatalf("append after reopen: %v, want %v", got, want)
+	}
+}
+
+// TestQuickCopyUpInvariant mirrors the link-mode property test under the
+// copy-up strategy.
+func TestQuickCopyUpInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	check := func(degreesRaw []uint8) bool {
+		d, err := Open(graphdb.Options{
+			Dir:              t.TempDir(),
+			MaxFileBytes:     4096,
+			Levels:           tinyLevels(),
+			CopyUpOnOverflow: true,
+		})
+		if err != nil {
+			return false
+		}
+		defer d.Close()
+		want := make(map[graph.VertexID][]graph.VertexID)
+		for vi, deg := range degreesRaw {
+			v := graph.VertexID(vi)
+			// Store one edge at a time: maximum overflow churn.
+			for i := 0; i < int(deg); i++ {
+				u := graph.VertexID(10000 + i)
+				if err := d.StoreEdges([]graph.Edge{{Src: v, Dst: u}}); err != nil {
+					return false
+				}
+				want[v] = append(want[v], u)
+			}
+		}
+		for v, w := range want {
+			out := graph.NewAdjList(len(w))
+			if err := graphdb.Adjacency(d, v, out); err != nil {
+				return false
+			}
+			got := append([]graph.VertexID(nil), out.IDs()...)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+			if !reflect.DeepEqual(got, w) {
+				return false
+			}
+		}
+		_, err = d.Check()
+		return err == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefragmentAfterCopyUp: the two maintenance paths compose.
+func TestDefragmentAfterCopyUp(t *testing.T) {
+	d := openTinyCopyUp(t)
+	for i := 0; i < 60; i++ {
+		if err := d.StoreEdges([]graph.Edge{{Src: 1, Dst: graph.VertexID(700 + i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := neighbors(t, d, 1)
+	if _, err := d.Defragment(); err != nil {
+		t.Fatalf("Defragment on copy-up DB: %v", err)
+	}
+	if got := neighbors(t, d, 1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("defragment corrupted copy-up adjacency")
+	}
+	if _, err := d.Check(); err != nil {
+		t.Fatalf("Check after defragment: %v", err)
+	}
+}

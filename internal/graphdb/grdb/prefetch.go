@@ -1,0 +1,102 @@
+package grdb
+
+import (
+	"sort"
+
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+// Prefetching (§4.2, future work): "The performance of these algorithms
+// can be further optimized by introducing some pre-fetching of the
+// adjacency lists of the vertices in the frontier. Further optimization
+// ... might include sorting the pre-fetch disk accesses by file offsets
+// to reduce the seek overhead." PrefetchAdjacency implements exactly
+// that: it walks the fringe's chains breadth-first — one chain depth per
+// wave — warming the block cache with each wave's blocks in file-offset
+// order, so random fringe access becomes near-sequential I/O.
+
+// blockRef identifies one block for the prefetch sweep.
+type blockRef struct {
+	level int
+	block int64
+}
+
+// PrefetchAdjacency warms the cache for the adjacency chains of the
+// given vertices, reading blocks in file-offset order. It returns the
+// number of distinct blocks touched.
+func (d *DB) PrefetchAdjacency(fringe []graph.VertexID) (int, error) {
+	if d.closed {
+		return 0, graphdb.ErrClosed
+	}
+	// Chain positions at the current depth; depth 0 is the level-0
+	// sub-block of every fringe vertex.
+	positions := make([]tailPos, 0, len(fringe))
+	for _, v := range fringe {
+		if uint64(v) <= maxStoreable {
+			positions = append(positions, tailPos{level: 0, sub: int64(v)})
+		}
+	}
+	seen := make(map[blockRef]bool)
+	touched := 0
+	for len(positions) > 0 {
+		// Warm this depth's blocks in offset order.
+		var wave []blockRef
+		for _, pos := range positions {
+			ref := blockRef{level: pos.level, block: pos.sub / d.levels[pos.level].k}
+			if !seen[ref] {
+				seen[ref] = true
+				wave = append(wave, ref)
+			}
+		}
+		sort.Slice(wave, func(i, j int) bool {
+			if wave[i].level != wave[j].level {
+				return wave[i].level < wave[j].level
+			}
+			return wave[i].block < wave[j].block
+		})
+		for _, ref := range wave {
+			h, err := d.cache.Get(uint32(ref.level), ref.block)
+			if err != nil {
+				return touched, err
+			}
+			if err := h.Release(); err != nil {
+				return touched, err
+			}
+			touched++
+		}
+		// Advance every chain one hop.
+		var next []tailPos
+		for _, pos := range positions {
+			np, ok, err := d.continuation(pos.level, pos.sub)
+			if err != nil {
+				return touched, err
+			}
+			if ok {
+				next = append(next, np)
+			}
+		}
+		positions = next
+	}
+	return touched, nil
+}
+
+// continuation returns the continuation pointer of sub-block (ℓ, s), if
+// any.
+func (d *DB) continuation(ℓ int, s int64) (tailPos, bool, error) {
+	h, sub, err := d.subBlock(ℓ, s)
+	if err != nil {
+		return tailPos{}, false, err
+	}
+	defer h.Release()
+	capSlots := d.levels[ℓ].d
+	if fillPoint(sub) != capSlots {
+		return tailPos{}, false, nil
+	}
+	last := getWord(sub, capSlots-1)
+	if !isPointer(last) {
+		return tailPos{}, false, nil
+	}
+	nl, ns := decodePointer(last)
+	return tailPos{level: nl, sub: ns}, true, nil
+}

@@ -1,0 +1,100 @@
+// Package hashdb is the HashMap GraphDB instance (paper §4.1.2, Fig 4.2):
+// each vertex's adjacency list is stored as its own growable array, and a
+// hash table maps global vertex IDs to those arrays. Retrieval pays one
+// hash lookup per vertex — the overhead the paper measures against Array —
+// but the structure grows dynamically during ingestion and its memory use
+// scales down as back-end nodes are added.
+package hashdb
+
+import (
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+func init() {
+	graphdb.Register("hashmap", func(opts graphdb.Options) (graphdb.Graph, error) {
+		return New(), nil
+	})
+}
+
+// DB is an in-memory hash-of-adjacency-lists graph store.
+type DB struct {
+	meta   *graphdb.MetaMap
+	lists  map[graph.VertexID][]graph.VertexID
+	closed bool
+	stats  graphdb.Stats
+}
+
+// New returns an empty HashMap instance.
+func New() *DB {
+	return &DB{
+		meta:  graphdb.NewMetaMap(),
+		lists: make(map[graph.VertexID][]graph.VertexID),
+	}
+}
+
+// StoreEdges implements graphdb.Graph.
+func (d *DB) StoreEdges(edges []graph.Edge) error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	for _, e := range edges {
+		if err := graph.ValidateEdge(e); err != nil {
+			return err
+		}
+		d.lists[e.Src] = append(d.lists[e.Src], e.Dst)
+		d.stats.EdgesStored++
+	}
+	return nil
+}
+
+// Metadata implements graphdb.Graph.
+func (d *DB) Metadata(v graph.VertexID) (int32, error) {
+	if d.closed {
+		return 0, graphdb.ErrClosed
+	}
+	return d.meta.Get(v), nil
+}
+
+// SetMetadata implements graphdb.Graph.
+func (d *DB) SetMetadata(v graph.VertexID, md int32) error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	d.meta.Set(v, md)
+	return nil
+}
+
+// AdjacencyUsingMetadata implements graphdb.Graph.
+func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int32, op graphdb.MetaOp) error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	d.stats.AdjacencyCalls++
+	neighbors, ok := d.lists[v]
+	if !ok {
+		return nil
+	}
+	d.stats.NeighborsReturned += graphdb.FilterAppend(d.meta, neighbors, out, md, op)
+	return nil
+}
+
+// Flush implements graphdb.Graph (a no-op: the structure is always live).
+func (d *DB) Flush() error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	return nil
+}
+
+// Close implements graphdb.Graph.
+func (d *DB) Close() error {
+	d.closed = true
+	return nil
+}
+
+// Stats implements graphdb.Graph.
+func (d *DB) Stats() graphdb.Stats { return d.stats }
+
+// ResetMetadata clears all metadata between queries.
+func (d *DB) ResetMetadata() { d.meta.Reset() }

@@ -1,0 +1,77 @@
+package hashdb
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+func TestDynamicGrowthNoFlushNeeded(t *testing.T) {
+	// Unlike Array, HashMap serves adjacency immediately after stores —
+	// the dynamic-growth property §4.1.2 highlights.
+	d := New()
+	if err := d.StoreEdges([]graph.Edge{{Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	out := graph.NewAdjList(4)
+	if err := graphdb.Adjacency(d, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.At(0) != 2 {
+		t.Fatalf("adjacency = %v", out.IDs())
+	}
+	// Growth continues interleaved with reads.
+	if err := d.StoreEdges([]graph.Edge{{Src: 1, Dst: 3}, {Src: 1, Dst: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := graphdb.Adjacency(d, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	got := append([]graph.VertexID(nil), out.IDs()...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, []graph.VertexID{2, 3, 4}) {
+		t.Fatalf("adjacency after growth = %v", got)
+	}
+}
+
+func TestSparseGlobalIDs(t *testing.T) {
+	// HashMap stores only present vertices: huge sparse IDs must not
+	// allocate proportional memory (the §4.1.2 scaling advantage).
+	d := New()
+	ids := []graph.VertexID{0, 1 << 40, graph.MaxVertexID - 1}
+	for _, v := range ids {
+		if err := d.StoreEdges([]graph.Edge{{Src: v, Dst: 7}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range ids {
+		out := graph.NewAdjList(1)
+		if err := graphdb.Adjacency(d, v, out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != 1 || out.At(0) != 7 {
+			t.Fatalf("adjacency(%d) = %v", v, out.IDs())
+		}
+	}
+	if d.Stats().EdgesStored != 3 {
+		t.Fatalf("EdgesStored = %d", d.Stats().EdgesStored)
+	}
+}
+
+func TestFlushIsNoOp(t *testing.T) {
+	d := New()
+	if err := d.StoreEdges([]graph.Edge{{Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	out := graph.NewAdjList(1)
+	if err := graphdb.Adjacency(d, 1, out); err != nil || out.Len() != 1 {
+		t.Fatalf("adjacency after flush: %v %v", out.IDs(), err)
+	}
+}

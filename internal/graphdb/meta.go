@@ -1,0 +1,46 @@
+package graphdb
+
+import "mssg/internal/graph"
+
+// MetaMap is the in-memory per-vertex metadata table shared by the GraphDB
+// implementations. The paper's search experiments deliberately fix the
+// visited/metadata structure in memory "to characterize the operation of
+// the actual graph storage" (chapter 5); implementations embed a MetaMap
+// so the adjacency storage is the only variable. Unset vertices read as 0,
+// matching the Java prototype's default int.
+type MetaMap struct {
+	m map[graph.VertexID]int32
+}
+
+// NewMetaMap returns an empty metadata table.
+func NewMetaMap() *MetaMap {
+	return &MetaMap{m: make(map[graph.VertexID]int32)}
+}
+
+// Get returns v's metadata (0 if unset).
+func (mm *MetaMap) Get(v graph.VertexID) int32 { return mm.m[v] }
+
+// Set stores v's metadata.
+func (mm *MetaMap) Set(v graph.VertexID, md int32) { mm.m[v] = md }
+
+// Reset clears all metadata (between queries).
+func (mm *MetaMap) Reset() { clear(mm.m) }
+
+// Len returns the number of vertices with explicitly set metadata.
+func (mm *MetaMap) Len() int { return len(mm.m) }
+
+// MetadataResetter is implemented by backends whose metadata table can be
+// cleared wholesale between queries (all of the built-in ones).
+type MetadataResetter interface {
+	ResetMetadata()
+}
+
+// ResetMetadata clears g's metadata table if the backend supports it and
+// reports whether it did.
+func ResetMetadata(g Graph) bool {
+	if r, ok := g.(MetadataResetter); ok {
+		r.ResetMetadata()
+		return true
+	}
+	return false
+}

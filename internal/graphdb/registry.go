@@ -1,0 +1,97 @@
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures a GraphDB instance at open time. Fields irrelevant to
+// a backend are ignored by it (the in-memory backends have no directory or
+// cache, for example).
+type Options struct {
+	// Dir is the working directory for out-of-core backends. Each
+	// instance owns its directory.
+	Dir string
+
+	// CacheBytes is the block/page cache budget for out-of-core backends:
+	// 0 selects the backend default, a negative value disables caching
+	// (the paper's Figure 5.2 "without cache" configuration).
+	CacheBytes int64
+
+	// MaxFileBytes is grDB's per-file cap M (paper: 256 MB). 0 selects
+	// the default.
+	MaxFileBytes int64
+
+	// Levels overrides grDB's level ladder for ablation studies. Nil
+	// selects the prototype ladder from §4.1.6 (d = 2,4,16,256,4K,16K;
+	// B = 4 KB ×4, 32 KB, 256 KB).
+	Levels []LevelSpec
+
+	// CopyUpOnOverflow selects grDB's alternative overflow strategy
+	// (§3.4.1): when a vertex outgrows a sub-block, move that sub-block's
+	// contents into the newly allocated larger one instead of linking to
+	// it — extra copying at insertion time buys shorter chains at read
+	// time. False (the prototype's choice) links and leaves
+	// defragmentation to idle time.
+	CopyUpOnOverflow bool
+
+	// SimReadLatency / SimWriteLatency add a simulated device delay to
+	// every physical block operation of an out-of-core backend (StreamDB
+	// charges them per 256 KB of sequential transfer). The experiment
+	// harness uses these to model the paper's cluster disks on a single
+	// machine; see blockio.Store.SimulateLatency.
+	SimReadLatency  time.Duration
+	SimWriteLatency time.Duration
+}
+
+// LevelSpec describes one grDB storage level.
+type LevelSpec struct {
+	// SubBlockCap is d_ℓ: the neighbour capacity of one sub-block.
+	SubBlockCap int
+	// BlockBytes is B_ℓ: the block size at this level.
+	BlockBytes int
+}
+
+// OpenFunc opens one backend instance.
+type OpenFunc func(opts Options) (Graph, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]OpenFunc)
+)
+
+// Register adds a backend under a name. Backend packages call this from
+// init; import mssg/internal/graphdb/all to get every backend.
+func Register(name string, open OpenFunc) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("graphdb: backend %q registered twice", name))
+	}
+	registry[name] = open
+}
+
+// Open opens a registered backend by name.
+func Open(name string, opts Options) (Graph, error) {
+	registryMu.RLock()
+	open, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("graphdb: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return open(opts)
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

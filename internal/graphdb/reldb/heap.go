@@ -1,0 +1,174 @@
+// Package reldb is the MySQL GraphDB instance of the paper (§4.1.3,
+// Fig 4.3), rebuilt from scratch as a miniature relational storage engine
+// so the baseline's characteristic overheads are reproduced rather than
+// hand-waved:
+//
+//   - rows live in a slotted-page heap file,
+//   - a B-tree primary index maps (source vertex, chunk id) → row location,
+//   - every mutation is written to a write-ahead log first, and
+//   - all requests pass through a textual statement layer: the client side
+//     renders INSERT/SELECT statements (BLOBs hex-encoded, as in MySQL's
+//     classic text protocol) and the server side parses them back before
+//     touching storage.
+//
+// The schema is the paper's: a table keyed by source vertex with a
+// bookkeeping chunk column and an ~8 KB BLOB holding a slice of the
+// adjacency list, split over multiple rows for high-degree vertices.
+package reldb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mssg/internal/storage/blockio"
+	"mssg/internal/storage/cache"
+)
+
+const (
+	heapPageSize = 16 * 1024
+	// Row cell: vertex int64 | chunk uint32 | blobLen uint16 | blob.
+	rowHeader      = 8 + 4 + 2
+	heapHeaderSize = 4 // nrows uint16 | freeStart uint16
+	heapSlotSize   = 2
+)
+
+// rowRef locates a row: heap page id and slot index.
+type rowRef struct {
+	page int64
+	slot int
+}
+
+func (r rowRef) encode() []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(r.page))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(r.slot))
+	return b
+}
+
+func decodeRowRef(b []byte) (rowRef, error) {
+	if len(b) != 8 {
+		return rowRef{}, fmt.Errorf("reldb: row ref is %d bytes, want 8", len(b))
+	}
+	return rowRef{
+		page: int64(binary.LittleEndian.Uint32(b[0:4])),
+		slot: int(binary.LittleEndian.Uint32(b[4:8])),
+	}, nil
+}
+
+// row is one record of the adjacency table.
+type row struct {
+	vertex int64
+	chunk  uint32
+	blob   []byte
+}
+
+// heap is the slotted-page row store.
+type heap struct {
+	store *blockio.Store
+	cache *cache.BlockCache
+	space uint32
+
+	// tail is the page currently taking inserts; numPages the allocation
+	// high-water mark. Persisted via the DB manifest.
+	tail     int64
+	numPages int64
+}
+
+func openHeap(store *blockio.Store, c *cache.BlockCache, space uint32, tail, numPages int64) (*heap, error) {
+	if err := c.AttachSpace(space, store); err != nil {
+		return nil, err
+	}
+	h := &heap{store: store, cache: c, space: space, tail: tail, numPages: numPages}
+	if h.numPages == 0 {
+		if err := h.addPage(); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+func (h *heap) addPage() error {
+	id := h.numPages
+	h.numPages++
+	ph, err := h.cache.Get(h.space, id)
+	if err != nil {
+		return err
+	}
+	p := ph.Data()
+	for i := range p {
+		p[i] = 0
+	}
+	binary.LittleEndian.PutUint16(p[2:4], heapHeaderSize)
+	ph.MarkDirty()
+	h.tail = id
+	return ph.Release()
+}
+
+// insert appends a row, returning its location. Rows are immutable; a
+// "grown" BLOB is written as a new row version and the index repointed
+// (dead versions linger, as in a heap without vacuum).
+func (h *heap) insert(r row) (rowRef, error) {
+	need := rowHeader + len(r.blob) + heapSlotSize
+	if heapHeaderSize+need > heapPageSize {
+		return rowRef{}, fmt.Errorf("reldb: row of %d bytes exceeds page capacity", len(r.blob))
+	}
+	ph, err := h.cache.Get(h.space, h.tail)
+	if err != nil {
+		return rowRef{}, err
+	}
+	p := ph.Data()
+	nrows := int(binary.LittleEndian.Uint16(p[0:2]))
+	freeStart := int(binary.LittleEndian.Uint16(p[2:4]))
+	free := heapPageSize - nrows*heapSlotSize - freeStart
+	if free < need {
+		if err := ph.Release(); err != nil {
+			return rowRef{}, err
+		}
+		if err := h.addPage(); err != nil {
+			return rowRef{}, err
+		}
+		ph, err = h.cache.Get(h.space, h.tail)
+		if err != nil {
+			return rowRef{}, err
+		}
+		p = ph.Data()
+		nrows = 0
+		freeStart = heapHeaderSize
+	}
+	// Write the cell.
+	off := freeStart
+	binary.LittleEndian.PutUint64(p[off:], uint64(r.vertex))
+	binary.LittleEndian.PutUint32(p[off+8:], r.chunk)
+	binary.LittleEndian.PutUint16(p[off+12:], uint16(len(r.blob)))
+	copy(p[off+rowHeader:], r.blob)
+	// Slot directory entry.
+	binary.LittleEndian.PutUint16(p[heapPageSize-(nrows+1)*heapSlotSize:], uint16(off))
+	binary.LittleEndian.PutUint16(p[0:2], uint16(nrows+1))
+	binary.LittleEndian.PutUint16(p[2:4], uint16(off+rowHeader+len(r.blob)))
+	ph.MarkDirty()
+	ref := rowRef{page: h.tail, slot: nrows}
+	return ref, ph.Release()
+}
+
+// read fetches the row at ref. The returned blob is a copy.
+func (h *heap) read(ref rowRef) (row, error) {
+	ph, err := h.cache.Get(h.space, ref.page)
+	if err != nil {
+		return row{}, err
+	}
+	defer ph.Release()
+	p := ph.Data()
+	nrows := int(binary.LittleEndian.Uint16(p[0:2]))
+	if ref.slot < 0 || ref.slot >= nrows {
+		return row{}, fmt.Errorf("reldb: slot %d out of range on page %d (nrows=%d)", ref.slot, ref.page, nrows)
+	}
+	off := int(binary.LittleEndian.Uint16(p[heapPageSize-(ref.slot+1)*heapSlotSize:]))
+	r := row{
+		vertex: int64(binary.LittleEndian.Uint64(p[off:])),
+		chunk:  binary.LittleEndian.Uint32(p[off+8:]),
+	}
+	bl := int(binary.LittleEndian.Uint16(p[off+12:]))
+	r.blob = make([]byte, bl)
+	copy(r.blob, p[off+rowHeader:off+rowHeader+bl])
+	return r, nil
+}

@@ -1,0 +1,417 @@
+package reldb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+	"mssg/internal/storage/blockio"
+	"mssg/internal/storage/btree"
+	"mssg/internal/storage/cache"
+)
+
+func init() {
+	graphdb.Register("mysql", func(opts graphdb.Options) (graphdb.Graph, error) {
+		return Open(opts)
+	})
+}
+
+const (
+	indexPageSize = 4 * 1024
+	// chunkCap is the neighbour capacity of one BLOB chunk: 1000 8-byte
+	// IDs = 8000 bytes, the paper's ~8 KB blocking (Fig 4.3).
+	chunkCap = 1000
+	// DefaultCacheBytes is the buffer-pool budget when Options.CacheBytes
+	// is zero.
+	DefaultCacheBytes = 16 << 20
+
+	defaultMaxFileBytes = 256 << 20
+
+	manifestName = "reldb.manifest"
+
+	spaceHeap  = 0
+	spaceIndex = 1
+)
+
+// DB is the MySQL-substitute graph store.
+type DB struct {
+	dir       string
+	heapStore *blockio.Store
+	idxStore  *blockio.Store
+	cache     *cache.BlockCache
+	heap      *heap
+	index     *btree.Tree
+	log       *wal
+	meta      *graphdb.MetaMap
+	closed    bool
+	stats     graphdb.Stats
+	// statements counts parsed statements (for reports).
+	statements int64
+}
+
+// Open creates or reopens a DB under opts.Dir.
+func Open(opts graphdb.Options) (*DB, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("reldb: need a directory")
+	}
+	cacheBytes := opts.CacheBytes
+	switch {
+	case cacheBytes == 0:
+		cacheBytes = DefaultCacheBytes
+	case cacheBytes < 0:
+		cacheBytes = 0
+	}
+	maxFile := opts.MaxFileBytes
+	if maxFile <= 0 {
+		maxFile = defaultMaxFileBytes
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("reldb: %w", err)
+	}
+	heapStore, err := blockio.Open(opts.Dir, "heap", heapPageSize, maxFile)
+	if err != nil {
+		return nil, err
+	}
+	idxStore, err := blockio.Open(opts.Dir, "idx", indexPageSize, maxFile)
+	if err != nil {
+		heapStore.Close()
+		return nil, err
+	}
+	heapStore.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
+	idxStore.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
+	c := cache.New(cacheBytes)
+	man, err := loadManifest(filepath.Join(opts.Dir, manifestName))
+	if err != nil {
+		heapStore.Close()
+		idxStore.Close()
+		return nil, err
+	}
+	hp, err := openHeap(heapStore, c, spaceHeap, man.heapTail, man.heapPages)
+	if err != nil {
+		heapStore.Close()
+		idxStore.Close()
+		return nil, err
+	}
+	idx, err := btree.Open(btree.Config{Store: idxStore, Cache: c, Space: spaceIndex}, man.tree)
+	if err != nil {
+		heapStore.Close()
+		idxStore.Close()
+		return nil, err
+	}
+	log, err := openWAL(filepath.Join(opts.Dir, "wal.log"))
+	if err != nil {
+		heapStore.Close()
+		idxStore.Close()
+		return nil, err
+	}
+	return &DB{
+		dir:       opts.Dir,
+		heapStore: heapStore,
+		idxStore:  idxStore,
+		cache:     c,
+		heap:      hp,
+		index:     idx,
+		log:       log,
+		meta:      graphdb.NewMetaMap(),
+	}, nil
+}
+
+type manifest struct {
+	tree      btree.Meta
+	heapTail  int64
+	heapPages int64
+}
+
+func loadManifest(path string) (manifest, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{}, nil
+	}
+	if err != nil {
+		return manifest{}, fmt.Errorf("reldb: manifest: %w", err)
+	}
+	if len(b) != 40 {
+		return manifest{}, fmt.Errorf("reldb: manifest is %d bytes, want 40", len(b))
+	}
+	return manifest{
+		tree: btree.Meta{
+			Root:     int64(binary.LittleEndian.Uint64(b[0:8])),
+			NumPages: int64(binary.LittleEndian.Uint64(b[8:16])),
+			Count:    int64(binary.LittleEndian.Uint64(b[16:24])),
+		},
+		heapTail:  int64(binary.LittleEndian.Uint64(b[24:32])),
+		heapPages: int64(binary.LittleEndian.Uint64(b[32:40])),
+	}, nil
+}
+
+func (d *DB) saveManifest() error {
+	m := d.index.Meta()
+	var b [40]byte
+	binary.LittleEndian.PutUint64(b[0:8], uint64(m.Root))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(m.NumPages))
+	binary.LittleEndian.PutUint64(b[16:24], uint64(m.Count))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(d.heap.tail))
+	binary.LittleEndian.PutUint64(b[32:40], uint64(d.heap.numPages))
+	return os.WriteFile(filepath.Join(d.dir, manifestName), b[:], 0o644)
+}
+
+// head record: index key (v, 0) → {tailChunk uint32, tailCount uint32}.
+
+func (d *DB) readHead(v graph.VertexID) (tailChunk, tailCount uint32, err error) {
+	val, err := d.index.Get(btree.U64Key(uint64(v), 0))
+	if err == btree.ErrNotFound {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(val) != 8 {
+		return 0, 0, fmt.Errorf("reldb: head of %d is %d bytes", v, len(val))
+	}
+	return binary.LittleEndian.Uint32(val[0:4]), binary.LittleEndian.Uint32(val[4:8]), nil
+}
+
+func (d *DB) writeHead(v graph.VertexID, tailChunk, tailCount uint32) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:4], tailChunk)
+	binary.LittleEndian.PutUint32(b[4:8], tailCount)
+	return d.index.Put(btree.U64Key(uint64(v), 0), b[:])
+}
+
+// execInsert runs one parsed REPLACE against storage: WAL first, then a
+// new heap row version, then the index repoint.
+func (d *DB) execInsert(st statement) error {
+	if err := d.log.append(st.vertex, st.chunk, st.blob); err != nil {
+		return err
+	}
+	// Autocommit: each statement commits, so its log record must reach
+	// the OS before the data pages change (the per-statement flush that
+	// makes transactional engines slow ingesters).
+	if err := d.log.flush(); err != nil {
+		return err
+	}
+	ref, err := d.heap.insert(row{vertex: st.vertex, chunk: st.chunk, blob: st.blob})
+	if err != nil {
+		return err
+	}
+	return d.index.Put(btree.U64Key(uint64(st.vertex), uint64(st.chunk)), ref.encode())
+}
+
+// StoreEdges implements graphdb.Graph. Each touched vertex's tail chunk is
+// rewritten through the full statement → WAL → heap → index path.
+func (d *DB) StoreEdges(edges []graph.Edge) error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	grouped := make(map[graph.VertexID][]graph.VertexID)
+	for _, e := range edges {
+		if err := graph.ValidateEdge(e); err != nil {
+			return err
+		}
+		grouped[e.Src] = append(grouped[e.Src], e.Dst)
+	}
+	srcs := make([]graph.VertexID, 0, len(grouped))
+	for v := range grouped {
+		srcs = append(srcs, v)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+
+	for _, src := range srcs {
+		if err := d.appendNeighbors(src, grouped[src]); err != nil {
+			return err
+		}
+		d.stats.EdgesStored += int64(len(grouped[src]))
+	}
+	return nil
+}
+
+func (d *DB) appendNeighbors(src graph.VertexID, add []graph.VertexID) error {
+	tailChunk, tailCount, err := d.readHead(src)
+	if err != nil {
+		return err
+	}
+	var blob []byte
+	switch {
+	case tailChunk == 0:
+		tailChunk, tailCount = 1, 0
+	case tailCount >= chunkCap:
+		tailChunk, tailCount = tailChunk+1, 0
+	default:
+		// Read the current tail row back through the index.
+		refBytes, err := d.index.Get(btree.U64Key(uint64(src), uint64(tailChunk)))
+		if err != nil {
+			return fmt.Errorf("reldb: tail of %d: %w", src, err)
+		}
+		ref, err := decodeRowRef(refBytes)
+		if err != nil {
+			return err
+		}
+		r, err := d.heap.read(ref)
+		if err != nil {
+			return err
+		}
+		blob = r.blob
+	}
+
+	for len(add) > 0 {
+		space := chunkCap - int(tailCount)
+		take := len(add)
+		if take > space {
+			take = space
+		}
+		for _, u := range add[:take] {
+			var idb [8]byte
+			binary.LittleEndian.PutUint64(idb[:], uint64(u))
+			blob = append(blob, idb[:]...)
+		}
+		tailCount += uint32(take)
+
+		// Client renders the statement; server parses and executes it.
+		stmtText := renderInsert(int64(src), tailChunk, blob)
+		st, err := parseStatement(stmtText)
+		if err != nil {
+			return err
+		}
+		d.statements++
+		if err := d.execInsert(st); err != nil {
+			return err
+		}
+
+		add = add[take:]
+		if len(add) > 0 {
+			tailChunk++
+			tailCount = 0
+			blob = blob[:0]
+		}
+	}
+	return d.writeHead(src, tailChunk, tailCount)
+}
+
+// Metadata implements graphdb.Graph.
+func (d *DB) Metadata(v graph.VertexID) (int32, error) {
+	if d.closed {
+		return 0, graphdb.ErrClosed
+	}
+	return d.meta.Get(v), nil
+}
+
+// SetMetadata implements graphdb.Graph.
+func (d *DB) SetMetadata(v graph.VertexID, md int32) error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	d.meta.Set(v, md)
+	return nil
+}
+
+// AdjacencyUsingMetadata implements graphdb.Graph: a SELECT through the
+// statement layer, an index range scan, heap fetches, and a text result
+// set decoded client-side.
+func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int32, op graphdb.MetaOp) error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	d.stats.AdjacencyCalls++
+
+	st, err := parseStatement(renderSelect(int64(v)))
+	if err != nil {
+		return err
+	}
+	d.statements++
+
+	// Server side: index range scan over (v, 1..), heap fetch per chunk,
+	// text result rows out.
+	var resultRows []string
+	c := d.index.Seek(btree.U64Key(uint64(st.vertex), 1))
+	for c.Valid() && c.HasPrefix(uint64(st.vertex)) {
+		ref, err := decodeRowRef(c.Value())
+		if err != nil {
+			return err
+		}
+		r, err := d.heap.read(ref)
+		if err != nil {
+			return err
+		}
+		resultRows = append(resultRows, renderResultRow(r.chunk, r.blob))
+		c.Next()
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+
+	// Client side: decode the result set.
+	var scratch []graph.VertexID
+	for _, rowText := range resultRows {
+		_, blob, err := parseResultRow(rowText)
+		if err != nil {
+			return err
+		}
+		for i := 0; i+8 <= len(blob); i += 8 {
+			scratch = append(scratch, graph.VertexID(binary.LittleEndian.Uint64(blob[i:i+8])))
+		}
+	}
+	d.stats.NeighborsReturned += graphdb.FilterAppend(d.meta, scratch, out, md, op)
+	return nil
+}
+
+// Flush implements graphdb.Graph.
+func (d *DB) Flush() error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	if err := d.log.flush(); err != nil {
+		return err
+	}
+	if err := d.cache.Flush(); err != nil {
+		return err
+	}
+	return d.saveManifest()
+}
+
+// Close implements graphdb.Graph.
+func (d *DB) Close() error {
+	if d.closed {
+		return nil
+	}
+	if err := d.Flush(); err != nil {
+		return err
+	}
+	d.closed = true
+	if err := d.log.close(); err != nil {
+		return err
+	}
+	if err := d.heapStore.Close(); err != nil {
+		return err
+	}
+	return d.idxStore.Close()
+}
+
+// Stats implements graphdb.Graph.
+func (d *DB) Stats() graphdb.Stats { return d.stats }
+
+// Statements returns the number of SQL statements parsed.
+func (d *DB) Statements() int64 { return d.statements }
+
+// IOCounters implements graphdb.IOCounters (heap + index traffic).
+func (d *DB) IOCounters() (blockReads, blockWrites int64) {
+	h := d.heapStore.Counters()
+	i := d.idxStore.Counters()
+	return h.BlockReads + i.BlockReads, h.BlockWrites + i.BlockWrites
+}
+
+// CacheStats implements graphdb.CacheStats.
+func (d *DB) CacheStats() (hits, misses int64) {
+	s := d.cache.Stats()
+	return s.Hits, s.Misses
+}
+
+// ResetMetadata clears all metadata between queries.
+func (d *DB) ResetMetadata() { d.meta.Reset() }

@@ -1,0 +1,114 @@
+package reldb
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The statement layer: a deliberately faithful miniature of MySQL's
+// classic text protocol. The "client" half renders statements as text
+// (BLOBs hex-encoded); the "server" half tokenizes and parses them back
+// before executing against storage, and renders result sets as text rows
+// the client must decode. This round-trip is where the paper's MySQL
+// baseline loses most of its time, so it is modeled rather than skipped.
+
+// stmtKind discriminates parsed statements.
+type stmtKind int
+
+const (
+	stmtInsert stmtKind = iota
+	stmtSelect
+)
+
+// statement is a parsed request.
+type statement struct {
+	kind   stmtKind
+	vertex int64
+	chunk  uint32
+	blob   []byte
+}
+
+// renderInsert builds the textual REPLACE for one adjacency chunk row.
+func renderInsert(vertex int64, chunk uint32, blob []byte) string {
+	var sb strings.Builder
+	sb.Grow(64 + 2*len(blob))
+	sb.WriteString("REPLACE INTO adjacency (src, chunk, neighbors) VALUES (")
+	sb.WriteString(strconv.FormatInt(vertex, 10))
+	sb.WriteString(", ")
+	sb.WriteString(strconv.FormatUint(uint64(chunk), 10))
+	sb.WriteString(", x'")
+	sb.WriteString(hex.EncodeToString(blob))
+	sb.WriteString("')")
+	return sb.String()
+}
+
+// renderSelect builds the textual point query for a vertex's chunk rows.
+func renderSelect(vertex int64) string {
+	return "SELECT chunk, neighbors FROM adjacency WHERE src = " +
+		strconv.FormatInt(vertex, 10) + " ORDER BY chunk"
+}
+
+// parseStatement is the server-side parser. It accepts exactly the
+// statements the client renders; anything else is a syntax error.
+func parseStatement(s string) (statement, error) {
+	switch {
+	case strings.HasPrefix(s, "REPLACE INTO adjacency"):
+		open := strings.Index(s, "VALUES (")
+		if open < 0 || !strings.HasSuffix(s, "')") {
+			return statement{}, fmt.Errorf("reldb: syntax error in %.40q", s)
+		}
+		body := s[open+len("VALUES (") : len(s)-1]
+		parts := strings.SplitN(body, ", ", 3)
+		if len(parts) != 3 {
+			return statement{}, fmt.Errorf("reldb: expected 3 values, got %d", len(parts))
+		}
+		v, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return statement{}, fmt.Errorf("reldb: bad src: %w", err)
+		}
+		c, err := strconv.ParseUint(parts[1], 10, 32)
+		if err != nil {
+			return statement{}, fmt.Errorf("reldb: bad chunk: %w", err)
+		}
+		hexBlob := strings.TrimSuffix(strings.TrimPrefix(parts[2], "x'"), "'")
+		blob, err := hex.DecodeString(hexBlob)
+		if err != nil {
+			return statement{}, fmt.Errorf("reldb: bad blob literal: %w", err)
+		}
+		return statement{kind: stmtInsert, vertex: v, chunk: uint32(c), blob: blob}, nil
+
+	case strings.HasPrefix(s, "SELECT chunk, neighbors FROM adjacency WHERE src = "):
+		rest := strings.TrimPrefix(s, "SELECT chunk, neighbors FROM adjacency WHERE src = ")
+		rest = strings.TrimSuffix(rest, " ORDER BY chunk")
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return statement{}, fmt.Errorf("reldb: bad src in select: %w", err)
+		}
+		return statement{kind: stmtSelect, vertex: v}, nil
+	}
+	return statement{}, fmt.Errorf("reldb: unrecognized statement %.40q", s)
+}
+
+// renderResultRow serializes one result row server→client.
+func renderResultRow(chunk uint32, blob []byte) string {
+	return strconv.FormatUint(uint64(chunk), 10) + "\t" + hex.EncodeToString(blob)
+}
+
+// parseResultRow decodes one result row client-side.
+func parseResultRow(s string) (chunk uint32, blob []byte, err error) {
+	tab := strings.IndexByte(s, '\t')
+	if tab < 0 {
+		return 0, nil, fmt.Errorf("reldb: malformed result row")
+	}
+	c, err := strconv.ParseUint(s[:tab], 10, 32)
+	if err != nil {
+		return 0, nil, fmt.Errorf("reldb: bad chunk in result: %w", err)
+	}
+	blob, err = hex.DecodeString(s[tab+1:])
+	if err != nil {
+		return 0, nil, fmt.Errorf("reldb: bad blob in result: %w", err)
+	}
+	return uint32(c), blob, nil
+}

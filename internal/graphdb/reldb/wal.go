@@ -1,0 +1,55 @@
+package reldb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// wal is the write-ahead log: every row image is appended before the heap
+// and index are touched, as a transactional engine must. Records are
+// {lsn uint64, vertex uint64, chunk uint32, blobLen uint32, blob}.
+type wal struct {
+	f   *os.File
+	w   *bufio.Writer
+	lsn uint64
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("reldb: wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("reldb: wal: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<20), lsn: uint64(st.Size())}, nil
+}
+
+func (l *wal) append(vertex int64, chunk uint32, blob []byte) error {
+	l.lsn++
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], l.lsn)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(vertex))
+	binary.LittleEndian.PutUint32(hdr[16:20], chunk)
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(blob)))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("reldb: wal append: %w", err)
+	}
+	if _, err := l.w.Write(blob); err != nil {
+		return fmt.Errorf("reldb: wal append: %w", err)
+	}
+	return nil
+}
+
+func (l *wal) flush() error { return l.w.Flush() }
+
+func (l *wal) close() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Close()
+}

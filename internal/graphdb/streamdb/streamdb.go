@@ -1,0 +1,259 @@
+// Package streamdb is the StreamDB GraphDB instance (paper §4.1.5): a
+// basic streaming database that appends edges to disk in binary form as
+// they arrive, with no sorting or clustering. Ingestion is therefore as
+// fast as sequential writes go, but the format cannot serve a single
+// vertex's adjacency list without scanning the entire edge set.
+//
+// Search algorithms must post the whole fringe at once (AdjacencyBatch) so
+// the database scans its data only once per BFS level — the active-disk
+// streaming idea the paper borrows from Acharya et al. The per-vertex
+// AdjacencyUsingMetadata method is implemented for interface completeness
+// but performs a full scan per call, exactly the cost the paper warns
+// about.
+package streamdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+func init() {
+	graphdb.Register("stream", func(opts graphdb.Options) (graphdb.Graph, error) {
+		d, err := Open(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		d.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
+		return d, nil
+	})
+}
+
+// seqChunkBytes is the sequential-transfer unit simulated latencies are
+// charged per: StreamDB never seeks, so one "device access" covers a
+// large contiguous run rather than one small block.
+const seqChunkBytes = 256 << 10
+
+const recordBytes = 16 // src int64 + dst int64, little-endian
+
+// DB is an append-only on-disk edge log.
+type DB struct {
+	path   string
+	f      *os.File
+	w      *bufio.Writer
+	edges  int64 // records in the log (including unflushed)
+	closed bool
+	stats  graphdb.Stats
+	meta   *graphdb.MetaMap
+
+	scanReads int64 // physical read ops performed by scans
+
+	readLatency  time.Duration
+	writeLatency time.Duration
+	pendingWrite int64 // bytes appended since the last charged write unit
+	pendingRead  int64 // bytes scanned since the last charged read unit
+}
+
+// SimulateLatency adds a device delay per 256 KB of sequential transfer
+// (reads during scans, writes during appends). See
+// blockio.Store.SimulateLatency for why the harness simulates device
+// latency at all.
+func (d *DB) SimulateLatency(read, write time.Duration) {
+	d.readLatency = read
+	d.writeLatency = write
+}
+
+// Open creates (or reopens) a StreamDB instance rooted at dir.
+func Open(dir string) (*DB, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("streamdb: need a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("streamdb: %w", err)
+	}
+	path := filepath.Join(dir, "edges.log")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("streamdb: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("streamdb: %w", err)
+	}
+	if st.Size()%recordBytes != 0 {
+		f.Close()
+		return nil, fmt.Errorf("streamdb: log %s has torn tail (%d bytes)", path, st.Size())
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("streamdb: %w", err)
+	}
+	return &DB{
+		path:  path,
+		f:     f,
+		w:     bufio.NewWriterSize(f, 1<<20),
+		edges: st.Size() / recordBytes,
+		meta:  graphdb.NewMetaMap(),
+	}, nil
+}
+
+// StoreEdges implements graphdb.Graph: a buffered sequential append.
+func (d *DB) StoreEdges(edges []graph.Edge) error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	var rec [recordBytes]byte
+	for _, e := range edges {
+		if err := graph.ValidateEdge(e); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(e.Src))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(e.Dst))
+		if _, err := d.w.Write(rec[:]); err != nil {
+			return fmt.Errorf("streamdb: append: %w", err)
+		}
+		if d.writeLatency > 0 {
+			d.pendingWrite += recordBytes
+			if d.pendingWrite >= seqChunkBytes {
+				d.pendingWrite -= seqChunkBytes
+				time.Sleep(d.writeLatency)
+			}
+		}
+		d.edges++
+		d.stats.EdgesStored++
+	}
+	return nil
+}
+
+// Flush implements graphdb.Graph.
+func (d *DB) Flush() error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	return d.w.Flush()
+}
+
+// Metadata implements graphdb.Graph.
+func (d *DB) Metadata(v graph.VertexID) (int32, error) {
+	if d.closed {
+		return 0, graphdb.ErrClosed
+	}
+	return d.meta.Get(v), nil
+}
+
+// SetMetadata implements graphdb.Graph.
+func (d *DB) SetMetadata(v graph.VertexID, md int32) error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	d.meta.Set(v, md)
+	return nil
+}
+
+// scan streams the whole log, invoking visit for every edge record.
+func (d *DB) scan(visit func(src, dst graph.VertexID)) error {
+	if err := d.w.Flush(); err != nil {
+		return err
+	}
+	r := io.NewSectionReader(d.f, 0, d.edges*recordBytes)
+	br := bufio.NewReaderSize(r, 1<<20)
+	var rec [recordBytes]byte
+	for i := int64(0); i < d.edges; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return fmt.Errorf("streamdb: scan: %w", err)
+		}
+		d.scanReads++
+		if d.readLatency > 0 {
+			d.pendingRead += recordBytes
+			if d.pendingRead >= seqChunkBytes {
+				d.pendingRead -= seqChunkBytes
+				time.Sleep(d.readLatency)
+			}
+		}
+		visit(
+			graph.VertexID(binary.LittleEndian.Uint64(rec[0:8])),
+			graph.VertexID(binary.LittleEndian.Uint64(rec[8:16])),
+		)
+	}
+	return nil
+}
+
+// AdjacencyUsingMetadata implements graphdb.Graph with a full scan per
+// call. Use AdjacencyBatch for fringe expansion.
+func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int32, op graphdb.MetaOp) error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	d.stats.AdjacencyCalls++
+	var scratch []graph.VertexID
+	if err := d.scan(func(src, dst graph.VertexID) {
+		if src == v {
+			scratch = append(scratch, dst)
+		}
+	}); err != nil {
+		return err
+	}
+	d.stats.NeighborsReturned += graphdb.FilterAppend(d.meta, scratch, out, md, op)
+	return nil
+}
+
+// AdjacencyBatch implements graphdb.BatchGraph: one pass over the log
+// answers the entire fringe.
+func (d *DB) AdjacencyBatch(fringe []graph.VertexID, out *graph.AdjList, md int32, op graphdb.MetaOp) error {
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	d.stats.AdjacencyCalls += int64(len(fringe))
+	if len(fringe) == 0 {
+		return nil
+	}
+	want := make(map[graph.VertexID]struct{}, len(fringe))
+	for _, v := range fringe {
+		want[v] = struct{}{}
+	}
+	var scratch []graph.VertexID
+	if err := d.scan(func(src, dst graph.VertexID) {
+		if _, ok := want[src]; ok {
+			scratch = append(scratch, dst)
+		}
+	}); err != nil {
+		return err
+	}
+	d.stats.NeighborsReturned += graphdb.FilterAppend(d.meta, scratch, out, md, op)
+	return nil
+}
+
+// Close implements graphdb.Graph.
+func (d *DB) Close() error {
+	if d.closed {
+		return nil
+	}
+	if err := d.w.Flush(); err != nil {
+		return err
+	}
+	d.closed = true
+	return d.f.Close()
+}
+
+// Stats implements graphdb.Graph.
+func (d *DB) Stats() graphdb.Stats { return d.stats }
+
+// IOCounters implements graphdb.IOCounters: scans count as reads; every
+// stored edge is one buffered write.
+func (d *DB) IOCounters() (blockReads, blockWrites int64) {
+	return d.scanReads, d.stats.EdgesStored
+}
+
+// ResetMetadata clears all metadata between queries.
+func (d *DB) ResetMetadata() { d.meta.Reset() }
+
+// Edges returns the number of records in the log.
+func (d *DB) Edges() int64 { return d.edges }

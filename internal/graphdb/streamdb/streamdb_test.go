@@ -1,0 +1,152 @@
+package streamdb
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+func openTest(t *testing.T) *DB {
+	t.Helper()
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestAppendOnlyLogGrowsSequentially(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := []graph.Edge{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}, {Src: 1, Dst: 5}}
+	if err := d.StoreEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(filepath.Join(dir, "edges.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != int64(16*len(edges)) {
+		t.Fatalf("log size %d, want %d (16 bytes/record, no overhead)", st.Size(), 16*len(edges))
+	}
+}
+
+func TestBatchIsSingleScan(t *testing.T) {
+	d := openTest(t)
+	var edges []graph.Edge
+	for i := 0; i < 100; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i % 10), Dst: graph.VertexID(100 + i)})
+	}
+	if err := d.StoreEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+	out := graph.NewAdjList(100)
+	if err := d.AdjacencyBatch([]graph.VertexID{0, 1, 2}, out, 0, graphdb.MetaIgnore); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 30 {
+		t.Fatalf("batch returned %d neighbours, want 30", out.Len())
+	}
+	// The whole batch must have cost exactly one pass over the log.
+	reads, _ := d.IOCounters()
+	if reads != 100 {
+		t.Fatalf("scan visited %d records, want exactly 100 (one pass)", reads)
+	}
+}
+
+func TestPerVertexRetrievalScansEverything(t *testing.T) {
+	d := openTest(t)
+	var edges []graph.Edge
+	for i := 0; i < 50; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)})
+	}
+	if err := d.StoreEdges(edges); err != nil {
+		t.Fatal(err)
+	}
+	out := graph.NewAdjList(4)
+	if err := d.AdjacencyUsingMetadata(7, out, 0, graphdb.MetaIgnore); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.At(0) != 8 {
+		t.Fatalf("adjacency = %v", out.IDs())
+	}
+	reads, _ := d.IOCounters()
+	if reads != 50 {
+		t.Fatalf("per-vertex lookup scanned %d records, want 50 (full scan)", reads)
+	}
+}
+
+func TestReopenAppendsToExistingLog(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StoreEdges([]graph.Edge{{Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Edges() != 1 {
+		t.Fatalf("reopened log has %d records", d2.Edges())
+	}
+	if err := d2.StoreEdges([]graph.Edge{{Src: 1, Dst: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	out := graph.NewAdjList(4)
+	if err := graphdb.Adjacency(d2, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	got := append([]graph.VertexID(nil), out.IDs()...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, []graph.VertexID{2, 3}) {
+		t.Fatalf("adjacency after reopen = %v", got)
+	}
+}
+
+func TestTornLogRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "edges.log"), []byte("torn!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("torn log accepted")
+	}
+}
+
+func TestEmptyFringeBatch(t *testing.T) {
+	d := openTest(t)
+	if err := d.StoreEdges([]graph.Edge{{Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	out := graph.NewAdjList(4)
+	if err := d.AdjacencyBatch(nil, out, 0, graphdb.MetaIgnore); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty fringe returned %d neighbours", out.Len())
+	}
+	// Empty fringe must not even scan.
+	reads, _ := d.IOCounters()
+	if reads != 0 {
+		t.Fatalf("empty fringe scanned %d records", reads)
+	}
+}

@@ -1,0 +1,123 @@
+package ingest
+
+import (
+	"sync"
+
+	"mssg/internal/cluster"
+	"mssg/internal/graph"
+)
+
+// GreedyCluster is the summary-based clustering policy sketched in paper
+// §3.2: "these algorithms should keep some additional summary information
+// about the data that has been already clustered and distributed ...
+// [to] make more intelligent decisions on where to send blocked data."
+//
+// The summary here is a vertex→owner directory plus per-backend load
+// counters. A vertex's first edge assigns its owner greedily: the
+// backend that already owns the edge's other endpoint, unless that
+// backend is overloaded relative to the lightest one, in which case the
+// lightest backend wins. All later edges of the vertex follow its owner
+// (vertex granularity), exactly the bookkeeping §3.2 calls for.
+//
+// GreedyCluster is stateful and must be shared by every ingest filter
+// copy (return the same instance from Config.Policy); it is safe for
+// concurrent use. After ingestion, OwnerOf serves as the vertex→node
+// directory for the search phase (query.BFSConfig.OwnerOf).
+type GreedyCluster struct {
+	// Slack bounds imbalance: a backend may exceed the lightest load by
+	// at most Slack edges before affinity is overridden. <= 0 means 4096.
+	Slack int64
+
+	mu    sync.Mutex
+	owner map[graph.VertexID]cluster.NodeID
+	load  []int64
+}
+
+// NewGreedyCluster returns a policy with the given balance slack.
+func NewGreedyCluster(slack int64) *GreedyCluster {
+	if slack <= 0 {
+		slack = 4096
+	}
+	return &GreedyCluster{
+		Slack: slack,
+		owner: make(map[graph.VertexID]cluster.NodeID),
+	}
+}
+
+// Name implements Policy.
+func (g *GreedyCluster) Name() string { return "greedy-affinity" }
+
+// GloballyMapped implements Policy: the mapping is not derivable from
+// the vertex ID alone, but OwnerOf provides the directory, so searches
+// still use routed (non-broadcast) fringe exchange.
+func (g *GreedyCluster) GloballyMapped() bool { return true }
+
+// Route implements Policy.
+func (g *GreedyCluster) Route(e graph.Edge, backends int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.load) < backends {
+		grown := make([]int64, backends)
+		copy(grown, g.load)
+		g.load = grown
+	}
+	if o, ok := g.owner[e.Src]; ok {
+		g.load[o]++
+		return int(o)
+	}
+	choice := g.lightestLocked(backends)
+	if o, ok := g.owner[e.Dst]; ok {
+		// Affinity: co-locate with the neighbour unless too imbalanced.
+		if g.load[o] <= g.load[choice]+g.Slack {
+			choice = int(o)
+		}
+	}
+	g.owner[e.Src] = cluster.NodeID(choice)
+	g.load[choice]++
+	return int(choice)
+}
+
+func (g *GreedyCluster) lightestLocked(backends int) int {
+	best := 0
+	for i := 1; i < backends; i++ {
+		if g.load[i] < g.load[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// OwnerOf is the post-ingestion vertex→node directory, suitable for
+// query.BFSConfig.OwnerOf. Vertices never seen as an edge source map to
+// node 0 (they have no stored adjacency anywhere, so any owner is
+// correct — their adjacency is the empty set on every node).
+func (g *GreedyCluster) OwnerOf(v graph.VertexID) cluster.NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.owner[v]
+}
+
+// DirectorySize returns the number of assigned vertices.
+func (g *GreedyCluster) DirectorySize() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.owner)
+}
+
+// Loads returns a copy of the per-backend edge counts.
+func (g *GreedyCluster) Loads() []int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int64, len(g.load))
+	copy(out, g.load)
+	return out
+}
+
+// DirectoryPolicy is implemented by policies that maintain an explicit
+// vertex→node directory usable for search-phase fringe routing.
+type DirectoryPolicy interface {
+	Policy
+	OwnerOf(v graph.VertexID) cluster.NodeID
+}
+
+var _ DirectoryPolicy = (*GreedyCluster)(nil)

@@ -1,0 +1,93 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+
+	"mssg/internal/graph"
+)
+
+func TestGreedyClusterStickyOwnership(t *testing.T) {
+	g := NewGreedyCluster(0)
+	if !g.GloballyMapped() {
+		t.Fatal("greedy policy must report a usable mapping (directory)")
+	}
+	first := g.Route(graph.Edge{Src: 10, Dst: 20}, 4)
+	for i := 0; i < 5; i++ {
+		if got := g.Route(graph.Edge{Src: 10, Dst: graph.VertexID(30 + i)}, 4); got != first {
+			t.Fatalf("vertex 10 moved from %d to %d", first, got)
+		}
+	}
+	if got := g.OwnerOf(10); int(got) != first {
+		t.Fatalf("OwnerOf(10) = %d, want %d", got, first)
+	}
+}
+
+func TestGreedyClusterAffinity(t *testing.T) {
+	g := NewGreedyCluster(1 << 30) // effectively unbounded slack
+	home := g.Route(graph.Edge{Src: 1, Dst: 2}, 4)
+	// Vertex 2's first source edge points back at 1: affinity must
+	// co-locate it.
+	if got := g.Route(graph.Edge{Src: 2, Dst: 1}, 4); got != home {
+		t.Fatalf("affinity ignored: 2 went to %d, 1 lives on %d", got, home)
+	}
+	// A chain of new vertices each touching the previous one all lands
+	// on the same node when slack is unbounded.
+	prev := graph.VertexID(2)
+	for v := graph.VertexID(3); v < 20; v++ {
+		if got := g.Route(graph.Edge{Src: v, Dst: prev}, 4); got != home {
+			t.Fatalf("chain vertex %d went to %d, want %d", v, got, home)
+		}
+		prev = v
+	}
+}
+
+func TestGreedyClusterBalance(t *testing.T) {
+	g := NewGreedyCluster(8) // tight slack
+	// A star around vertex 0: pure affinity would pile everything onto
+	// one node; the slack bound must spread the load.
+	g.Route(graph.Edge{Src: 0, Dst: 1}, 4)
+	for v := graph.VertexID(1); v < 400; v++ {
+		g.Route(graph.Edge{Src: v, Dst: 0}, 4)
+	}
+	loads := g.Loads()
+	min, max := loads[0], loads[0]
+	for _, l := range loads {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max > min+8+1 {
+		t.Fatalf("imbalance beyond slack: %v", loads)
+	}
+	if g.DirectorySize() != 400 {
+		t.Fatalf("directory has %d entries, want 400", g.DirectorySize())
+	}
+}
+
+func TestGreedyClusterSharedAcrossFrontEnds(t *testing.T) {
+	// The same instance shared by concurrent routers must keep
+	// ownership consistent.
+	g := NewGreedyCluster(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := graph.VertexID(i % 50)
+				g.Route(graph.Edge{Src: v, Dst: graph.VertexID(i)}, 4)
+			}
+		}()
+	}
+	wg.Wait()
+	for v := graph.VertexID(0); v < 50; v++ {
+		o := g.OwnerOf(v)
+		if got := g.Route(graph.Edge{Src: v, Dst: 999}, 4); got != int(o) {
+			t.Fatalf("vertex %d owner drifted: %d vs %d", v, got, o)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package ingest
+
+import (
+	"io"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mssg/internal/cluster"
+	"mssg/internal/datacutter"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+	"mssg/internal/graphdb/hashdb"
+)
+
+func TestVertexModPolicy(t *testing.T) {
+	p := VertexMod{}
+	if !p.GloballyMapped() {
+		t.Fatal("VertexMod must be globally mapped")
+	}
+	for v := graph.VertexID(0); v < 50; v++ {
+		got := p.Route(graph.Edge{Src: v, Dst: 0}, 8)
+		if got != int(v%8) {
+			t.Fatalf("Route(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestEdgeRoundRobinPolicy(t *testing.T) {
+	p := &EdgeRoundRobin{}
+	if p.GloballyMapped() {
+		t.Fatal("EdgeRoundRobin must not claim a global mapping")
+	}
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, p.Route(graph.Edge{Src: 99, Dst: 1}, 3))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round robin sequence = %v", got)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for name, mapped := range map[string]bool{
+		"vertex-mod": true, "vertex": true, "": true,
+		"edge-round-robin": false, "edge": false,
+	} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+		if p.GloballyMapped() != mapped {
+			t.Fatalf("PolicyByName(%q).GloballyMapped() = %v", name, p.GloballyMapped())
+		}
+	}
+	if _, err := PolicyByName("nonsense"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestEdgeCodecRoundTrip(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 42, Dst: graph.MaxVertexID}}
+	got, err := decodeEdges(encodeEdges(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, edges) {
+		t.Fatalf("round trip = %v", got)
+	}
+	if _, err := decodeEdges([]byte{1, 2, 3}); err == nil {
+		t.Fatal("misaligned payload accepted")
+	}
+}
+
+type sliceReader struct {
+	edges []graph.Edge
+	pos   int
+}
+
+func (r *sliceReader) ReadEdge() (graph.Edge, error) {
+	if r.pos >= len(r.edges) {
+		return graph.Edge{}, io.EOF
+	}
+	e := r.edges[r.pos]
+	r.pos++
+	return e, nil
+}
+
+// runIngestion drives the full filter graph over an in-process fabric.
+func runIngestion(t *testing.T, cfg Config, edges []graph.Edge, backends int) ([]graphdb.Graph, *Stats) {
+	t.Helper()
+	cfg.Backends = backends
+	fab := cluster.NewInProc(backends, 0)
+	t.Cleanup(func() { fab.Close() })
+	dbs := make([]graphdb.Graph, backends)
+	for i := range dbs {
+		dbs[i] = hashdb.New()
+	}
+	stats := &Stats{}
+	g := datacutter.NewGraph()
+	f := cfg.FrontEnds
+	err := BuildGraph(g, cfg, stats,
+		func(copy int) (graph.EdgeReader, error) {
+			lo := len(edges) * copy / f
+			hi := len(edges) * (copy + 1) / f
+			return &sliceReader{edges: edges[lo:hi]}, nil
+		},
+		func(copy int) graphdb.Graph { return dbs[copy] },
+		datacutter.PlaceCopies(f),
+		datacutter.PlaceOnePerNode(),
+	)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	if err := datacutter.NewRuntime(fab).Run(g); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return dbs, stats
+}
+
+func testEdges(n int) []graph.Edge {
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.VertexID(i % 40), Dst: graph.VertexID((i + 7) % 40)}
+	}
+	return edges
+}
+
+func TestVertexDeclusteringPlacesAdjacencyOnOwner(t *testing.T) {
+	edges := testEdges(200)
+	dbs, stats := runIngestion(t, Config{FrontEnds: 2, WindowEdges: 16}, edges, 4)
+	if stats.EdgesIn.Load() != 200 || stats.EdgesStored.Load() != 200 {
+		t.Fatalf("stats: in=%d stored=%d", stats.EdgesIn.Load(), stats.EdgesStored.Load())
+	}
+	// Every vertex's adjacency must live only on node v % 4.
+	out := graph.NewAdjList(16)
+	for v := graph.VertexID(0); v < 40; v++ {
+		for node := 0; node < 4; node++ {
+			out.Reset()
+			if err := graphdb.Adjacency(dbs[node], v, out); err != nil {
+				t.Fatal(err)
+			}
+			if node == int(v)%4 {
+				if out.Len() == 0 {
+					t.Fatalf("owner node %d has no adjacency for %d", node, v)
+				}
+			} else if out.Len() != 0 {
+				t.Fatalf("non-owner node %d holds adjacency for %d", node, v)
+			}
+		}
+	}
+}
+
+func TestAddReverseStoresBothOrientations(t *testing.T) {
+	edges := []graph.Edge{{Src: 1, Dst: 2}}
+	dbs, stats := runIngestion(t, Config{FrontEnds: 1, AddReverse: true}, edges, 2)
+	if stats.EdgesStored.Load() != 2 {
+		t.Fatalf("stored %d records, want 2", stats.EdgesStored.Load())
+	}
+	out := graph.NewAdjList(4)
+	if err := graphdb.Adjacency(dbs[1], 1, out); err != nil { // 1 % 2 = 1
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.At(0) != 2 {
+		t.Fatalf("forward adjacency = %v", out.IDs())
+	}
+	out.Reset()
+	if err := graphdb.Adjacency(dbs[0], 2, out); err != nil { // 2 % 2 = 0
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.At(0) != 1 {
+		t.Fatalf("reverse adjacency = %v", out.IDs())
+	}
+}
+
+func TestSelfLoopNotDoubledByAddReverse(t *testing.T) {
+	edges := []graph.Edge{{Src: 3, Dst: 3}}
+	_, stats := runIngestion(t, Config{FrontEnds: 1, AddReverse: true}, edges, 2)
+	if stats.EdgesStored.Load() != 1 {
+		t.Fatalf("self loop stored %d times, want 1", stats.EdgesStored.Load())
+	}
+}
+
+func TestWindowingShipsPartialWindows(t *testing.T) {
+	// 10 edges, window 64: everything must still arrive (flush on EOF).
+	edges := testEdges(10)
+	dbs, stats := runIngestion(t, Config{FrontEnds: 1, WindowEdges: 64}, edges, 2)
+	if stats.EdgesStored.Load() != 10 {
+		t.Fatalf("stored %d, want 10", stats.EdgesStored.Load())
+	}
+	var total int64
+	for _, db := range dbs {
+		total += db.Stats().EdgesStored
+	}
+	if total != 10 {
+		t.Fatalf("backends hold %d records", total)
+	}
+	if stats.Blocks.Load() == 0 {
+		t.Fatal("no blocks shipped")
+	}
+}
+
+func TestSmallWindowsManyBlocks(t *testing.T) {
+	edges := testEdges(100)
+	_, statsBig := runIngestion(t, Config{FrontEnds: 1, WindowEdges: 1000}, edges, 2)
+	_, statsSmall := runIngestion(t, Config{FrontEnds: 1, WindowEdges: 4}, edges, 2)
+	if statsSmall.Blocks.Load() <= statsBig.Blocks.Load() {
+		t.Fatalf("window 4 shipped %d blocks, window 1000 shipped %d",
+			statsSmall.Blocks.Load(), statsBig.Blocks.Load())
+	}
+}
+
+func TestEdgePolicyDistributesAcrossBackends(t *testing.T) {
+	edges := testEdges(120)
+	dbs, _ := runIngestion(t, Config{
+		FrontEnds: 1,
+		Policy:    func() Policy { return &EdgeRoundRobin{} },
+	}, edges, 3)
+	var counts []int64
+	for _, db := range dbs {
+		counts = append(counts, db.Stats().EdgesStored)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	if counts[0] != 40 || counts[2] != 40 {
+		t.Fatalf("edge round-robin distribution uneven: %v", counts)
+	}
+}
+
+func TestBuildGraphValidation(t *testing.T) {
+	g := datacutter.NewGraph()
+	err := BuildGraph(g, Config{FrontEnds: 0, Backends: 2}, &Stats{},
+		nil, nil, datacutter.PlaceCopies(1), datacutter.PlaceOnePerNode())
+	if err == nil {
+		t.Fatal("zero front-ends accepted")
+	}
+}
+
+func TestInvalidEdgeFailsIngestion(t *testing.T) {
+	fab := cluster.NewInProc(2, 0)
+	defer fab.Close()
+	dbs := []graphdb.Graph{hashdb.New(), hashdb.New()}
+	stats := &Stats{}
+	g := datacutter.NewGraph()
+	cfg := Config{FrontEnds: 1, Backends: 2}
+	err := BuildGraph(g, cfg, stats,
+		func(copy int) (graph.EdgeReader, error) {
+			return &sliceReader{edges: []graph.Edge{{Src: -5, Dst: 1}}}, nil
+		},
+		func(copy int) graphdb.Graph { return dbs[copy] },
+		datacutter.PlaceCopies(1),
+		datacutter.PlaceOnePerNode(),
+	)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	if err := datacutter.NewRuntime(fab).Run(g); err == nil {
+		t.Fatal("invalid edge ingested without error")
+	}
+}

@@ -1,0 +1,81 @@
+// Package ingest implements MSSG's Ingestion Service (paper §3.2): the
+// entry point for streaming graph data, which accumulates incoming edges
+// into fixed-size blocks (windows) and clusters/declusters them to the
+// GraphDB instances on the back-end nodes.
+//
+// The service is built from two DataCutter filters — the front-end ingest
+// filter (reader + declusterer) and the back-end store filter — connected
+// by a directed stream, mirroring Fig 3.1. Declustering policies are
+// pluggable; the defaults are the paper's vertex- and edge-based
+// round-robin.
+package ingest
+
+import (
+	"fmt"
+
+	"mssg/internal/graph"
+)
+
+// Policy decides which back-end node stores an edge (the paper's
+// clustering/declustering customization point).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Route returns the destination back-end index in [0, backends) for
+	// edge e. Policies may be stateful (round-robin); a Policy instance
+	// is used by a single ingest filter copy at a time.
+	Route(e graph.Edge, backends int) int
+	// GloballyMapped reports whether vertex ownership is derivable by
+	// every node from the vertex ID alone (enabling the BFS known-mapping
+	// fringe routing, §4.2). Edge-granularity policies return false.
+	GloballyMapped() bool
+}
+
+// VertexMod is vertex-granularity round-robin declustering: all edges of
+// source vertex v go to node v % p. This is the globally known mapping the
+// paper's search experiments leverage (chapter 5: "the vertex ownership
+// knowledge was leveraged during the search phase").
+type VertexMod struct{}
+
+// Name implements Policy.
+func (VertexMod) Name() string { return "vertex-mod" }
+
+// Route implements Policy.
+func (VertexMod) Route(e graph.Edge, backends int) int {
+	return int(int64(e.Src) % int64(backends))
+}
+
+// GloballyMapped implements Policy.
+func (VertexMod) GloballyMapped() bool { return true }
+
+// EdgeRoundRobin is edge-granularity declustering: successive edges cycle
+// across back-ends regardless of their endpoints, so a vertex's adjacency
+// list may be split over every node and searches must broadcast their
+// fringes.
+type EdgeRoundRobin struct {
+	next int
+}
+
+// Name implements Policy.
+func (*EdgeRoundRobin) Name() string { return "edge-round-robin" }
+
+// Route implements Policy.
+func (p *EdgeRoundRobin) Route(e graph.Edge, backends int) int {
+	n := p.next % backends
+	p.next++
+	return n
+}
+
+// GloballyMapped implements Policy.
+func (*EdgeRoundRobin) GloballyMapped() bool { return false }
+
+// PolicyByName resolves the built-in policies.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "vertex-mod", "vertex", "":
+		return VertexMod{}, nil
+	case "edge-round-robin", "edge":
+		return &EdgeRoundRobin{}, nil
+	}
+	return nil, fmt.Errorf("ingest: unknown declustering policy %q", name)
+}

@@ -1,0 +1,250 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"mssg/internal/datacutter"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+// Config parameterizes one ingestion run.
+type Config struct {
+	// FrontEnds is the number of ingest filter copies (the paper varies
+	// this between 1 and 8).
+	FrontEnds int
+	// Backends is the number of store filter copies (back-end nodes).
+	Backends int
+	// WindowEdges is the block/window size: edges are accumulated per
+	// destination and shipped in blocks of this many (§3.2 processes
+	// streaming data "in blocks (or windows) of a predetermined size").
+	// <= 0 means 4096.
+	WindowEdges int
+	// AddReverse stores both orientations of every input edge, making
+	// the stored graph undirected as in Table 5.1. Default true via
+	// NewConfig; zero-value Config leaves it off.
+	AddReverse bool
+	// Policy is the declustering policy; nil means VertexMod.
+	Policy func() Policy
+}
+
+func (c Config) windowEdges() int {
+	if c.WindowEdges <= 0 {
+		return 4096
+	}
+	return c.WindowEdges
+}
+
+func (c Config) policy() Policy {
+	if c.Policy == nil {
+		return VertexMod{}
+	}
+	return c.Policy()
+}
+
+// Stats aggregates an ingestion run.
+type Stats struct {
+	// EdgesIn counts edges read by the front-ends (before reversal).
+	EdgesIn atomic.Int64
+	// EdgesStored counts directed records stored by the back-ends.
+	EdgesStored atomic.Int64
+	// Blocks counts windows shipped front-end → back-end.
+	Blocks atomic.Int64
+}
+
+const edgeBytes = 16
+
+// encodeEdges packs a window of edges into a stream buffer payload.
+func encodeEdges(edges []graph.Edge) []byte {
+	b := make([]byte, edgeBytes*len(edges))
+	for i, e := range edges {
+		binary.LittleEndian.PutUint64(b[edgeBytes*i:], uint64(e.Src))
+		binary.LittleEndian.PutUint64(b[edgeBytes*i+8:], uint64(e.Dst))
+	}
+	return b
+}
+
+// decodeEdges unpacks a window payload.
+func decodeEdges(b []byte) ([]graph.Edge, error) {
+	if len(b)%edgeBytes != 0 {
+		return nil, fmt.Errorf("ingest: window payload of %d bytes not a multiple of %d", len(b), edgeBytes)
+	}
+	edges := make([]graph.Edge, len(b)/edgeBytes)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src: graph.VertexID(binary.LittleEndian.Uint64(b[edgeBytes*i:])),
+			Dst: graph.VertexID(binary.LittleEndian.Uint64(b[edgeBytes*i+8:])),
+		}
+	}
+	return edges, nil
+}
+
+// ingestFilter is the front-end filter: it reads its partition of the
+// edge stream, declusters each edge (both orientations when AddReverse),
+// and ships per-destination windows on the directed "out" stream.
+type ingestFilter struct {
+	cfg    Config
+	reader graph.EdgeReader
+	policy Policy
+	stats  *Stats
+
+	windows [][]graph.Edge
+}
+
+// Init implements datacutter.Filter.
+func (f *ingestFilter) Init(ctx *datacutter.Context) error {
+	out, err := ctx.Output("out")
+	if err != nil {
+		return err
+	}
+	if out.Fanout() != f.cfg.Backends {
+		return fmt.Errorf("ingest: stream fanout %d != %d backends", out.Fanout(), f.cfg.Backends)
+	}
+	f.windows = make([][]graph.Edge, f.cfg.Backends)
+	return nil
+}
+
+func (f *ingestFilter) ship(out *datacutter.StreamWriter, dest int) error {
+	if len(f.windows[dest]) == 0 {
+		return nil
+	}
+	payload := encodeEdges(f.windows[dest])
+	f.windows[dest] = f.windows[dest][:0]
+	f.stats.Blocks.Add(1)
+	return out.WriteTo(dest, datacutter.Buffer{Data: payload})
+}
+
+func (f *ingestFilter) route(out *datacutter.StreamWriter, e graph.Edge) error {
+	dest := f.policy.Route(e, f.cfg.Backends)
+	if dest < 0 || dest >= f.cfg.Backends {
+		return fmt.Errorf("ingest: policy %s routed to %d of %d", f.policy.Name(), dest, f.cfg.Backends)
+	}
+	f.windows[dest] = append(f.windows[dest], e)
+	if len(f.windows[dest]) >= f.cfg.windowEdges() {
+		return f.ship(out, dest)
+	}
+	return nil
+}
+
+// Process implements datacutter.Filter.
+func (f *ingestFilter) Process(ctx *datacutter.Context) error {
+	out, err := ctx.Output("out")
+	if err != nil {
+		return err
+	}
+	for {
+		e, err := f.reader.ReadEdge()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("ingest: %s: %w", ctx.Instance(), err)
+		}
+		if err := graph.ValidateEdge(e); err != nil {
+			return err
+		}
+		f.stats.EdgesIn.Add(1)
+		if err := f.route(out, e); err != nil {
+			return err
+		}
+		if f.cfg.AddReverse && e.Src != e.Dst {
+			if err := f.route(out, e.Reverse()); err != nil {
+				return err
+			}
+		}
+	}
+	// Flush partial windows.
+	for dest := range f.windows {
+		if err := f.ship(out, dest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finalize implements datacutter.Filter.
+func (f *ingestFilter) Finalize(ctx *datacutter.Context) error { return nil }
+
+// storeFilter is the back-end filter: it drains windows from "in" and
+// stores them into its node's GraphDB instance.
+type storeFilter struct {
+	db    graphdb.Graph
+	stats *Stats
+}
+
+// Init implements datacutter.Filter.
+func (f *storeFilter) Init(ctx *datacutter.Context) error { return nil }
+
+// Process implements datacutter.Filter.
+func (f *storeFilter) Process(ctx *datacutter.Context) error {
+	in, err := ctx.Input("in")
+	if err != nil {
+		return err
+	}
+	for {
+		buf, err := in.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		edges, err := decodeEdges(buf.Data)
+		if err != nil {
+			return err
+		}
+		if err := f.db.StoreEdges(edges); err != nil {
+			return err
+		}
+		f.stats.EdgesStored.Add(int64(len(edges)))
+	}
+}
+
+// Finalize implements datacutter.Filter: make the stored graph durable
+// and retrievable before the query phase starts.
+func (f *storeFilter) Finalize(ctx *datacutter.Context) error {
+	return f.db.Flush()
+}
+
+// BuildGraph assembles the ingestion filter graph (Fig 3.1's front-end →
+// back-end flow):
+//
+//	ingest[0..F) --directed--> store[0..B)
+//
+// makeReader returns front-end copy i's partition of the input stream;
+// db returns back-end copy i's GraphDB instance. Placement of the two
+// filters is the caller's: the engine puts store copies on the storage
+// nodes and ingest copies on the front-end nodes.
+func BuildGraph(g *datacutter.Graph, cfg Config, stats *Stats,
+	makeReader func(copy int) (graph.EdgeReader, error),
+	db func(copy int) graphdb.Graph,
+	ingestPlacement, storePlacement datacutter.Placement,
+) error {
+	if cfg.FrontEnds < 1 || cfg.Backends < 1 {
+		return fmt.Errorf("ingest: need >= 1 front-end and >= 1 back-end, got %d/%d", cfg.FrontEnds, cfg.Backends)
+	}
+	err := g.AddFilter("ingest", func(in datacutter.Instance) (datacutter.Filter, error) {
+		r, err := makeReader(in.Copy)
+		if err != nil {
+			return nil, err
+		}
+		return &ingestFilter{cfg: cfg, reader: r, policy: cfg.policy(), stats: stats}, nil
+	}, ingestPlacement)
+	if err != nil {
+		return err
+	}
+	err = g.AddFilter("store", func(in datacutter.Instance) (datacutter.Filter, error) {
+		d := db(in.Copy)
+		if d == nil {
+			return nil, fmt.Errorf("ingest: no database for store copy %d", in.Copy)
+		}
+		return &storeFilter{db: d, stats: stats}, nil
+	}, storePlacement)
+	if err != nil {
+		return err
+	}
+	return g.Connect("ingest", "out", "store", "in", datacutter.Directed)
+}

@@ -1,0 +1,441 @@
+package query
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mssg/internal/cluster"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+// Channel layout for one BFS run. The query service reserves its own
+// range, away from DataCutter's stream channels.
+const (
+	chFringe cluster.ChannelID = 0x0100 // fringe exchange (chunks + level-done markers)
+	chCollUp cluster.ChannelID = 0x0101
+	chCollDn cluster.ChannelID = 0x0102
+)
+
+// Ownership selects how the BFS routes next-level fringe vertices
+// (paper §4.2).
+type Ownership int
+
+const (
+	// KnownMapping uses the globally known GID % p vertex→node mapping:
+	// each discovered vertex is sent only to its owner.
+	KnownMapping Ownership = iota
+	// BroadcastFringe broadcasts discovered vertices to all nodes, as
+	// required for edge-granularity storage or unknown mappings.
+	BroadcastFringe
+)
+
+func (o Ownership) String() string {
+	if o == KnownMapping {
+		return "known-mapping"
+	}
+	return "broadcast"
+}
+
+// BFSConfig parameterizes one parallel out-of-core BFS.
+type BFSConfig struct {
+	Source graph.VertexID
+	Dest   graph.VertexID
+	// Ownership selects fringe routing (paper Algorithm 1, lines 16-21).
+	Ownership Ownership
+	// Pipelined selects Algorithm 2 (threshold-chunked, overlapped
+	// communication) instead of Algorithm 1.
+	Pipelined bool
+	// Threshold is Algorithm 2's chunk size; <= 0 means 1024.
+	Threshold int
+	// MaxLevels aborts runaway searches; <= 0 means 64 (far beyond any
+	// small-world diameter).
+	MaxLevels int
+	// Prefetch warms the storage cache for each level's fringe with
+	// offset-sorted reads before expansion, when the backend supports it
+	// (the paper's §4.2 pre-fetching optimization; grDB implements it).
+	Prefetch bool
+	// Filter restricts expansion to neighbours whose per-vertex metadata
+	// passes a Listing 3.1 filter — semantic traversal when vertex types
+	// are stored as metadata (e.g. FilterEqual with ref = a type id walks
+	// only vertices of that type). The zero value means no filtering.
+	Filter MetaFilter
+	// ReturnPath asks the level-synchronous BFS to also reconstruct the
+	// shortest path (BFSResult.Path). Costs (vertex, parent) pairs on the
+	// wire and per-vertex (not batched) expansion; unsupported by the
+	// pipelined variant.
+	ReturnPath bool
+	// OwnerOf overrides the GID %% p vertex→node mapping under
+	// KnownMapping ownership — used with directory-based clustering
+	// policies (paper §3.2: "the Ingestion service needs to keep track
+	// of the owner of that vertex's edges"). Must be safe for concurrent
+	// use and agree with how the graph was actually declustered. Nil
+	// selects the modulo mapping.
+	OwnerOf func(v graph.VertexID) cluster.NodeID
+	// NewVisited constructs the per-node visited structure; nil means
+	// in-memory. It is called once per node.
+	NewVisited func(node cluster.NodeID) (Visited, error)
+}
+
+func (c *BFSConfig) threshold() int {
+	if c.Threshold <= 0 {
+		return 1024
+	}
+	return c.Threshold
+}
+
+func (c *BFSConfig) maxLevels() int32 {
+	if c.MaxLevels <= 0 {
+		return 64
+	}
+	return int32(c.MaxLevels)
+}
+
+// ownerOf resolves the vertex→node mapping in effect.
+func (c *BFSConfig) ownerOf(v graph.VertexID, p int) cluster.NodeID {
+	if c.OwnerOf != nil {
+		return c.OwnerOf(v)
+	}
+	return cluster.Owner(int64(v), p)
+}
+
+// BFSResult is the combined outcome of a parallel BFS.
+type BFSResult struct {
+	// Found reports whether Dest was reached.
+	Found bool
+	// PathLength is the BFS level at which Dest was found (the paper's
+	// levcnt); -1 if not found.
+	PathLength int32
+	// EdgesTraversed is the total number of adjacency entries scanned
+	// across all nodes (the numerator of Figs 5.7 and 5.9).
+	EdgesTraversed int64
+	// VerticesVisited counts marked vertices across all nodes.
+	VerticesVisited int64
+	// FringeSent counts fringe vertices shipped to other nodes — the
+	// communication volume a good clustering policy minimizes (§3.2).
+	FringeSent int64
+	// Path is the reconstructed shortest path source..dest when
+	// BFSConfig.ReturnPath was set and the destination was found.
+	Path []graph.VertexID
+	// Levels is the number of BFS levels executed.
+	Levels int32
+}
+
+// fringe wire format: kind byte, then count little-endian uint64 ids.
+const (
+	fkChunk byte = 0 // fringe vertex ids
+	fkDone  byte = 1 // sender finished this level
+)
+
+func encodeChunk(ids []graph.VertexID) []byte {
+	b := make([]byte, 1+8*len(ids))
+	b[0] = fkChunk
+	for i, v := range ids {
+		binary.LittleEndian.PutUint64(b[1+8*i:], uint64(v))
+	}
+	return b
+}
+
+func decodeChunk(p []byte) ([]graph.VertexID, error) {
+	if len(p) < 1 || (len(p)-1)%8 != 0 {
+		return nil, fmt.Errorf("query: bad fringe frame of %d bytes", len(p))
+	}
+	ids := make([]graph.VertexID, (len(p)-1)/8)
+	for i := range ids {
+		ids[i] = graph.VertexID(binary.LittleEndian.Uint64(p[1+8*i:]))
+	}
+	return ids, nil
+}
+
+// ParallelBFS runs one BFS over the fabric: node i serves partition i
+// through dbs[i]. It blocks until every node finishes and returns the
+// combined result. The dbs slice length must equal the fabric size.
+func ParallelBFS(f cluster.Fabric, dbs []graphdb.Graph, cfg BFSConfig) (BFSResult, error) {
+	if len(dbs) != f.Nodes() {
+		return BFSResult{}, fmt.Errorf("query: %d databases for %d nodes", len(dbs), f.Nodes())
+	}
+	results := make([]BFSResult, f.Nodes())
+	err := cluster.Run(f, func(ep cluster.Endpoint) error {
+		r, err := bfsNode(ep, dbs[ep.ID()], cfg)
+		if err != nil {
+			return err
+		}
+		results[ep.ID()] = r
+		return nil
+	})
+	if err != nil {
+		return BFSResult{}, err
+	}
+	// Node results agree on Found/PathLength/Levels (collectively
+	// decided); work counters are per-node sums.
+	combined := results[0]
+	combined.EdgesTraversed = 0
+	combined.VerticesVisited = 0
+	combined.FringeSent = 0
+	combined.Path = nil
+	for _, r := range results {
+		combined.EdgesTraversed += r.EdgesTraversed
+		combined.VerticesVisited += r.VerticesVisited
+		combined.FringeSent += r.FringeSent
+		if r.Path != nil {
+			combined.Path = r.Path
+		}
+	}
+	return combined, nil
+}
+
+// bfsNode is one node's share of the search; it dispatches to the
+// level-synchronous or pipelined variant.
+func bfsNode(ep cluster.Endpoint, db graphdb.Graph, cfg BFSConfig) (BFSResult, error) {
+	visited, err := newVisited(ep.ID(), cfg)
+	if err != nil {
+		return BFSResult{}, err
+	}
+	defer visited.Close()
+	if cfg.Pipelined {
+		if cfg.ReturnPath {
+			return BFSResult{}, fmt.Errorf("query: ReturnPath requires the level-synchronous BFS")
+		}
+		return bfsPipelined(ep, db, visited, cfg)
+	}
+	return bfsLevelSync(ep, db, visited, cfg)
+}
+
+func newVisited(node cluster.NodeID, cfg BFSConfig) (Visited, error) {
+	if cfg.NewVisited == nil {
+		return NewMemVisited(), nil
+	}
+	return cfg.NewVisited(node)
+}
+
+// bfsLevelSync is Algorithm 1: expand the whole fringe, exchange the next
+// fringe, synchronize, repeat. The termination conditions of the paper
+// ('found' message; exhausted graph) are realized with an all-reduce per
+// level, which decides found/empty at identical points on every node.
+func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BFSConfig) (BFSResult, error) {
+	coll := cluster.NewCollective(ep, chCollUp, chCollDn)
+	p := ep.Nodes()
+	self := ep.ID()
+
+	res := BFSResult{PathLength: -1}
+	if cfg.Source == cfg.Dest {
+		res.Found = true
+		res.PathLength = 0
+		if cfg.ReturnPath {
+			res.Path = []graph.VertexID{cfg.Source}
+		}
+		return res, nil
+	}
+
+	// Seed: the source's owner holds the level-0 fringe. Under broadcast
+	// ownership every node seeds (local adjacency of non-local vertices
+	// is empty, step 5 of Algorithm 1).
+	var fringe []graph.VertexID
+	seedHere := cfg.Ownership == BroadcastFringe || cfg.ownerOf(cfg.Source, p) == self
+	if seedHere {
+		if _, err := visited.MarkIfNew(cfg.Source, 0); err != nil {
+			return res, err
+		}
+		fringe = append(fringe, cfg.Source)
+	}
+
+	// parents records each vertex's BFS predecessor for ReturnPath.
+	var parents map[graph.VertexID]graph.VertexID
+	if cfg.ReturnPath {
+		parents = make(map[graph.VertexID]graph.VertexID)
+	}
+
+	prefetcher, _ := db.(graphdb.Prefetcher)
+	filterOp, filterRef := cfg.Filter.metaOp()
+	adj := graph.NewAdjList(1024)
+	var levcnt int32
+	for levcnt < cfg.maxLevels() {
+		levcnt++
+		if cfg.Prefetch && prefetcher != nil {
+			if _, err := prefetcher.PrefetchAdjacency(fringe); err != nil {
+				return res, err
+			}
+		}
+
+		foundLocal := int64(0)
+		outbound := make([][]graph.VertexID, p)
+		outboundPairs := make([][]graph.Edge, p)
+		var localNext []graph.VertexID
+
+		// classify routes one newly marked vertex discovered from parent.
+		classify := func(u, parent graph.VertexID) {
+			res.VerticesVisited++
+			if parents != nil {
+				parents[u] = parent
+			}
+			if cfg.Ownership == KnownMapping {
+				owner := cfg.ownerOf(u, p)
+				if owner == self {
+					localNext = append(localNext, u)
+					return
+				}
+				if cfg.ReturnPath {
+					outboundPairs[owner] = append(outboundPairs[owner], graph.Edge{Src: u, Dst: parent})
+				} else {
+					outbound[owner] = append(outbound[owner], u)
+				}
+				res.FringeSent++
+				return
+			}
+			localNext = append(localNext, u)
+			for q := 0; q < p; q++ {
+				if cluster.NodeID(q) == self {
+					continue
+				}
+				if cfg.ReturnPath {
+					outboundPairs[q] = append(outboundPairs[q], graph.Edge{Src: u, Dst: parent})
+				} else {
+					outbound[q] = append(outbound[q], u)
+				}
+				res.FringeSent++
+			}
+		}
+
+		if cfg.ReturnPath {
+			// Per-vertex expansion: the batch API loses which fringe
+			// vertex produced each neighbour, and parents need it.
+			for _, v := range fringe {
+				adj.Reset()
+				if err := db.AdjacencyUsingMetadata(v, adj, filterRef, filterOp); err != nil {
+					return res, err
+				}
+				res.EdgesTraversed += int64(adj.Len())
+				for _, u := range adj.IDs() {
+					if u == cfg.Dest {
+						foundLocal = 1
+					}
+					isNew, err := visited.MarkIfNew(u, levcnt)
+					if err != nil {
+						return res, err
+					}
+					if isNew {
+						classify(u, v)
+					}
+				}
+			}
+		} else {
+			// Expand the local fringe in one batch (StreamDB requires
+			// it; everyone else benefits from it too).
+			adj.Reset()
+			if err := graphdb.AdjacencyBatch(db, fringe, adj, filterRef, filterOp); err != nil {
+				return res, err
+			}
+			res.EdgesTraversed += int64(adj.Len())
+			for _, u := range adj.IDs() {
+				if u == cfg.Dest {
+					foundLocal = 1
+				}
+				isNew, err := visited.MarkIfNew(u, levcnt)
+				if err != nil {
+					return res, err
+				}
+				if isNew {
+					classify(u, 0)
+				}
+			}
+		}
+
+		// Exchange: send each peer its share (possibly empty), then a
+		// done marker; collect peers' chunks until all markers arrive.
+		for q := 0; q < p; q++ {
+			if cluster.NodeID(q) == self {
+				continue
+			}
+			if len(outbound[q]) > 0 {
+				if err := ep.Send(cluster.NodeID(q), chFringe, encodeChunk(outbound[q])); err != nil {
+					return res, err
+				}
+			}
+			if len(outboundPairs[q]) > 0 {
+				if err := ep.Send(cluster.NodeID(q), chFringe, encodeChunkPairs(outboundPairs[q])); err != nil {
+					return res, err
+				}
+			}
+			if err := ep.Send(cluster.NodeID(q), chFringe, []byte{fkDone}); err != nil {
+				return res, err
+			}
+		}
+		next := localNext
+		absorb := func(u, parent graph.VertexID) error {
+			// Receive-side dedup (Algorithm 2 lines 24-27): a vertex
+			// already seen here is not re-expanded.
+			isNew, err := visited.MarkIfNew(u, levcnt)
+			if err != nil {
+				return err
+			}
+			if isNew {
+				res.VerticesVisited++
+				if parents != nil {
+					parents[u] = parent
+				}
+				next = append(next, u)
+			}
+			return nil
+		}
+		for done := 0; done < p-1; {
+			msg, err := ep.Recv(chFringe)
+			if err != nil {
+				return res, err
+			}
+			switch msg.Payload[0] {
+			case fkDone:
+				done++
+			case fkChunk:
+				ids, err := decodeChunk(msg.Payload)
+				if err != nil {
+					return res, err
+				}
+				for _, u := range ids {
+					if err := absorb(u, 0); err != nil {
+						return res, err
+					}
+				}
+			case fkChunkP:
+				pairs, err := decodeChunkPairs(msg.Payload)
+				if err != nil {
+					return res, err
+				}
+				for _, pr := range pairs {
+					if err := absorb(pr.Src, pr.Dst); err != nil {
+						return res, err
+					}
+				}
+			default:
+				return res, fmt.Errorf("query: unknown fringe frame kind %d", msg.Payload[0])
+			}
+		}
+
+		// Level barrier + termination checks.
+		foundGlobal, err := coll.AllReduceMax(foundLocal)
+		if err != nil {
+			return res, err
+		}
+		res.Levels = levcnt
+		if foundGlobal > 0 {
+			res.Found = true
+			res.PathLength = levcnt
+			if cfg.ReturnPath {
+				path, err := walkParents(ep, &cfg, parents, levcnt)
+				if err != nil {
+					return res, err
+				}
+				res.Path = path
+			}
+			return res, nil
+		}
+		total, err := coll.AllReduceSum(int64(len(next)))
+		if err != nil {
+			return res, err
+		}
+		if total == 0 {
+			return res, nil
+		}
+		fringe = next
+	}
+	return res, fmt.Errorf("query: BFS exceeded %d levels", cfg.maxLevels())
+}

@@ -1,0 +1,43 @@
+package query
+
+import "mssg/internal/graphdb"
+
+// MetaFilter is a metadata predicate applied during traversal, wrapping
+// the Listing 3.1 operations so that a zero value means "no filtering"
+// (graphdb.MetaIgnore itself is -2 and unusable as a zero default).
+type MetaFilter struct {
+	Op  MetaFilterOp
+	Ref int32
+}
+
+// MetaFilterOp enumerates traversal filters; the zero value disables
+// filtering.
+type MetaFilterOp int32
+
+const (
+	// FilterNone disables metadata filtering (the default).
+	FilterNone MetaFilterOp = iota
+	// FilterEqual keeps neighbours whose metadata == Ref.
+	FilterEqual
+	// FilterNotEqual keeps neighbours whose metadata != Ref.
+	FilterNotEqual
+	// FilterGreater keeps neighbours whose metadata > Ref.
+	FilterGreater
+	// FilterLess keeps neighbours whose metadata < Ref.
+	FilterLess
+)
+
+// metaOp translates to the GraphDB operation encoding.
+func (f MetaFilter) metaOp() (graphdb.MetaOp, int32) {
+	switch f.Op {
+	case FilterEqual:
+		return graphdb.MetaEqual, f.Ref
+	case FilterNotEqual:
+		return graphdb.MetaNotEqual, f.Ref
+	case FilterGreater:
+		return graphdb.MetaGreater, f.Ref
+	case FilterLess:
+		return graphdb.MetaLess, f.Ref
+	}
+	return graphdb.MetaIgnore, 0
+}

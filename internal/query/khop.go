@@ -1,0 +1,271 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+
+	"mssg/internal/cluster"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+// K-hop neighbourhood analysis: how many vertices lie within k hops of a
+// source? This is the other relationship-analysis primitive the paper's
+// introduction motivates ("queries which analyze long paths often must
+// access a significant portion of the graph data") — it measures exactly
+// that portion. It reuses the level-synchronous machinery of Algorithm 1
+// with no destination cut-off.
+
+// KHopConfig parameterizes a k-hop neighbourhood count.
+type KHopConfig struct {
+	Source graph.VertexID
+	// K is the number of BFS levels to expand.
+	K int
+	// Ownership selects fringe routing, as in BFSConfig.
+	Ownership Ownership
+}
+
+// KHopResult reports the neighbourhood profile.
+type KHopResult struct {
+	// PerLevel[i] is the number of vertices first reached at level i+1.
+	PerLevel []int64
+	// Total is the number of distinct vertices within K hops (excluding
+	// the source).
+	Total int64
+	// EdgesTraversed counts adjacency entries scanned.
+	EdgesTraversed int64
+}
+
+// ParallelKHop runs the analysis across the fabric.
+func ParallelKHop(f cluster.Fabric, dbs []graphdb.Graph, cfg KHopConfig) (KHopResult, error) {
+	if len(dbs) != f.Nodes() {
+		return KHopResult{}, fmt.Errorf("query: %d databases for %d nodes", len(dbs), f.Nodes())
+	}
+	if cfg.K < 1 {
+		return KHopResult{}, fmt.Errorf("query: k-hop needs K >= 1, got %d", cfg.K)
+	}
+	results := make([]KHopResult, f.Nodes())
+	err := cluster.Run(f, func(ep cluster.Endpoint) error {
+		r, err := khopNode(ep, dbs[ep.ID()], cfg)
+		if err != nil {
+			return err
+		}
+		results[ep.ID()] = r
+		return nil
+	})
+	if err != nil {
+		return KHopResult{}, err
+	}
+	combined := KHopResult{PerLevel: make([]int64, 0, cfg.K)}
+	for lvl := 0; ; lvl++ {
+		var sum int64
+		any := false
+		for _, r := range results {
+			if lvl < len(r.PerLevel) {
+				sum += r.PerLevel[lvl]
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+		combined.PerLevel = append(combined.PerLevel, sum)
+		combined.Total += sum
+	}
+	for _, r := range results {
+		combined.EdgesTraversed += r.EdgesTraversed
+	}
+	return combined, nil
+}
+
+// khopNode is one node's share: Algorithm 1 without a destination,
+// bounded at K levels. Per-level counts are each node's newly marked
+// vertices; under known-mapping ownership each vertex is counted exactly
+// once (by its owner receiving it, or locally).
+func khopNode(ep cluster.Endpoint, db graphdb.Graph, cfg KHopConfig) (KHopResult, error) {
+	coll := cluster.NewCollective(ep, chCollUp, chCollDn)
+	p := ep.Nodes()
+	self := ep.ID()
+	res := KHopResult{}
+
+	visited := NewMemVisited()
+	defer visited.Close()
+
+	var fringe []graph.VertexID
+	seedHere := cfg.Ownership == BroadcastFringe || cluster.Owner(int64(cfg.Source), p) == self
+	if seedHere {
+		if _, err := visited.MarkIfNew(cfg.Source, 0); err != nil {
+			return res, err
+		}
+		fringe = append(fringe, cfg.Source)
+	}
+
+	adj := graph.NewAdjList(1024)
+	for levcnt := int32(1); levcnt <= int32(cfg.K); levcnt++ {
+		adj.Reset()
+		if err := graphdb.AdjacencyBatch(db, fringe, adj, 0, graphdb.MetaIgnore); err != nil {
+			return res, err
+		}
+		res.EdgesTraversed += int64(adj.Len())
+
+		outbound := make([][]graph.VertexID, p)
+		var localNext []graph.VertexID
+		var newHere int64
+		for _, u := range adj.IDs() {
+			isNew, err := visited.MarkIfNew(u, levcnt)
+			if err != nil {
+				return res, err
+			}
+			if !isNew {
+				continue
+			}
+			if cfg.Ownership == KnownMapping {
+				owner := cluster.Owner(int64(u), p)
+				if owner == self {
+					newHere++
+					localNext = append(localNext, u)
+				} else {
+					outbound[owner] = append(outbound[owner], u)
+				}
+			} else {
+				newHere++
+				localNext = append(localNext, u)
+				for q := 0; q < p; q++ {
+					if cluster.NodeID(q) != self {
+						outbound[q] = append(outbound[q], u)
+					}
+				}
+			}
+		}
+		for q := 0; q < p; q++ {
+			if cluster.NodeID(q) == self {
+				continue
+			}
+			if len(outbound[q]) > 0 {
+				if err := ep.Send(cluster.NodeID(q), chFringe, encodeChunk(outbound[q])); err != nil {
+					return res, err
+				}
+			}
+			if err := ep.Send(cluster.NodeID(q), chFringe, []byte{fkDone}); err != nil {
+				return res, err
+			}
+		}
+		next := localNext
+		for done := 0; done < p-1; {
+			msg, err := ep.Recv(chFringe)
+			if err != nil {
+				return res, err
+			}
+			switch msg.Payload[0] {
+			case fkDone:
+				done++
+			case fkChunk:
+				ids, err := decodeChunk(msg.Payload)
+				if err != nil {
+					return res, err
+				}
+				for _, u := range ids {
+					isNew, err := visited.MarkIfNew(u, levcnt)
+					if err != nil {
+						return res, err
+					}
+					if isNew {
+						// Under known mapping, the receiving owner is
+						// the counting authority for u.
+						if cfg.Ownership == KnownMapping {
+							newHere++
+						}
+						next = append(next, u)
+					}
+				}
+			default:
+				return res, fmt.Errorf("query: unknown fringe frame kind %d", msg.Payload[0])
+			}
+		}
+
+		// Under broadcast ownership every node marks every vertex; only
+		// the owner's count enters the per-level total to avoid p-fold
+		// counting.
+		if cfg.Ownership == BroadcastFringe {
+			newHere = 0
+			for _, u := range next {
+				if cluster.Owner(int64(u), p) == self {
+					newHere++
+				}
+			}
+		}
+		res.PerLevel = append(res.PerLevel, newHere)
+
+		total, err := coll.AllReduceSum(int64(len(next)))
+		if err != nil {
+			return res, err
+		}
+		if total == 0 {
+			break
+		}
+		fringe = next
+	}
+	return res, nil
+}
+
+// khopAnalysis adapts ParallelKHop to the Query Service registry.
+type khopAnalysis struct{}
+
+func (khopAnalysis) Name() string { return "khop" }
+
+func (khopAnalysis) Describe() string {
+	return "count vertices within k hops of a source (params: source, k, broadcast)"
+}
+
+func (khopAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
+	src, err := requiredVertex(params, "source")
+	if err != nil {
+		return nil, err
+	}
+	ks, ok := params["k"]
+	if !ok {
+		return nil, fmt.Errorf("query: missing required param %q", "k")
+	}
+	k, err := strconv.Atoi(ks)
+	if err != nil {
+		return nil, fmt.Errorf("query: bad k %q: %w", ks, err)
+	}
+	cfg := KHopConfig{Source: src, K: k}
+	if params["broadcast"] == "true" {
+		cfg.Ownership = BroadcastFringe
+	}
+	return ParallelKHop(f, dbs, cfg)
+}
+
+// statsAnalysis reports aggregate GraphDB work counters per node — the
+// framework-level observability hook.
+type statsAnalysis struct{}
+
+func (statsAnalysis) Name() string { return "dbstats" }
+
+func (statsAnalysis) Describe() string {
+	return "aggregate GraphDB statistics across back-end nodes (no params)"
+}
+
+// DBStats is the dbstats analysis result.
+type DBStats struct {
+	PerNode []graphdb.Stats
+	Total   graphdb.Stats
+}
+
+func (statsAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
+	out := DBStats{PerNode: make([]graphdb.Stats, len(dbs))}
+	for i, db := range dbs {
+		s := db.Stats()
+		out.PerNode[i] = s
+		out.Total.EdgesStored += s.EdgesStored
+		out.Total.AdjacencyCalls += s.AdjacencyCalls
+		out.Total.NeighborsReturned += s.NeighborsReturned
+	}
+	return out, nil
+}
+
+func init() {
+	RegisterAnalysis(khopAnalysis{})
+	RegisterAnalysis(statsAnalysis{})
+}

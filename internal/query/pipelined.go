@@ -1,0 +1,216 @@
+package query
+
+import (
+	"fmt"
+
+	"mssg/internal/cluster"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+// bfsPipelined is Algorithm 2: identical level structure to Algorithm 1,
+// but within a level the next fringe is shipped in chunks as soon as a
+// destination bucket passes the threshold, and incoming chunks are drained
+// between expansions, overlapping communication with the out-of-core
+// adjacency reads. Because sends are asynchronous (the fabric buffers
+// them), the expansion loop keeps processing local fringe vertices while
+// the communication subsystem moves the chunks, as §4.2 describes.
+func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BFSConfig) (BFSResult, error) {
+	coll := cluster.NewCollective(ep, chCollUp, chCollDn)
+	p := ep.Nodes()
+	self := ep.ID()
+	threshold := cfg.threshold()
+
+	res := BFSResult{PathLength: -1}
+	if cfg.Source == cfg.Dest {
+		res.Found = true
+		res.PathLength = 0
+		return res, nil
+	}
+
+	var fringe []graph.VertexID
+	seedHere := cfg.Ownership == BroadcastFringe || cfg.ownerOf(cfg.Source, p) == self
+	if seedHere {
+		if _, err := visited.MarkIfNew(cfg.Source, 0); err != nil {
+			return res, err
+		}
+		fringe = append(fringe, cfg.Source)
+	}
+
+	prefetcher, _ := db.(graphdb.Prefetcher)
+	filterOp, filterRef := cfg.Filter.metaOp()
+	adj := graph.NewAdjList(1024)
+	var levcnt int32
+	for levcnt < cfg.maxLevels() {
+		levcnt++
+		if cfg.Prefetch && prefetcher != nil {
+			if _, err := prefetcher.PrefetchAdjacency(fringe); err != nil {
+				return res, err
+			}
+		}
+		foundLocal := int64(0)
+		buckets := make([][]graph.VertexID, p)
+		var next []graph.VertexID
+		doneSeen := 0
+
+		// mergeChunk adds received fringe vertices (receive-side dedup,
+		// Algorithm 2 lines 24-27).
+		mergeChunk := func(payload []byte) error {
+			ids, err := decodeChunk(payload)
+			if err != nil {
+				return err
+			}
+			for _, u := range ids {
+				isNew, err := visited.MarkIfNew(u, levcnt)
+				if err != nil {
+					return err
+				}
+				if isNew {
+					res.VerticesVisited++
+					next = append(next, u)
+				}
+			}
+			return nil
+		}
+
+		// poll drains whatever has already arrived, without blocking.
+		poll := func() error {
+			for {
+				msg, ok, err := ep.TryRecv(chFringe)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				switch msg.Payload[0] {
+				case fkDone:
+					doneSeen++
+				case fkChunk:
+					if err := mergeChunk(msg.Payload); err != nil {
+						return err
+					}
+				default:
+					return fmt.Errorf("query: unknown fringe frame kind %d", msg.Payload[0])
+				}
+			}
+		}
+
+		sendBucket := func(q int) error {
+			if len(buckets[q]) == 0 {
+				return nil
+			}
+			if err := ep.Send(cluster.NodeID(q), chFringe, encodeChunk(buckets[q])); err != nil {
+				return err
+			}
+			buckets[q] = buckets[q][:0]
+			return nil
+		}
+
+		// Expand the fringe one vertex at a time, pipelining chunk sends
+		// (Algorithm 2 lines 9-22).
+		for _, v := range fringe {
+			adj.Reset()
+			if err := db.AdjacencyUsingMetadata(v, adj, filterRef, filterOp); err != nil {
+				return res, err
+			}
+			res.EdgesTraversed += int64(adj.Len())
+			for _, u := range adj.IDs() {
+				if u == cfg.Dest {
+					foundLocal = 1
+				}
+				isNew, err := visited.MarkIfNew(u, levcnt)
+				if err != nil {
+					return res, err
+				}
+				if !isNew {
+					continue
+				}
+				res.VerticesVisited++
+				if cfg.Ownership == KnownMapping {
+					owner := cfg.ownerOf(u, p)
+					if owner == self {
+						next = append(next, u)
+						continue
+					}
+					buckets[owner] = append(buckets[owner], u)
+					res.FringeSent++
+					if len(buckets[owner]) >= threshold {
+						if err := sendBucket(int(owner)); err != nil {
+							return res, err
+						}
+					}
+				} else {
+					next = append(next, u)
+					for q := 0; q < p; q++ {
+						if cluster.NodeID(q) == self {
+							continue
+						}
+						buckets[q] = append(buckets[q], u)
+						res.FringeSent++
+						if len(buckets[q]) >= threshold {
+							if err := sendBucket(q); err != nil {
+								return res, err
+							}
+						}
+					}
+				}
+			}
+			// Overlap: absorb whatever peers have sent so far.
+			if err := poll(); err != nil {
+				return res, err
+			}
+		}
+
+		// Flush remaining buckets, signal level completion, then drain
+		// until every peer has signalled (FIFO per sender guarantees all
+		// their chunks precede their marker).
+		for q := 0; q < p; q++ {
+			if cluster.NodeID(q) == self {
+				continue
+			}
+			if err := sendBucket(q); err != nil {
+				return res, err
+			}
+			if err := ep.Send(cluster.NodeID(q), chFringe, []byte{fkDone}); err != nil {
+				return res, err
+			}
+		}
+		for doneSeen < p-1 {
+			msg, err := ep.Recv(chFringe)
+			if err != nil {
+				return res, err
+			}
+			switch msg.Payload[0] {
+			case fkDone:
+				doneSeen++
+			case fkChunk:
+				if err := mergeChunk(msg.Payload); err != nil {
+					return res, err
+				}
+			default:
+				return res, fmt.Errorf("query: unknown fringe frame kind %d", msg.Payload[0])
+			}
+		}
+
+		foundGlobal, err := coll.AllReduceMax(foundLocal)
+		if err != nil {
+			return res, err
+		}
+		res.Levels = levcnt
+		if foundGlobal > 0 {
+			res.Found = true
+			res.PathLength = levcnt
+			return res, nil
+		}
+		total, err := coll.AllReduceSum(int64(len(next)))
+		if err != nil {
+			return res, err
+		}
+		if total == 0 {
+			return res, nil
+		}
+		fringe = next
+	}
+	return res, fmt.Errorf("query: BFS exceeded %d levels", cfg.maxLevels())
+}

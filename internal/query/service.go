@@ -1,0 +1,117 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"mssg/internal/cluster"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+// Analysis is one registered data-analysis technique. The paper's Query
+// Service keeps a registry of implemented analyses that clients can list
+// and invoke by name (§3.3); BFS relationship analysis is the built-in
+// one, and applications may register their own.
+type Analysis interface {
+	// Name is the registry key.
+	Name() string
+	// Describe is a one-line human description.
+	Describe() string
+	// Run executes the analysis across the fabric; params are
+	// analysis-specific strings (a query-language stand-in).
+	Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error)
+}
+
+var (
+	analysesMu sync.RWMutex
+	analyses   = make(map[string]Analysis)
+)
+
+// RegisterAnalysis adds an analysis to the Query Service registry.
+func RegisterAnalysis(a Analysis) {
+	analysesMu.Lock()
+	defer analysesMu.Unlock()
+	if _, dup := analyses[a.Name()]; dup {
+		panic(fmt.Sprintf("query: analysis %q registered twice", a.Name()))
+	}
+	analyses[a.Name()] = a
+}
+
+// LookupAnalysis finds a registered analysis.
+func LookupAnalysis(name string) (Analysis, bool) {
+	analysesMu.RLock()
+	defer analysesMu.RUnlock()
+	a, ok := analyses[name]
+	return a, ok
+}
+
+// Analyses lists registered analysis names, sorted.
+func Analyses() []string {
+	analysesMu.RLock()
+	defer analysesMu.RUnlock()
+	names := make([]string, 0, len(analyses))
+	for n := range analyses {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// bfsAnalysis adapts ParallelBFS to the Analysis registry.
+type bfsAnalysis struct{}
+
+func (bfsAnalysis) Name() string { return "bfs" }
+
+func (bfsAnalysis) Describe() string {
+	return "parallel out-of-core breadth-first search between two vertices (params: source, dest, pipelined, broadcast, threshold)"
+}
+
+func (bfsAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
+	cfg := BFSConfig{}
+	src, err := requiredVertex(params, "source")
+	if err != nil {
+		return nil, err
+	}
+	dst, err := requiredVertex(params, "dest")
+	if err != nil {
+		return nil, err
+	}
+	cfg.Source, cfg.Dest = src, dst
+	if params["pipelined"] == "true" {
+		cfg.Pipelined = true
+	}
+	if params["broadcast"] == "true" {
+		cfg.Ownership = BroadcastFringe
+	}
+	if t := params["threshold"]; t != "" {
+		n, err := strconv.Atoi(t)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad threshold %q: %w", t, err)
+		}
+		cfg.Threshold = n
+	}
+	return ParallelBFS(f, dbs, cfg)
+}
+
+func requiredVertex(params map[string]string, key string) (graph.VertexID, error) {
+	s, ok := params[key]
+	if !ok {
+		return 0, fmt.Errorf("query: missing required param %q", key)
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query: bad %s %q: %w", key, s, err)
+	}
+	v := graph.VertexID(n)
+	if !v.Valid() {
+		return 0, fmt.Errorf("query: %s %d outside vertex range", key, n)
+	}
+	return v, nil
+}
+
+func init() {
+	RegisterAnalysis(bfsAnalysis{})
+}

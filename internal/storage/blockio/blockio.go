@@ -1,0 +1,207 @@
+// Package blockio provides the multi-file block storage grDB sits on
+// (paper §3.4.1): a logically unbounded array of fixed-size blocks,
+// striped across files capped at M bytes each. Blocks are the smallest
+// unit of I/O; sub-block packing and addressing live in the grDB layer.
+//
+// Blocks are implicitly zero until first written: reading a block past the
+// current end of its file (or from a file that does not exist yet) yields
+// zeroes without error, matching the "fresh storage" semantics grDB's
+// word encoding relies on.
+package blockio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Store is one level's block file set.
+type Store struct {
+	dir           string
+	prefix        string
+	blockSize     int
+	blocksPerFile int64
+
+	mu    sync.Mutex
+	files map[int64]*os.File
+
+	reads  atomic.Int64
+	writes atomic.Int64
+
+	// Simulated per-block latencies (see SimulateLatency). Debt is
+	// accumulated and paid in quanta: one timer event per microsecond of
+	// simulated latency would swamp a small machine's scheduler and stop
+	// node goroutines from overlapping their waits.
+	readLatency  time.Duration
+	writeLatency time.Duration
+	latencyOwed  atomic.Int64 // nanoseconds not yet slept
+}
+
+// latencyQuantum is the smallest simulated-latency debt actually slept.
+const latencyQuantum = time.Millisecond
+
+// charge adds simulated latency debt and sleeps once a full quantum is
+// owed.
+func (s *Store) charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	owed := s.latencyOwed.Add(int64(d))
+	if owed >= int64(latencyQuantum) && s.latencyOwed.CompareAndSwap(owed, 0) {
+		time.Sleep(time.Duration(owed))
+	}
+}
+
+// Counters reports physical block I/O performed so far.
+type Counters struct {
+	BlockReads  int64
+	BlockWrites int64
+}
+
+// Open creates (or reopens) a block store in dir. Files are named
+// "<prefix>.<n>". maxFileBytes is the paper's M (256 MB in the prototype);
+// it must be a positive multiple of blockSize.
+func Open(dir, prefix string, blockSize int, maxFileBytes int64) (*Store, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("blockio: block size must be positive, got %d", blockSize)
+	}
+	if maxFileBytes < int64(blockSize) || maxFileBytes%int64(blockSize) != 0 {
+		return nil, fmt.Errorf("blockio: max file size %d must be a positive multiple of block size %d", maxFileBytes, blockSize)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blockio: %w", err)
+	}
+	return &Store{
+		dir:           dir,
+		prefix:        prefix,
+		blockSize:     blockSize,
+		blocksPerFile: maxFileBytes / int64(blockSize),
+		files:         make(map[int64]*os.File),
+	}, nil
+}
+
+// SimulateLatency adds a fixed delay to every physical block read/write.
+//
+// The experiment harness uses this to model the paper's cluster disks:
+// on a single development machine the block files sit in the OS page
+// cache, so without a simulated device latency the out-of-core
+// experiments measure memcpy, every node's I/O completes instantly, and
+// the paper's back-end scaling disappears. With a per-block delay, node
+// goroutines overlap their (simulated) I/O waits exactly as the cluster
+// overlapped real disk accesses. Call before use; not synchronized with
+// concurrent I/O.
+func (s *Store) SimulateLatency(read, write time.Duration) {
+	s.readLatency = read
+	s.writeLatency = write
+}
+
+// BlockSize returns the fixed block size in bytes.
+func (s *Store) BlockSize() int { return s.blockSize }
+
+// BlocksPerFile returns N = M / B, the per-file block capacity.
+func (s *Store) BlocksPerFile() int64 { return s.blocksPerFile }
+
+// file returns the open handle for file index fi, creating it on demand.
+func (s *Store) file(fi int64) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[fi]; ok {
+		return f, nil
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("%s.%04d", s.prefix, fi))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("blockio: %w", err)
+	}
+	s.files[fi] = f
+	return f, nil
+}
+
+// locate maps a block index to (file index, in-file byte offset).
+func (s *Store) locate(idx int64) (int64, int64, error) {
+	if idx < 0 {
+		return 0, 0, fmt.Errorf("blockio: negative block index %d", idx)
+	}
+	return idx / s.blocksPerFile, (idx % s.blocksPerFile) * int64(s.blockSize), nil
+}
+
+// ReadBlock fills buf (which must be exactly one block long) with block
+// idx. Unwritten blocks read as zeroes.
+func (s *Store) ReadBlock(idx int64, buf []byte) error {
+	if len(buf) != s.blockSize {
+		return fmt.Errorf("blockio: read buffer is %d bytes, want %d", len(buf), s.blockSize)
+	}
+	fi, off, err := s.locate(idx)
+	if err != nil {
+		return err
+	}
+	f, err := s.file(fi)
+	if err != nil {
+		return err
+	}
+	s.reads.Add(1)
+	s.charge(s.readLatency)
+	n, err := f.ReadAt(buf, off)
+	if err == io.EOF || err == io.ErrUnexpectedEOF || n < len(buf) {
+		// Short or past-EOF read: the tail is implicitly zero.
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+// WriteBlock stores buf (exactly one block) as block idx.
+func (s *Store) WriteBlock(idx int64, buf []byte) error {
+	if len(buf) != s.blockSize {
+		return fmt.Errorf("blockio: write buffer is %d bytes, want %d", len(buf), s.blockSize)
+	}
+	fi, off, err := s.locate(idx)
+	if err != nil {
+		return err
+	}
+	f, err := s.file(fi)
+	if err != nil {
+		return err
+	}
+	s.writes.Add(1)
+	s.charge(s.writeLatency)
+	_, err = f.WriteAt(buf, off)
+	return err
+}
+
+// Counters returns cumulative physical I/O counts.
+func (s *Store) Counters() Counters {
+	return Counters{BlockReads: s.reads.Load(), BlockWrites: s.writes.Load()}
+}
+
+// Sync flushes every open file to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range s.files {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("blockio: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close releases all file handles. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("blockio: %w", err)
+		}
+	}
+	s.files = make(map[int64]*os.File)
+	return first
+}

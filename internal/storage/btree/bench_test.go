@@ -1,0 +1,86 @@
+package btree
+
+import (
+	"testing"
+
+	"mssg/internal/storage/blockio"
+	"mssg/internal/storage/cache"
+)
+
+func benchTree(b *testing.B, pageSize int) *Tree {
+	b.Helper()
+	store, err := blockio.Open(b.TempDir(), "bt", pageSize, 256<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	c := cache.New(64 << 20)
+	tr, err := Open(Config{Store: store, Cache: c, Space: 0}, Meta{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkPutSequential(b *testing.B) {
+	tr := benchTree(b, 16<<10)
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(U64Key(uint64(i), 0), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutRandom(b *testing.B) {
+	tr := benchTree(b, 16<<10)
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) * 0x9E3779B97F4A7C15 // golden-ratio scatter
+		if err := tr.Put(U64Key(k, 0), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetHot(b *testing.B) {
+	tr := benchTree(b, 16<<10)
+	val := make([]byte, 64)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(U64Key(uint64(i), 0), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(U64Key(uint64(i%n), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCursorScan(b *testing.B) {
+	tr := benchTree(b, 16<<10)
+	val := make([]byte, 64)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(U64Key(uint64(i), 0), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := tr.Seek(U64Key(0, 0))
+		count := 0
+		for c.Valid() {
+			count++
+			c.Next()
+		}
+		if count != n {
+			b.Fatalf("scanned %d keys", count)
+		}
+	}
+}

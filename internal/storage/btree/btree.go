@@ -1,0 +1,278 @@
+// Package btree implements an insert/update-only on-disk B+tree with
+// fixed 16-byte keys and variable-length values, backed by a block file
+// (package blockio) through the block cache (package storage/cache).
+//
+// It is the storage engine for two of the paper's baseline GraphDBs: the
+// BerkeleyDB substitute uses it directly as a key-value store, and the
+// MySQL substitute uses it as the primary index over its heap file. The
+// tree supports Put (insert or replace), Get, and ordered cursors; deletes
+// are not needed by any MSSG workload (graphs only grow) and are omitted.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mssg/internal/storage/blockio"
+	"mssg/internal/storage/cache"
+)
+
+// KeySize is the fixed key width. Keys compare as big-endian byte strings.
+const KeySize = 16
+
+// Key is a fixed-width tree key.
+type Key [KeySize]byte
+
+// U64Key builds a key from two 64-bit components, ordered first by hi then
+// by lo (e.g. vertex id, chunk sequence).
+func U64Key(hi, lo uint64) Key {
+	var k Key
+	binary.BigEndian.PutUint64(k[0:8], hi)
+	binary.BigEndian.PutUint64(k[8:16], lo)
+	return k
+}
+
+// Split returns the two 64-bit components of a U64Key.
+func (k Key) Split() (hi, lo uint64) {
+	return binary.BigEndian.Uint64(k[0:8]), binary.BigEndian.Uint64(k[8:16])
+}
+
+// Page layout. Cells grow up from the header; the slot directory (2 bytes
+// per cell offset, sorted by key) grows down from the page end.
+//
+//	off 0      type: 1 = leaf, 2 = internal
+//	off 1..2   nkeys (uint16 LE)
+//	off 3..4   freeStart: offset of next cell write (uint16 LE)
+//	off 5..8   leaf: next-leaf page id; internal: leftmost child page id
+//	off 9..    cells
+//
+// Leaf cell:     key[16] | valLen uint16 | val[valLen]
+// Internal cell: key[16] | child uint32     (child covers keys >= key)
+const (
+	pageTypeLeaf     = 1
+	pageTypeInternal = 2
+	pageHeaderSize   = 9
+	slotSize         = 2
+	leafCellOverhead = KeySize + 2
+	internalCellSize = KeySize + 4
+)
+
+// ErrNotFound is returned by Get for absent keys.
+var ErrNotFound = errors.New("btree: key not found")
+
+// Tree is an on-disk B+tree. Not safe for concurrent use.
+type Tree struct {
+	store    *blockio.Store
+	cache    *cache.BlockCache
+	space    uint32
+	pageSize int
+
+	// Volatile header; persisted via SaveMeta/LoadMeta.
+	root     int64
+	numPages int64
+	count    int64 // key count
+
+	maxVal int
+}
+
+// Config parameterizes Open.
+type Config struct {
+	// Store is the backing block file set; its BlockSize is the page size.
+	Store *blockio.Store
+	// Cache is the page cache; the tree attaches Store under Space.
+	Cache *cache.BlockCache
+	// Space is the cache space id to register under.
+	Space uint32
+}
+
+// Open initializes a tree over an empty store, or re-opens one given meta
+// saved by Meta(). For a fresh tree pass zero meta.
+func Open(cfg Config, meta Meta) (*Tree, error) {
+	ps := cfg.Store.BlockSize()
+	if ps < 512 {
+		return nil, fmt.Errorf("btree: page size %d too small", ps)
+	}
+	if err := cfg.Cache.AttachSpace(cfg.Space, cfg.Store); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		store:    cfg.Store,
+		cache:    cfg.Cache,
+		space:    cfg.Space,
+		pageSize: ps,
+		root:     meta.Root,
+		numPages: meta.NumPages,
+		count:    meta.Count,
+		// A value must fit in a freshly split leaf alongside its key.
+		maxVal: (ps-pageHeaderSize)/2 - leafCellOverhead - slotSize,
+	}
+	if t.numPages == 0 {
+		// Allocate the root leaf.
+		rootID, err := t.allocPage(pageTypeLeaf)
+		if err != nil {
+			return nil, err
+		}
+		t.root = rootID
+	}
+	return t, nil
+}
+
+// Meta is the durable tree header, persisted by the caller (the GraphDB
+// wrappers keep it in their own manifest files).
+type Meta struct {
+	Root     int64
+	NumPages int64
+	Count    int64
+}
+
+// Meta returns the current durable header.
+func (t *Tree) Meta() Meta { return Meta{Root: t.root, NumPages: t.numPages, Count: t.count} }
+
+// MaxValue returns the largest value length Put accepts.
+func (t *Tree) MaxValue() int { return t.maxVal }
+
+// Count returns the number of keys in the tree.
+func (t *Tree) Count() int64 { return t.count }
+
+func (t *Tree) allocPage(pageType byte) (int64, error) {
+	id := t.numPages
+	t.numPages++
+	h, err := t.cache.Get(t.space, id)
+	if err != nil {
+		return 0, err
+	}
+	p := h.Data()
+	for i := range p {
+		p[i] = 0
+	}
+	p[0] = pageType
+	putU16(p, 3, pageHeaderSize)
+	h.MarkDirty()
+	if err := h.Release(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func putU16(p []byte, off int, v int) { binary.LittleEndian.PutUint16(p[off:], uint16(v)) }
+func getU16(p []byte, off int) int    { return int(binary.LittleEndian.Uint16(p[off:])) }
+func putU32(p []byte, off int, v int64) {
+	binary.LittleEndian.PutUint32(p[off:], uint32(v))
+}
+func getU32(p []byte, off int) int64 { return int64(binary.LittleEndian.Uint32(p[off:])) }
+
+// page accessors
+
+func nkeys(p []byte) int       { return getU16(p, 1) }
+func setNkeys(p []byte, n int) { putU16(p, 1, n) }
+func freeStart(p []byte) int   { return getU16(p, 3) }
+func setFreeStart(p []byte, v int) {
+	putU16(p, 3, v)
+}
+func link(p []byte) int64       { return getU32(p, 5) }
+func setLink(p []byte, v int64) { putU32(p, 5, v) }
+
+func slotOff(pageSize, i int) int { return pageSize - (i+1)*slotSize }
+
+func cellOff(p []byte, pageSize, i int) int { return getU16(p, slotOff(pageSize, i)) }
+
+func setCellOff(p []byte, pageSize, i, off int) { putU16(p, slotOff(pageSize, i), off) }
+
+func cellKey(p []byte, off int) []byte { return p[off : off+KeySize] }
+
+// freeBytes returns the insertable space remaining in the page.
+func freeBytes(p []byte, pageSize int) int {
+	return pageSize - nkeys(p)*slotSize - freeStart(p)
+}
+
+// search finds the slot index for key k: the first slot with cell key >=
+// k. found reports an exact match.
+func search(p []byte, pageSize int, k Key) (idx int, found bool) {
+	lo, hi := 0, nkeys(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := bytes.Compare(cellKey(p, cellOff(p, pageSize, mid)), k[:])
+		switch {
+		case c == 0:
+			return mid, true
+		case c < 0:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// leafVal returns the value bytes of leaf slot i.
+func leafVal(p []byte, pageSize, i int) []byte {
+	off := cellOff(p, pageSize, i)
+	vl := getU16(p, off+KeySize)
+	return p[off+leafCellOverhead : off+leafCellOverhead+vl]
+}
+
+// internalChild returns the child pointer of internal slot i.
+func internalChild(p []byte, pageSize, i int) int64 {
+	off := cellOff(p, pageSize, i)
+	return getU32(p, off+KeySize)
+}
+
+// childFor returns the child page covering key k in an internal page:
+// the leftmost link for k < key[0], else the child of the greatest slot
+// key <= k.
+func childFor(p []byte, pageSize int, k Key) int64 {
+	idx, found := search(p, pageSize, k)
+	if found {
+		return internalChild(p, pageSize, idx)
+	}
+	if idx == 0 {
+		return link(p)
+	}
+	return internalChild(p, pageSize, idx-1)
+}
+
+// Get copies the value for k into a fresh slice.
+func (t *Tree) Get(k Key) ([]byte, error) {
+	pid := t.root
+	for {
+		h, err := t.cache.Get(t.space, pid)
+		if err != nil {
+			return nil, err
+		}
+		p := h.Data()
+		switch p[0] {
+		case pageTypeInternal:
+			pid = childFor(p, t.pageSize, k)
+			if err := h.Release(); err != nil {
+				return nil, err
+			}
+		case pageTypeLeaf:
+			idx, found := search(p, t.pageSize, k)
+			if !found {
+				h.Release()
+				return nil, ErrNotFound
+			}
+			v := leafVal(p, t.pageSize, idx)
+			out := make([]byte, len(v))
+			copy(out, v)
+			return out, h.Release()
+		default:
+			h.Release()
+			return nil, fmt.Errorf("btree: page %d has bad type %d", pid, p[0])
+		}
+	}
+}
+
+// Has reports whether k is present.
+func (t *Tree) Has(k Key) (bool, error) {
+	_, err := t.Get(k)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,251 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mssg/internal/storage/blockio"
+	"mssg/internal/storage/cache"
+)
+
+func newTestTree(t *testing.T, pageSize int, cacheBytes int64) *Tree {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := blockio.Open(dir, "bt", pageSize, int64(pageSize)*1024)
+	if err != nil {
+		t.Fatalf("blockio.Open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+	c := cache.New(cacheBytes)
+	tr, err := Open(Config{Store: store, Cache: c, Space: 1}, Meta{})
+	if err != nil {
+		t.Fatalf("btree.Open: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := c.Flush(); err != nil {
+			t.Errorf("cache flush: %v", err)
+		}
+	})
+	return tr
+}
+
+func TestPutGetSingle(t *testing.T) {
+	tr := newTestTree(t, 4096, 1<<20)
+	k := U64Key(42, 7)
+	if err := tr.Put(k, []byte("hello")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, err := tr.Get(k)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(v) != "hello" {
+		t.Fatalf("Get = %q, want %q", v, "hello")
+	}
+	if _, err := tr.Get(U64Key(42, 8)); err != ErrNotFound {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestReplaceValue(t *testing.T) {
+	tr := newTestTree(t, 4096, 1<<20)
+	k := U64Key(1, 1)
+	for _, v := range []string{"a", "bbbb", "cc", "ddddddddddddddd"} {
+		if err := tr.Put(k, []byte(v)); err != nil {
+			t.Fatalf("Put(%q): %v", v, err)
+		}
+		got, err := tr.Get(k)
+		if err != nil {
+			t.Fatalf("Get after Put(%q): %v", v, err)
+		}
+		if string(got) != v {
+			t.Fatalf("Get = %q, want %q", got, v)
+		}
+	}
+	if tr.Count() != 1 {
+		t.Fatalf("Count = %d, want 1 (replaces must not add)", tr.Count())
+	}
+}
+
+func TestManyKeysSplits(t *testing.T) {
+	// Small pages force deep splits.
+	tr := newTestTree(t, 512, 1<<20)
+	const n = 5000
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		k := U64Key(uint64(i), 0)
+		v := []byte(fmt.Sprintf("value-%d", i))
+		if err := tr.Put(k, v); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	if tr.Count() != n {
+		t.Fatalf("Count = %d, want %d", tr.Count(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, err := tr.Get(U64Key(uint64(i), 0))
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		want := fmt.Sprintf("value-%d", i)
+		if string(v) != want {
+			t.Fatalf("Get(%d) = %q, want %q", i, v, want)
+		}
+	}
+}
+
+func TestCursorOrder(t *testing.T) {
+	tr := newTestTree(t, 512, 1<<20)
+	const n = 2000
+	rng := rand.New(rand.NewSource(2))
+	for _, i := range rng.Perm(n) {
+		if err := tr.Put(U64Key(uint64(i), uint64(i%3)), []byte{byte(i)}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	c := tr.Seek(U64Key(0, 0))
+	var prev Key
+	count := 0
+	for c.Valid() {
+		cur := c.Key()
+		if count > 0 && bytes.Compare(prev[:], cur[:]) >= 0 {
+			t.Fatalf("cursor out of order at %d: %v >= %v", count, prev, cur)
+		}
+		prev = cur
+		count++
+		c.Next()
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cursor error: %v", err)
+	}
+	if count != n {
+		t.Fatalf("cursor visited %d keys, want %d", count, n)
+	}
+}
+
+func TestCursorSeekMidRange(t *testing.T) {
+	tr := newTestTree(t, 512, 1<<20)
+	for i := 0; i < 100; i++ {
+		if err := tr.Put(U64Key(uint64(i*2), 0), []byte("x")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Seek to an absent odd key: cursor must land on the next even one.
+	c := tr.Seek(U64Key(51, 0))
+	if !c.Valid() {
+		t.Fatalf("cursor invalid after seek, err=%v", c.Err())
+	}
+	hi, _ := c.Key().Split()
+	if hi != 52 {
+		t.Fatalf("seek landed on %d, want 52", hi)
+	}
+}
+
+func TestPrefixScan(t *testing.T) {
+	tr := newTestTree(t, 512, 1<<20)
+	for v := uint64(0); v < 50; v++ {
+		for seq := uint64(0); seq < 5; seq++ {
+			if err := tr.Put(U64Key(v, seq), []byte{byte(v), byte(seq)}); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+	}
+	c := tr.Seek(U64Key(17, 0))
+	var seqs []uint64
+	for c.Valid() && c.HasPrefix(17) {
+		_, lo := c.Key().Split()
+		seqs = append(seqs, lo)
+		c.Next()
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cursor error: %v", err)
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("prefix scan found %d chunks, want 5: %v", len(seqs), seqs)
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("chunk order wrong: %v", seqs)
+		}
+	}
+}
+
+func TestZeroCacheBudget(t *testing.T) {
+	// Capacity 0 disables caching; everything must still work.
+	tr := newTestTree(t, 512, 0)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Put(U64Key(uint64(i), 0), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := tr.Get(U64Key(uint64(i), 0))
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%d) = %q", i, v)
+		}
+	}
+}
+
+func TestLargeValuesRejected(t *testing.T) {
+	tr := newTestTree(t, 512, 1<<20)
+	big := make([]byte, tr.MaxValue()+1)
+	if err := tr.Put(U64Key(1, 0), big); err == nil {
+		t.Fatal("Put of oversized value succeeded, want error")
+	}
+	ok := make([]byte, tr.MaxValue())
+	if err := tr.Put(U64Key(1, 0), ok); err != nil {
+		t.Fatalf("Put of max-size value failed: %v", err)
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := blockio.Open(dir, "bt", 512, 512*1024)
+	if err != nil {
+		t.Fatalf("blockio.Open: %v", err)
+	}
+	c := cache.New(1 << 20)
+	tr, err := Open(Config{Store: store, Cache: c, Space: 1}, Meta{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tr.Put(U64Key(uint64(i), 0), []byte{1, 2, 3}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	meta := tr.Meta()
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen from meta.
+	store2, err := blockio.Open(dir, "bt", 512, 512*1024)
+	if err != nil {
+		t.Fatalf("reopen blockio: %v", err)
+	}
+	defer store2.Close()
+	c2 := cache.New(1 << 20)
+	tr2, err := Open(Config{Store: store2, Cache: c2, Space: 1}, meta)
+	if err != nil {
+		t.Fatalf("reopen tree: %v", err)
+	}
+	if tr2.Count() != 1000 {
+		t.Fatalf("reopened Count = %d, want 1000", tr2.Count())
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := tr2.Get(U64Key(uint64(i), 0)); err != nil {
+			t.Fatalf("reopened Get(%d): %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package btree
+
+import "bytes"
+
+// Cursor iterates keys in ascending order starting from a seek position.
+// A cursor holds no page pins between Next calls, so it remains valid
+// across cache evictions; it must not be used concurrently with Put
+// (an insert can split the leaf under it).
+type Cursor struct {
+	t     *Tree
+	leaf  int64
+	slot  int
+	valid bool
+	key   Key
+	val   []byte
+	err   error
+}
+
+// Seek positions a cursor at the first key >= k.
+func (t *Tree) Seek(k Key) *Cursor {
+	c := &Cursor{t: t}
+	pid := t.root
+	for {
+		h, err := t.cache.Get(t.space, pid)
+		if err != nil {
+			c.err = err
+			return c
+		}
+		p := h.Data()
+		if p[0] == pageTypeInternal {
+			pid = childFor(p, t.pageSize, k)
+			if err := h.Release(); err != nil {
+				c.err = err
+				return c
+			}
+			continue
+		}
+		idx, _ := search(p, t.pageSize, k)
+		c.leaf = pid
+		c.slot = idx
+		c.load(h.Data())
+		if err := h.Release(); err != nil {
+			c.err = err
+		}
+		return c
+	}
+}
+
+// load captures the current slot (or advances to the next leaf when the
+// slot index is past this leaf's cells).
+func (c *Cursor) load(p []byte) {
+	for c.slot >= nkeys(p) {
+		next := link(p)
+		if next == 0 {
+			c.valid = false
+			return
+		}
+		h, err := c.t.cache.Get(c.t.space, next)
+		if err != nil {
+			c.err = err
+			c.valid = false
+			return
+		}
+		c.leaf = next
+		c.slot = 0
+		p = h.Data()
+		// Copy out before releasing: recurse with the sibling's bytes.
+		defer h.Release()
+	}
+	off := cellOff(p, c.t.pageSize, c.slot)
+	copy(c.key[:], p[off:off+KeySize])
+	vl := getU16(p, off+KeySize)
+	c.val = append(c.val[:0], p[off+leafCellOverhead:off+leafCellOverhead+vl]...)
+	c.valid = true
+}
+
+// Valid reports whether the cursor is positioned on a key.
+func (c *Cursor) Valid() bool { return c.valid && c.err == nil }
+
+// Err returns the first error the cursor hit, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Key returns the current key. Only meaningful while Valid.
+func (c *Cursor) Key() Key { return c.key }
+
+// Value returns the current value bytes; the slice is reused by Next.
+func (c *Cursor) Value() []byte { return c.val }
+
+// Next advances to the following key.
+func (c *Cursor) Next() {
+	if !c.Valid() {
+		return
+	}
+	h, err := c.t.cache.Get(c.t.space, c.leaf)
+	if err != nil {
+		c.err = err
+		c.valid = false
+		return
+	}
+	c.slot++
+	c.load(h.Data())
+	if err := h.Release(); err != nil {
+		c.err = err
+	}
+}
+
+// HasPrefix reports whether the cursor's current key starts with the
+// 8-byte big-endian prefix hi (the vertex-id half of a U64Key).
+func (c *Cursor) HasPrefix(hi uint64) bool {
+	if !c.Valid() {
+		return false
+	}
+	var want [8]byte
+	k := U64Key(hi, 0)
+	copy(want[:], k[0:8])
+	return bytes.Equal(c.key[0:8], want[:])
+}

@@ -1,0 +1,137 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mssg/internal/storage/blockio"
+	"mssg/internal/storage/cache"
+)
+
+// TestQuickOracleRandomOps drives random Put/Get sequences against a
+// map-based oracle: after any operation sequence, every key in the
+// oracle must Get the oracle's value and a full cursor scan must
+// enumerate exactly the oracle's keys in order.
+func TestQuickOracleRandomOps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	type op struct {
+		Key    uint16 // narrow key space forces overwrites
+		ValLen uint8
+		Fill   byte
+	}
+	check := func(ops []op) bool {
+		store, err := blockio.Open(t.TempDir(), "bt", 512, 512*256)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer store.Close()
+		c := cache.New(8 << 10) // tiny cache: eviction in the loop
+		tr, err := Open(Config{Store: store, Cache: c, Space: 0}, Meta{})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		oracle := make(map[uint16][]byte)
+		for _, o := range ops {
+			val := bytes.Repeat([]byte{o.Fill}, int(o.ValLen)%64)
+			if err := tr.Put(U64Key(uint64(o.Key), 0), val); err != nil {
+				t.Logf("Put: %v", err)
+				return false
+			}
+			oracle[o.Key] = val
+		}
+		// Point lookups.
+		for k, want := range oracle {
+			got, err := tr.Get(U64Key(uint64(k), 0))
+			if err != nil {
+				t.Logf("Get(%d): %v", k, err)
+				return false
+			}
+			if !bytes.Equal(got, want) {
+				t.Logf("Get(%d) = %v, want %v", k, got, want)
+				return false
+			}
+		}
+		if tr.Count() != int64(len(oracle)) {
+			t.Logf("Count = %d, oracle has %d", tr.Count(), len(oracle))
+			return false
+		}
+		// Ordered scan.
+		keys := make([]uint16, 0, len(oracle))
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		cur := tr.Seek(U64Key(0, 0))
+		for _, k := range keys {
+			if !cur.Valid() {
+				t.Logf("cursor exhausted before key %d", k)
+				return false
+			}
+			hi, _ := cur.Key().Split()
+			if hi != uint64(k) {
+				t.Logf("cursor at %d, want %d", hi, k)
+				return false
+			}
+			cur.Next()
+		}
+		if cur.Valid() {
+			t.Log("cursor has extra keys")
+			return false
+		}
+		return cur.Err() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOracleDensePrefixWorkload mimics the GraphDB access pattern
+// explicitly: per-vertex chunk chains with in-place head updates.
+func TestOracleDensePrefixWorkload(t *testing.T) {
+	store, err := blockio.Open(t.TempDir(), "bt", 4096, 4096*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	c := cache.New(64 << 10)
+	tr, err := Open(Config{Store: store, Cache: c, Space: 0}, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make(map[Key][]byte)
+	for round := 0; round < 30; round++ {
+		for v := uint64(0); v < 40; v++ {
+			// Head update (8 bytes, same size → in-place path).
+			head := []byte(fmt.Sprintf("%08d", round))
+			hk := U64Key(v, 0)
+			if err := tr.Put(hk, head); err != nil {
+				t.Fatal(err)
+			}
+			oracle[hk] = head
+			// Growing chunk (different size → repoint/rebuild paths).
+			chunk := bytes.Repeat([]byte{byte(round)}, (round+1)*8)
+			ck := U64Key(v, uint64(round/10)+1)
+			if err := tr.Put(ck, chunk); err != nil {
+				t.Fatal(err)
+			}
+			oracle[ck] = chunk
+		}
+	}
+	for k, want := range oracle {
+		got, err := tr.Get(k)
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			hi, lo := k.Split()
+			t.Fatalf("key (%d,%d): got %d bytes, want %d", hi, lo, len(got), len(want))
+		}
+	}
+}

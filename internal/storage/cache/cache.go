@@ -1,0 +1,247 @@
+// Package cache implements grDB's block cache component (paper §3.4.1): a
+// byte-budgeted, write-back LRU cache over one or more block stores
+// ("spaces" — grDB registers one space per storage level, since levels
+// have different block sizes).
+//
+// Entries are pinned while a caller holds a Handle; pinned entries are
+// never evicted. With a zero byte budget every access misses and unpinned
+// entries are written back and dropped immediately, which is exactly the
+// "cache disabled" configuration of the paper's Figure 5.2 experiment.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Store is the backing storage for one space. *blockio.Store satisfies it.
+type Store interface {
+	BlockSize() int
+	ReadBlock(idx int64, buf []byte) error
+	WriteBlock(idx int64, buf []byte) error
+}
+
+// Stats counts cache activity since creation.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	WriteBacks int64
+}
+
+type key struct {
+	space uint32
+	block int64
+}
+
+type entry struct {
+	key   key
+	buf   []byte
+	dirty bool
+	pins  int
+	// LRU list links (nil sentinels at list ends).
+	prev, next *entry
+}
+
+// BlockCache is a write-back LRU block cache.
+type BlockCache struct {
+	mu       sync.Mutex
+	capacity int64
+	size     int64
+	spaces   map[uint32]Store
+	entries  map[key]*entry
+	// Doubly linked LRU list with sentinel head (most recent) and tail.
+	head, tail *entry
+	stats      Stats
+}
+
+// New creates a cache with the given byte budget. A budget of 0 disables
+// caching (every access goes to the backing store).
+func New(capacityBytes int64) *BlockCache {
+	c := &BlockCache{
+		capacity: capacityBytes,
+		spaces:   make(map[uint32]Store),
+		entries:  make(map[key]*entry),
+		head:     &entry{},
+		tail:     &entry{},
+	}
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	return c
+}
+
+// AttachSpace registers a backing store under a space id. Each space must
+// be attached exactly once before use.
+func (c *BlockCache) AttachSpace(space uint32, s Store) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.spaces[space]; dup {
+		return fmt.Errorf("cache: space %d already attached", space)
+	}
+	c.spaces[space] = s
+	return nil
+}
+
+func (c *BlockCache) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (c *BlockCache) pushFront(e *entry) {
+	e.next = c.head.next
+	e.prev = c.head
+	c.head.next.prev = e
+	c.head.next = e
+}
+
+// evictLocked writes back and drops unpinned LRU entries until the cache
+// fits its budget. Called with c.mu held.
+func (c *BlockCache) evictLocked() error {
+	for c.size > c.capacity {
+		// Scan from the LRU end for an unpinned victim.
+		victim := c.tail.prev
+		for victim != c.head && victim.pins > 0 {
+			victim = victim.prev
+		}
+		if victim == c.head {
+			// Everything is pinned; allow the overshoot. grDB pins at most
+			// a handful of blocks at a time, so this stays bounded.
+			return nil
+		}
+		if victim.dirty {
+			store := c.spaces[victim.key.space]
+			if err := store.WriteBlock(victim.key.block, victim.buf); err != nil {
+				return err
+			}
+			c.stats.WriteBacks++
+		}
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+		c.size -= int64(len(victim.buf))
+		c.stats.Evictions++
+	}
+	return nil
+}
+
+// Handle is a pinned reference to a cached block. The block's bytes may be
+// read and mutated through Data until Release; mutators must call
+// MarkDirty so the block is written back.
+type Handle struct {
+	c *BlockCache
+	e *entry
+}
+
+// Data returns the block's bytes. Valid until Release.
+func (h *Handle) Data() []byte { return h.e.buf }
+
+// MarkDirty flags the block for write-back.
+func (h *Handle) MarkDirty() {
+	h.c.mu.Lock()
+	h.e.dirty = true
+	h.c.mu.Unlock()
+}
+
+// Release unpins the block. The handle must not be used afterwards.
+func (h *Handle) Release() error {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	if h.e.pins <= 0 {
+		return errors.New("cache: release of unpinned handle")
+	}
+	h.e.pins--
+	if h.e.pins == 0 && c0(h.c) {
+		// Zero-budget mode: write back and drop immediately.
+		if h.e.dirty {
+			store := h.c.spaces[h.e.key.space]
+			if err := store.WriteBlock(h.e.key.block, h.e.buf); err != nil {
+				return err
+			}
+			h.c.stats.WriteBacks++
+			h.e.dirty = false
+		}
+		h.c.unlink(h.e)
+		delete(h.c.entries, h.e.key)
+		h.c.size -= int64(len(h.e.buf))
+		h.c.stats.Evictions++
+	}
+	return nil
+}
+
+func c0(c *BlockCache) bool { return c.capacity <= 0 }
+
+// Get pins block `block` of space `space`, loading it from the backing
+// store on a miss.
+func (c *BlockCache) Get(space uint32, block int64) (*Handle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	store, ok := c.spaces[space]
+	if !ok {
+		return nil, fmt.Errorf("cache: space %d not attached", space)
+	}
+	k := key{space: space, block: block}
+	if e, hit := c.entries[k]; hit {
+		c.stats.Hits++
+		e.pins++
+		c.unlink(e)
+		c.pushFront(e)
+		return &Handle{c: c, e: e}, nil
+	}
+	c.stats.Misses++
+	buf := make([]byte, store.BlockSize())
+	// Drop the lock during the disk read so other blocks stay accessible.
+	c.mu.Unlock()
+	err := store.ReadBlock(block, buf)
+	c.mu.Lock()
+	if err != nil {
+		return nil, err
+	}
+	// Re-check: another goroutine may have loaded it meanwhile.
+	if e, hit := c.entries[k]; hit {
+		e.pins++
+		c.unlink(e)
+		c.pushFront(e)
+		return &Handle{c: c, e: e}, nil
+	}
+	e := &entry{key: k, buf: buf, pins: 1}
+	c.entries[k] = e
+	c.pushFront(e)
+	c.size += int64(len(buf))
+	if err := c.evictLocked(); err != nil {
+		return nil, err
+	}
+	return &Handle{c: c, e: e}, nil
+}
+
+// Flush writes back every dirty block without evicting anything.
+func (c *BlockCache) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if !e.dirty {
+			continue
+		}
+		store := c.spaces[e.key.space]
+		if err := store.WriteBlock(e.key.block, e.buf); err != nil {
+			return err
+		}
+		e.dirty = false
+		c.stats.WriteBacks++
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *BlockCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Size returns the current resident byte count.
+func (c *BlockCache) Size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

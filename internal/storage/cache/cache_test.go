@@ -1,0 +1,263 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"mssg/internal/storage/blockio"
+)
+
+func newStore(t *testing.T, blockSize int) *blockio.Store {
+	t.Helper()
+	s, err := blockio.Open(t.TempDir(), "c", blockSize, int64(blockSize)*64)
+	if err != nil {
+		t.Fatalf("blockio.Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestGetLoadsAndCaches(t *testing.T) {
+	s := newStore(t, 128)
+	c := New(1 << 20)
+	if err := c.AttachSpace(0, s); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Get(0, 3)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	copy(h.Data(), "hello")
+	h.MarkDirty()
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Get(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(h2.Data()[:5]) != "hello" {
+		t.Fatalf("cached data lost: %q", h2.Data()[:5])
+	}
+	h2.Release()
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss 1 hit", st)
+	}
+	// Nothing written back yet (write-back policy).
+	if cnt := s.Counters(); cnt.BlockWrites != 0 {
+		t.Fatalf("premature write-back: %+v", cnt)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cnt := s.Counters(); cnt.BlockWrites != 1 {
+		t.Fatalf("Flush wrote %d blocks, want 1", cnt.BlockWrites)
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	s := newStore(t, 128)
+	c := New(256) // room for exactly 2 blocks
+	if err := c.AttachSpace(0, s); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		h, err := c.Get(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Data()[0] = byte(i + 1)
+		h.MarkDirty()
+		if err := h.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions < 2 {
+		t.Fatalf("evictions = %d, want >= 2", st.Evictions)
+	}
+	if st.WriteBacks < 2 {
+		t.Fatalf("write-backs = %d, want >= 2", st.WriteBacks)
+	}
+	// Every block's data must be durable after a flush.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	for i := int64(0); i < 4; i++ {
+		if err := s.ReadBlock(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("block %d lost its data: %d", i, buf[0])
+		}
+	}
+}
+
+func TestPinnedEntriesSurviveEviction(t *testing.T) {
+	s := newStore(t, 128)
+	c := New(128) // one block budget
+	if err := c.AttachSpace(0, s); err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := c.Get(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned.Data()[0] = 42
+	pinned.MarkDirty()
+	// Touch other blocks while the first is pinned.
+	for i := int64(1); i < 5; i++ {
+		h, err := c.Get(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	// The pinned block must still hold its data.
+	if pinned.Data()[0] != 42 {
+		t.Fatal("pinned block was evicted/overwritten")
+	}
+	if err := pinned.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroBudgetDropsOnRelease(t *testing.T) {
+	s := newStore(t, 128)
+	c := New(0)
+	if err := c.AttachSpace(0, s); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Get(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Data()[0] = 9
+	h.MarkDirty()
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 0 {
+		t.Fatalf("zero-budget cache retains %d bytes", c.Size())
+	}
+	// Data must have been written back on release.
+	buf := make([]byte, 128)
+	if err := s.ReadBlock(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Fatal("zero-budget release lost dirty data")
+	}
+	// Second access is a fresh miss.
+	h2, err := c.Get(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Release()
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 0 hits 2 misses", st)
+	}
+}
+
+func TestMultipleSpacesDifferentBlockSizes(t *testing.T) {
+	s1 := newStore(t, 128)
+	s2 := newStore(t, 512)
+	c := New(1 << 20)
+	if err := c.AttachSpace(1, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachSpace(2, s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachSpace(1, s1); err == nil {
+		t.Fatal("duplicate space attach accepted")
+	}
+	h1, err := c.Get(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Get(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1.Data()) != 128 || len(h2.Data()) != 512 {
+		t.Fatalf("block sizes %d/%d, want 128/512", len(h1.Data()), len(h2.Data()))
+	}
+	h1.Release()
+	h2.Release()
+	if _, err := c.Get(9, 0); err == nil {
+		t.Fatal("unattached space accepted")
+	}
+}
+
+func TestDoubleReleaseRejected(t *testing.T) {
+	s := newStore(t, 128)
+	c := New(1 << 20)
+	if err := c.AttachSpace(0, s); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Get(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err == nil {
+		t.Fatal("double release accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := newStore(t, 128)
+	c := New(512)
+	if err := c.AttachSpace(0, s); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h, err := c.Get(0, int64(i%10))
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				_ = h.Data()[0]
+				if err := h.Release(); err != nil {
+					t.Errorf("Release: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestLRUOrder(t *testing.T) {
+	s := newStore(t, 128)
+	c := New(256) // 2 blocks
+	if err := c.AttachSpace(0, s); err != nil {
+		t.Fatal(err)
+	}
+	get := func(i int64) {
+		h, err := c.Get(0, i)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		h.Release()
+	}
+	get(0)
+	get(1)
+	get(0) // 0 is now most recent; 1 is LRU
+	get(2) // must evict 1, not 0
+	before := c.Stats().Misses
+	get(0) // should still be resident
+	if c.Stats().Misses != before {
+		t.Fatal("LRU evicted the most-recently-used block")
+	}
+}

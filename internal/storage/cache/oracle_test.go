@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mssg/internal/storage/blockio"
+)
+
+// TestQuickCacheTransparency: under any random sequence of block
+// mutations through the cache (with a tiny budget forcing constant
+// eviction), a final flush must leave the backing store holding exactly
+// what a direct-write oracle holds.
+func TestQuickCacheTransparency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	type op struct {
+		Block uint8 // 256 possible blocks
+		Byte  uint8 // offset within block
+		Val   byte
+	}
+	const blockSize = 64
+	check := func(ops []op) bool {
+		store, err := blockio.Open(t.TempDir(), "c", blockSize, blockSize*64)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer store.Close()
+		c := New(3 * blockSize) // room for 3 blocks only
+		if err := c.AttachSpace(0, store); err != nil {
+			t.Log(err)
+			return false
+		}
+		oracle := make(map[uint8][blockSize]byte)
+		for _, o := range ops {
+			h, err := c.Get(0, int64(o.Block))
+			if err != nil {
+				t.Logf("Get: %v", err)
+				return false
+			}
+			h.Data()[int(o.Byte)%blockSize] = o.Val
+			h.MarkDirty()
+			if err := h.Release(); err != nil {
+				t.Logf("Release: %v", err)
+				return false
+			}
+			blk := oracle[o.Block]
+			blk[int(o.Byte)%blockSize] = o.Val
+			oracle[o.Block] = blk
+		}
+		if err := c.Flush(); err != nil {
+			t.Logf("Flush: %v", err)
+			return false
+		}
+		buf := make([]byte, blockSize)
+		for b, want := range oracle {
+			if err := store.ReadBlock(int64(b), buf); err != nil {
+				t.Logf("ReadBlock: %v", err)
+				return false
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Logf("block %d byte %d = %d, want %d", b, i, buf[i], want[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
