@@ -1,0 +1,39 @@
+# Developer/CI entry points. `make ci` is the gate every change must
+# pass: vet, build, the full test suite under the race detector (the
+# concurrency-conformance suite only means something with -race), a
+# short fuzz pass over the edge codec, and the headline benchmarks.
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz bench bench-workers clean
+
+ci: vet build race fuzz bench-workers
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the edge codec (regression corpus + 10s of
+# exploration per target).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzEdgeRoundTrip -fuzztime 10s ./internal/graph
+	$(GO) test -run xxx -fuzz FuzzEdgeDecodeNoPanic -fuzztime 10s ./internal/graph
+
+# Paper figure/table regenerations (slow; one full experiment per bench).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkFig|BenchmarkTable' -benchtime=1x .
+
+# Serial vs parallel fringe expansion on the shootout graph.
+bench-workers:
+	$(GO) test -run xxx -bench BenchmarkBFSWorkers -benchtime=1x .
+
+clean:
+	$(GO) clean ./...

@@ -13,9 +13,15 @@
 package mssg_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"mssg/internal/experiments"
+	"mssg/internal/graphdb"
+	"mssg/internal/ingest"
+	"mssg/internal/query"
 )
 
 // benchScale keeps one full figure regeneration in the seconds range.
@@ -55,6 +61,34 @@ func BenchmarkFig56_SearchPubMedL(b *testing.B)  { runExperiment(b, "fig5.6") }
 func BenchmarkFig57_EdgesPerSec(b *testing.B)    { runExperiment(b, "fig5.7") }
 func BenchmarkFig58_SynSearch(b *testing.B)      { runExperiment(b, "fig5.8") }
 func BenchmarkFig59_SynEdgesPerSec(b *testing.B) { runExperiment(b, "fig5.9") }
+
+// BenchmarkBFSWorkers compares serial (workers=1) against parallel
+// (workers=GOMAXPROCS) fringe expansion on the shootout graph, over
+// grDB with a bounded cache and simulated device latency — the
+// configuration where overlapping adjacency fetches matters. Compare
+// the ms/query and edges/s metrics between the two sub-benchmarks:
+//
+//	go test -run xxx -bench BenchmarkBFSWorkers -benchtime=1x
+//
+// The parallel leg uses at least 4 workers even on small machines:
+// expansion overlaps simulated device latency (sleeps, not CPU), so
+// extra workers pay off regardless of core count.
+func BenchmarkBFSWorkers(b *testing.B) {
+	opts := graphdb.Options{CacheBytes: 256 << 10, SimReadLatency: 100 * time.Microsecond}
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 4 {
+		parallel = 4
+	}
+	for _, workers := range []int{1, parallel} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				total, traversed := measureSearch(b, "grdb", opts, ingest.Config{},
+					query.BFSConfig{Workers: workers})
+				reportSearch(b, total, traversed, len(ablationPairs))
+			}
+		})
+	}
+}
 
 // sanity check that the bench ids and the harness stay in sync.
 func TestAllExperimentIDsHaveBenches(t *testing.T) {

@@ -25,6 +25,8 @@ func main() {
 	queries := flag.Int("queries", 30, "random BFS queries per search experiment (paper: 100)")
 	dir := flag.String("dir", "", "scratch directory (default: a temp dir, removed on exit)")
 	verbose := flag.Bool("v", false, "print progress")
+	workers := flag.Int("workers", 0,
+		"fringe-expansion goroutines per back-end node (0 = GOMAXPROCS, 1 = serial)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>|all\n\nexperiments:\n", os.Args[0])
 		for _, e := range experiments.All() {
@@ -49,7 +51,7 @@ func main() {
 		workDir = td
 	}
 
-	p := &experiments.Params{Scale: *scale, Queries: *queries, Dir: workDir}
+	p := &experiments.Params{Scale: *scale, Queries: *queries, Dir: workDir, Workers: *workers}
 	if *verbose {
 		p.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[%s] "+format+"\n",

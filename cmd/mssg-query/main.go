@@ -37,6 +37,7 @@ func main() {
 	threshold := flag.Int("threshold", 1024, "pipelined fringe chunk threshold")
 	broadcast := flag.Bool("broadcast", false, "broadcast fringes (for edge-granularity databases)")
 	prefetch := flag.Bool("prefetch", false, "warm the block cache per level with offset-sorted prefetch (grDB)")
+	workers := flag.Int("workers", 0, "fringe-expansion goroutines per back-end node (0 = GOMAXPROCS, 1 = serial)")
 	showPath := flag.Bool("path", false, "also reconstruct and print the shortest path")
 	extVisited := flag.String("extvisited", "", "directory for an external-memory visited structure (default: in-memory)")
 	khop := flag.Int("khop", 0, "instead of a path query, count vertices within k hops of -source")
@@ -118,6 +119,7 @@ func main() {
 			Source: s, Dest: d,
 			Pipelined: *pipelined, Threshold: *threshold, Ownership: ownership,
 			Prefetch: *prefetch, NewVisited: newVisited, ReturnPath: *showPath,
+			Workers: *workers,
 		})
 		if err != nil {
 			return err

@@ -83,6 +83,10 @@ type Params struct {
 	Queries int
 	// Dir is the scratch directory for out-of-core databases; required.
 	Dir string
+	// Workers is passed through to query.BFSConfig.Workers for every
+	// search experiment (0 = GOMAXPROCS, 1 = the paper's serial
+	// expansion).
+	Workers int
 	// Verbose, if set, receives progress lines.
 	Verbose func(format string, args ...any)
 }

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzEdgeRoundTrip checks decode(encode(e)) == e through both edge
+// codecs for arbitrary vertex ids (masked into the 61-bit legal range).
+func FuzzEdgeRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(1))
+	f.Add(uint64(42), uint64(42))
+	f.Add(uint64(MaxVertexID), uint64(0))
+	f.Add(^uint64(0), uint64(1<<61))
+	f.Fuzz(func(t *testing.T, rawSrc, rawDst uint64) {
+		e := Edge{
+			Src: VertexID(rawSrc) & MaxVertexID,
+			Dst: VertexID(rawDst) & MaxVertexID,
+		}
+
+		var bin bytes.Buffer
+		bw := NewBinaryEdgeWriter(&bin)
+		if err := bw.WriteEdge(e); err != nil {
+			t.Fatalf("binary write %v: %v", e, err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewBinaryEdgeReader(&bin).ReadEdge()
+		if err != nil {
+			t.Fatalf("binary read back %v: %v", e, err)
+		}
+		if got != e {
+			t.Fatalf("binary round trip: wrote %v, read %v", e, got)
+		}
+
+		var asc bytes.Buffer
+		aw := NewASCIIEdgeWriter(&asc)
+		if err := aw.WriteEdge(e); err != nil {
+			t.Fatalf("ascii write %v: %v", e, err)
+		}
+		if err := aw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err = NewASCIIEdgeReader(&asc).ReadEdge()
+		if err != nil {
+			t.Fatalf("ascii read back %v: %v", e, err)
+		}
+		if got != e {
+			t.Fatalf("ascii round trip: wrote %v, read %v", e, got)
+		}
+	})
+}
+
+// FuzzEdgeDecodeNoPanic feeds arbitrary bytes to both edge decoders:
+// they may reject the input with an error, but must never panic, and
+// every edge an ASCII decode does accept must be valid.
+func FuzzEdgeDecodeNoPanic(f *testing.F) {
+	f.Add([]byte("0 1\n2 3\n"))
+	f.Add([]byte("# comment\n\n 7\t9 \n"))
+	f.Add([]byte("9999999999999999999999 0\n"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(make([]byte, 33))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ar := NewASCIIEdgeReader(bytes.NewReader(data))
+		for {
+			e, err := ar.ReadEdge()
+			if err != nil {
+				break
+			}
+			if verr := ValidateEdge(e); verr != nil {
+				t.Fatalf("ascii decode accepted invalid edge %v: %v", e, verr)
+			}
+		}
+		br := NewBinaryEdgeReader(bytes.NewReader(data))
+		for {
+			if _, err := br.ReadEdge(); err != nil {
+				if err != io.EOF && len(data)%16 == 0 {
+					t.Fatalf("binary decode of %d aligned bytes: %v", len(data), err)
+				}
+				break
+			}
+		}
+	})
+}

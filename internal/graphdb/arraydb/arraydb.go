@@ -39,7 +39,7 @@ type DB struct {
 	maxID graph.VertexID
 
 	closed bool
-	stats  graphdb.Stats
+	stats  graphdb.StatCounters
 }
 
 // New returns an empty Array instance.
@@ -67,7 +67,7 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 		if e.Dst > d.maxID {
 			d.maxID = e.Dst
 		}
-		d.stats.EdgesStored++
+		d.stats.AddEdgesStored(1)
 	}
 	d.dirty = d.dirty || len(edges) > 0
 	return nil
@@ -146,12 +146,12 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if d.dirty {
 		return fmt.Errorf("arraydb: adjacency requested with staged edges; call Flush first")
 	}
-	d.stats.AdjacencyCalls++
+	d.stats.AddAdjacencyCall()
 	if int64(v) < 0 || int64(v) >= int64(len(d.xadj))-1 {
 		return nil
 	}
 	neighbors := d.adj[d.xadj[v]:d.xadj[v+1]]
-	d.stats.NeighborsReturned += graphdb.FilterAppend(d.meta, neighbors, out, md, op)
+	d.stats.AddNeighborsReturned(graphdb.FilterAppend(d.meta, neighbors, out, md, op))
 	return nil
 }
 
@@ -168,7 +168,11 @@ func (d *DB) Close() error {
 }
 
 // Stats implements graphdb.Graph.
-func (d *DB) Stats() graphdb.Stats { return d.stats }
+func (d *DB) Stats() graphdb.Stats { return d.stats.Snapshot() }
+
+// ConcurrentReaders implements graphdb.Graph: after Flush, retrievals
+// only index the immutable CSR arrays and the read-only metadata map.
+func (d *DB) ConcurrentReaders() bool { return true }
 
 // ResetMetadata clears all metadata between queries.
 func (d *DB) ResetMetadata() { d.meta.Reset() }

@@ -53,7 +53,7 @@ type DB struct {
 	tree   *btree.Tree
 	meta   *graphdb.MetaMap
 	closed bool
-	stats  graphdb.Stats
+	stats  graphdb.StatCounters
 
 	// scratch buffers reused across operations
 	headBuf  [8]byte
@@ -181,7 +181,7 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 		if err := d.appendNeighbors(src, grouped[src]); err != nil {
 			return err
 		}
-		d.stats.EdgesStored += int64(len(grouped[src]))
+		d.stats.AddEdgesStored(int64(len(grouped[src])))
 	}
 	return nil
 }
@@ -256,7 +256,7 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if d.closed {
 		return graphdb.ErrClosed
 	}
-	d.stats.AdjacencyCalls++
+	d.stats.AddAdjacencyCall()
 	c := d.tree.Seek(btree.U64Key(uint64(v), 1))
 	var scratch []graph.VertexID
 	for c.Valid() && c.HasPrefix(uint64(v)) {
@@ -269,7 +269,7 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if err := c.Err(); err != nil {
 		return err
 	}
-	d.stats.NeighborsReturned += graphdb.FilterAppend(d.meta, scratch, out, md, op)
+	d.stats.AddNeighborsReturned(graphdb.FilterAppend(d.meta, scratch, out, md, op))
 	return nil
 }
 
@@ -298,7 +298,12 @@ func (d *DB) Close() error {
 }
 
 // Stats implements graphdb.Graph.
-func (d *DB) Stats() graphdb.Stats { return d.stats }
+func (d *DB) Stats() graphdb.Stats { return d.stats.Snapshot() }
+
+// ConcurrentReaders implements graphdb.Graph: the read path is a B+tree
+// seek plus chunk Gets, all stateless over mutex-guarded cache pins;
+// the head/chunk scratch buffers are only touched by StoreEdges.
+func (d *DB) ConcurrentReaders() bool { return true }
 
 // IOCounters implements graphdb.IOCounters.
 func (d *DB) IOCounters() (blockReads, blockWrites int64) {

@@ -8,6 +8,26 @@
 // None of these methods communicate: every implementation operates only on
 // data local to its back-end node, exactly as the paper specifies. The
 // Query Service (package query) handles all distribution concerns.
+//
+// # Concurrency contract
+//
+// Every Graph divides its API into two classes:
+//
+//   - Readers — Metadata, AdjacencyUsingMetadata, Stats, and the
+//     read-only optional extensions (AdjacencyBatch, PrefetchAdjacency,
+//     Degree, IOCounters, CacheStats). When ConcurrentReaders reports
+//     true, any number of goroutines may run readers simultaneously on
+//     the same instance. All six built-in backends report true.
+//   - Mutators — StoreEdges, SetMetadata, Flush, Close, and any
+//     maintenance extension (ResetMetadata, Defragment). Mutators
+//     always require external serialization: no mutator may overlap
+//     another mutator or any reader, even on a backend whose readers
+//     are concurrency-safe.
+//
+// MSSG itself obeys this split naturally: ingestion (mutators) and the
+// query service's parallel fringe expansion (readers, see
+// query.BFSConfig.Workers) run in disjoint phases on each back-end
+// node, separated by a Flush.
 package graphdb
 
 import (
@@ -81,9 +101,11 @@ type Stats struct {
 	NeighborsReturned int64
 }
 
-// Graph is the GraphDB Service interface (Listing 3.1). Implementations
-// are not safe for concurrent use; MSSG gives each back-end node its own
-// instance driven by that node's service goroutine.
+// Graph is the GraphDB Service interface (Listing 3.1). MSSG gives each
+// back-end node its own instance; mutating methods must be serialized
+// by the caller, while read-only methods may run concurrently when
+// ConcurrentReaders reports true (see the package comment for the full
+// contract).
 type Graph interface {
 	// StoreEdges adds a batch of directed adjacency records.
 	StoreEdges(edges []graph.Edge) error
@@ -108,11 +130,40 @@ type Graph interface {
 
 	// Stats reports logical operation counts.
 	Stats() Stats
+
+	// ConcurrentReaders reports whether this instance's read-only
+	// operations (Metadata, AdjacencyUsingMetadata, Stats, and the
+	// read-only optional extensions) are safe to call from multiple
+	// goroutines at once. Mutating operations always require external
+	// serialization and must not overlap readers even when this
+	// reports true. The parallel BFS consults this before fanning a
+	// level's fringe across worker goroutines.
+	ConcurrentReaders() bool
 }
 
 // Adjacency retrieves the unfiltered adjacency list of v (MetaIgnore).
 func Adjacency(g Graph, v graph.VertexID, out *graph.AdjList) error {
 	return g.AdjacencyUsingMetadata(v, out, 0, MetaIgnore)
+}
+
+// DegreeReader is an optional extension for backends that can count a
+// vertex's neighbours cheaper than materializing them (grDB walks its
+// block chain without building the list).
+type DegreeReader interface {
+	Degree(v graph.VertexID) (int64, error)
+}
+
+// Degree returns v's stored out-degree, using the backend fast path when
+// one is available and counting a full adjacency retrieval otherwise.
+func Degree(g Graph, v graph.VertexID) (int64, error) {
+	if dr, ok := g.(DegreeReader); ok {
+		return dr.Degree(v)
+	}
+	out := graph.NewAdjList(16)
+	if err := Adjacency(g, v, out); err != nil {
+		return 0, err
+	}
+	return int64(out.Len()), nil
 }
 
 // BatchGraph is an optional extension for storage formats that answer a

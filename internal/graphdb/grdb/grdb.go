@@ -122,7 +122,7 @@ type DB struct {
 	copyUp bool
 
 	closed bool
-	stats  graphdb.Stats
+	stats  graphdb.StatCounters
 }
 
 // tailPos locates the sub-block an append should start from.
@@ -268,7 +268,7 @@ func (d *DB) loadManifest() error {
 	if len(b) != want {
 		return fmt.Errorf("grdb: manifest is %d bytes, want %d (level ladder mismatch?)", len(b), want)
 	}
-	d.stats.EdgesStored = int64(binary.LittleEndian.Uint64(b[0:8]))
+	d.stats.SetEdgesStored(int64(binary.LittleEndian.Uint64(b[0:8])))
 	d.maxVertex = graph.VertexID(binary.LittleEndian.Uint64(b[8:16]))
 	for i := range d.nextFree {
 		d.nextFree[i] = int64(binary.LittleEndian.Uint64(b[8*(i+2):]))
@@ -278,7 +278,7 @@ func (d *DB) loadManifest() error {
 
 func (d *DB) saveManifest() error {
 	b := make([]byte, 8*(len(d.levels)+2))
-	binary.LittleEndian.PutUint64(b[0:8], uint64(d.stats.EdgesStored))
+	binary.LittleEndian.PutUint64(b[0:8], uint64(d.stats.EdgesStored()))
 	binary.LittleEndian.PutUint64(b[8:16], uint64(d.maxVertex))
 	for i, nf := range d.nextFree {
 		binary.LittleEndian.PutUint64(b[8*(i+2):], uint64(nf))

@@ -40,7 +40,7 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 		if err := d.appendNeighbors(src, grouped[src]); err != nil {
 			return err
 		}
-		d.stats.EdgesStored += int64(len(grouped[src]))
+		d.stats.AddEdgesStored(int64(len(grouped[src])))
 		if src > d.maxVertex {
 			d.maxVertex = src
 		}
@@ -226,14 +226,14 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if uint64(v) > maxStoreable {
 		return fmt.Errorf("grdb: vertex id %d beyond 61-bit storeable range", v)
 	}
-	d.stats.AdjacencyCalls++
+	d.stats.AddAdjacencyCall()
 	if op == graphdb.MetaIgnore {
 		var n int64
 		err := d.walkAdjacency(v, func(u graph.VertexID) {
 			out.Append(u)
 			n++
 		})
-		d.stats.NeighborsReturned += n
+		d.stats.AddNeighborsReturned(n)
 		return err
 	}
 	var n int64
@@ -243,7 +243,7 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 			n++
 		}
 	})
-	d.stats.NeighborsReturned += n
+	d.stats.AddNeighborsReturned(n)
 	return err
 }
 
@@ -324,7 +324,14 @@ func (d *DB) Close() error {
 }
 
 // Stats implements graphdb.Graph.
-func (d *DB) Stats() graphdb.Stats { return d.stats }
+func (d *DB) Stats() graphdb.Stats { return d.stats.Snapshot() }
+
+// ConcurrentReaders implements graphdb.Graph: walkAdjacency and the
+// metadata path read index words and chain blocks through the
+// mutex-guarded block cache without touching the write-side state
+// (tail hints, free lists), so any number of goroutines may expand
+// fringe vertices at once.
+func (d *DB) ConcurrentReaders() bool { return true }
 
 // IOCounters implements graphdb.IOCounters, summing all levels.
 func (d *DB) IOCounters() (blockReads, blockWrites int64) {

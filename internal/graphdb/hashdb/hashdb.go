@@ -22,7 +22,7 @@ type DB struct {
 	meta   *graphdb.MetaMap
 	lists  map[graph.VertexID][]graph.VertexID
 	closed bool
-	stats  graphdb.Stats
+	stats  graphdb.StatCounters
 }
 
 // New returns an empty HashMap instance.
@@ -43,7 +43,7 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 			return err
 		}
 		d.lists[e.Src] = append(d.lists[e.Src], e.Dst)
-		d.stats.EdgesStored++
+		d.stats.AddEdgesStored(1)
 	}
 	return nil
 }
@@ -70,12 +70,12 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if d.closed {
 		return graphdb.ErrClosed
 	}
-	d.stats.AdjacencyCalls++
+	d.stats.AddAdjacencyCall()
 	neighbors, ok := d.lists[v]
 	if !ok {
 		return nil
 	}
-	d.stats.NeighborsReturned += graphdb.FilterAppend(d.meta, neighbors, out, md, op)
+	d.stats.AddNeighborsReturned(graphdb.FilterAppend(d.meta, neighbors, out, md, op))
 	return nil
 }
 
@@ -94,7 +94,12 @@ func (d *DB) Close() error {
 }
 
 // Stats implements graphdb.Graph.
-func (d *DB) Stats() graphdb.Stats { return d.stats }
+func (d *DB) Stats() graphdb.Stats { return d.stats.Snapshot() }
+
+// ConcurrentReaders implements graphdb.Graph: retrievals only read the
+// adjacency and metadata maps, which mutate solely under StoreEdges /
+// SetMetadata (externally serialized against readers).
+func (d *DB) ConcurrentReaders() bool { return true }
 
 // ResetMetadata clears all metadata between queries.
 func (d *DB) ResetMetadata() { d.meta.Reset() }

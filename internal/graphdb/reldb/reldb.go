@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
@@ -49,9 +50,10 @@ type DB struct {
 	log       *wal
 	meta      *graphdb.MetaMap
 	closed    bool
-	stats     graphdb.Stats
-	// statements counts parsed statements (for reports).
-	statements int64
+	stats     graphdb.StatCounters
+	// statements counts parsed statements (for reports); atomic because
+	// SELECTs are readers and may run concurrently.
+	statements atomic.Int64
 }
 
 // Open creates or reopens a DB under opts.Dir.
@@ -228,7 +230,7 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 		if err := d.appendNeighbors(src, grouped[src]); err != nil {
 			return err
 		}
-		d.stats.EdgesStored += int64(len(grouped[src]))
+		d.stats.AddEdgesStored(int64(len(grouped[src])))
 	}
 	return nil
 }
@@ -280,7 +282,7 @@ func (d *DB) appendNeighbors(src graph.VertexID, add []graph.VertexID) error {
 		if err != nil {
 			return err
 		}
-		d.statements++
+		d.statements.Add(1)
 		if err := d.execInsert(st); err != nil {
 			return err
 		}
@@ -319,13 +321,13 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if d.closed {
 		return graphdb.ErrClosed
 	}
-	d.stats.AdjacencyCalls++
+	d.stats.AddAdjacencyCall()
 
 	st, err := parseStatement(renderSelect(int64(v)))
 	if err != nil {
 		return err
 	}
-	d.statements++
+	d.statements.Add(1)
 
 	// Server side: index range scan over (v, 1..), heap fetch per chunk,
 	// text result rows out.
@@ -358,7 +360,7 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 			scratch = append(scratch, graph.VertexID(binary.LittleEndian.Uint64(blob[i:i+8])))
 		}
 	}
-	d.stats.NeighborsReturned += graphdb.FilterAppend(d.meta, scratch, out, md, op)
+	d.stats.AddNeighborsReturned(graphdb.FilterAppend(d.meta, scratch, out, md, op))
 	return nil
 }
 
@@ -395,10 +397,15 @@ func (d *DB) Close() error {
 }
 
 // Stats implements graphdb.Graph.
-func (d *DB) Stats() graphdb.Stats { return d.stats }
+func (d *DB) Stats() graphdb.Stats { return d.stats.Snapshot() }
+
+// ConcurrentReaders implements graphdb.Graph: SELECT execution is a
+// B-tree probe plus heap reads through the block cache, with no shared
+// mutable state beyond the atomic statement/stats counters.
+func (d *DB) ConcurrentReaders() bool { return true }
 
 // Statements returns the number of SQL statements parsed.
-func (d *DB) Statements() int64 { return d.statements }
+func (d *DB) Statements() int64 { return d.statements.Load() }
 
 // IOCounters implements graphdb.IOCounters (heap + index traffic).
 func (d *DB) IOCounters() (blockReads, blockWrites int64) {

@@ -1,0 +1,43 @@
+package graphdb
+
+import "sync/atomic"
+
+// StatCounters is the concurrency-safe accumulator every backend embeds
+// behind its Stats() method. Adjacency retrievals are readers under the
+// package concurrency contract yet still need to count work, so the
+// counters are atomics rather than fields guarded by the (nonexistent)
+// reader lock.
+type StatCounters struct {
+	edgesStored       atomic.Int64
+	adjacencyCalls    atomic.Int64
+	neighborsReturned atomic.Int64
+}
+
+// AddEdgesStored credits n edges accepted by StoreEdges.
+func (c *StatCounters) AddEdgesStored(n int64) { c.edgesStored.Add(n) }
+
+// SetEdgesStored overwrites the stored-edge count (manifest reload).
+func (c *StatCounters) SetEdgesStored(n int64) { c.edgesStored.Store(n) }
+
+// EdgesStored returns the current stored-edge count.
+func (c *StatCounters) EdgesStored() int64 { return c.edgesStored.Load() }
+
+// AddAdjacencyCall counts one adjacency-list retrieval.
+func (c *StatCounters) AddAdjacencyCall() { c.adjacencyCalls.Add(1) }
+
+// AddAdjacencyCalls counts n retrievals answered in one batch pass.
+func (c *StatCounters) AddAdjacencyCalls(n int64) { c.adjacencyCalls.Add(n) }
+
+// AddNeighborsReturned credits n neighbours produced by retrievals.
+func (c *StatCounters) AddNeighborsReturned(n int64) { c.neighborsReturned.Add(n) }
+
+// Snapshot returns the counters as a plain Stats value. Each field is
+// read atomically; the triple is not a single consistent cut, which is
+// fine for the monotonic operation counts Stats reports.
+func (c *StatCounters) Snapshot() Stats {
+	return Stats{
+		EdgesStored:       c.edgesStored.Load(),
+		AdjacencyCalls:    c.adjacencyCalls.Load(),
+		NeighborsReturned: c.neighborsReturned.Load(),
+	}
+}

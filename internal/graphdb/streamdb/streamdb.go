@@ -19,6 +19,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mssg/internal/graph"
@@ -47,18 +49,19 @@ const recordBytes = 16 // src int64 + dst int64, little-endian
 type DB struct {
 	path   string
 	f      *os.File
+	wmu    sync.Mutex // serializes flushes of w between concurrent scans
 	w      *bufio.Writer
 	edges  int64 // records in the log (including unflushed)
 	closed bool
-	stats  graphdb.Stats
+	stats  graphdb.StatCounters
 	meta   *graphdb.MetaMap
 
-	scanReads int64 // physical read ops performed by scans
+	scanReads atomic.Int64 // physical read ops performed by scans
 
 	readLatency  time.Duration
 	writeLatency time.Duration
-	pendingWrite int64 // bytes appended since the last charged write unit
-	pendingRead  int64 // bytes scanned since the last charged read unit
+	pendingWrite int64        // bytes appended since the last charged write unit
+	pendingRead  atomic.Int64 // bytes scanned since the last charged read unit
 }
 
 // SimulateLatency adds a device delay per 256 KB of sequential transfer
@@ -128,7 +131,7 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 			}
 		}
 		d.edges++
-		d.stats.EdgesStored++
+		d.stats.AddEdgesStored(1)
 	}
 	return nil
 }
@@ -159,8 +162,15 @@ func (d *DB) SetMetadata(v graph.VertexID, md int32) error {
 }
 
 // scan streams the whole log, invoking visit for every edge record.
+// Scans are readers under the graphdb concurrency contract: any number
+// may run at once (each gets its own SectionReader over the immutable
+// prefix), so the write-buffer flush is mutex-guarded and the latency
+// accounting is atomic.
 func (d *DB) scan(visit func(src, dst graph.VertexID)) error {
-	if err := d.w.Flush(); err != nil {
+	d.wmu.Lock()
+	err := d.w.Flush()
+	d.wmu.Unlock()
+	if err != nil {
 		return err
 	}
 	r := io.NewSectionReader(d.f, 0, d.edges*recordBytes)
@@ -170,11 +180,10 @@ func (d *DB) scan(visit func(src, dst graph.VertexID)) error {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return fmt.Errorf("streamdb: scan: %w", err)
 		}
-		d.scanReads++
+		d.scanReads.Add(1)
 		if d.readLatency > 0 {
-			d.pendingRead += recordBytes
-			if d.pendingRead >= seqChunkBytes {
-				d.pendingRead -= seqChunkBytes
+			pending := d.pendingRead.Add(recordBytes)
+			if pending >= seqChunkBytes && d.pendingRead.CompareAndSwap(pending, pending-seqChunkBytes) {
 				time.Sleep(d.readLatency)
 			}
 		}
@@ -192,7 +201,7 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if d.closed {
 		return graphdb.ErrClosed
 	}
-	d.stats.AdjacencyCalls++
+	d.stats.AddAdjacencyCall()
 	var scratch []graph.VertexID
 	if err := d.scan(func(src, dst graph.VertexID) {
 		if src == v {
@@ -201,7 +210,7 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	}); err != nil {
 		return err
 	}
-	d.stats.NeighborsReturned += graphdb.FilterAppend(d.meta, scratch, out, md, op)
+	d.stats.AddNeighborsReturned(graphdb.FilterAppend(d.meta, scratch, out, md, op))
 	return nil
 }
 
@@ -211,7 +220,7 @@ func (d *DB) AdjacencyBatch(fringe []graph.VertexID, out *graph.AdjList, md int3
 	if d.closed {
 		return graphdb.ErrClosed
 	}
-	d.stats.AdjacencyCalls += int64(len(fringe))
+	d.stats.AddAdjacencyCalls(int64(len(fringe)))
 	if len(fringe) == 0 {
 		return nil
 	}
@@ -227,7 +236,7 @@ func (d *DB) AdjacencyBatch(fringe []graph.VertexID, out *graph.AdjList, md int3
 	}); err != nil {
 		return err
 	}
-	d.stats.NeighborsReturned += graphdb.FilterAppend(d.meta, scratch, out, md, op)
+	d.stats.AddNeighborsReturned(graphdb.FilterAppend(d.meta, scratch, out, md, op))
 	return nil
 }
 
@@ -244,13 +253,17 @@ func (d *DB) Close() error {
 }
 
 // Stats implements graphdb.Graph.
-func (d *DB) Stats() graphdb.Stats { return d.stats }
+func (d *DB) Stats() graphdb.Stats { return d.stats.Snapshot() }
 
 // IOCounters implements graphdb.IOCounters: scans count as reads; every
 // stored edge is one buffered write.
 func (d *DB) IOCounters() (blockReads, blockWrites int64) {
-	return d.scanReads, d.stats.EdgesStored
+	return d.scanReads.Load(), d.stats.EdgesStored()
 }
+
+// ConcurrentReaders implements graphdb.Graph: concurrent scans each read
+// through their own SectionReader over the flushed, immutable log prefix.
+func (d *DB) ConcurrentReaders() bool { return true }
 
 // ResetMetadata clears all metadata between queries.
 func (d *DB) ResetMetadata() { d.meta.Reset() }

@@ -65,6 +65,15 @@ type BFSConfig struct {
 	// wire and per-vertex (not batched) expansion; unsupported by the
 	// pipelined variant.
 	ReturnPath bool
+	// Workers is the number of goroutines each back-end node uses to
+	// expand a level's fringe concurrently: workers pull vertices from a
+	// shared queue, retrieve adjacency in parallel, and mark discoveries
+	// in a sharded visited set. 0 means GOMAXPROCS; 1 restores the
+	// paper's serial per-node expansion. Values above 1 take effect only
+	// when the backend reports ConcurrentReaders and are ignored for
+	// ReturnPath queries and batch-scan backends (StreamDB), which fall
+	// back to serial expansion.
+	Workers int
 	// OwnerOf overrides the GID %% p vertex→node mapping under
 	// KnownMapping ownership — used with directory-based clustering
 	// policies (paper §3.2: "the Ingestion service needs to keep track
@@ -187,7 +196,7 @@ func ParallelBFS(f cluster.Fabric, dbs []graphdb.Graph, cfg BFSConfig) (BFSResul
 // bfsNode is one node's share of the search; it dispatches to the
 // level-synchronous or pipelined variant.
 func bfsNode(ep cluster.Endpoint, db graphdb.Graph, cfg BFSConfig) (BFSResult, error) {
-	visited, err := newVisited(ep.ID(), cfg)
+	visited, err := newVisited(ep.ID(), cfg, cfg.expandWorkers(db))
 	if err != nil {
 		return BFSResult{}, err
 	}
@@ -201,11 +210,26 @@ func bfsNode(ep cluster.Endpoint, db graphdb.Graph, cfg BFSConfig) (BFSResult, e
 	return bfsLevelSync(ep, db, visited, cfg)
 }
 
-func newVisited(node cluster.NodeID, cfg BFSConfig) (Visited, error) {
+// newVisited builds the per-node visited structure. With parallel
+// expansion in effect it must tolerate concurrent markers: the default
+// becomes the striped-lock ShardedVisited, and caller-provided
+// structures (e.g. ExtVisited) are wrapped in a mutex unless they
+// declare themselves concurrency-safe via ConcurrentVisited.
+func newVisited(node cluster.NodeID, cfg BFSConfig, workers int) (Visited, error) {
 	if cfg.NewVisited == nil {
+		if workers > 1 {
+			return NewShardedVisited(), nil
+		}
 		return NewMemVisited(), nil
 	}
-	return cfg.NewVisited(node)
+	v, err := cfg.NewVisited(node)
+	if err != nil {
+		return nil, err
+	}
+	if workers > 1 {
+		v = ensureConcurrentVisited(v)
+	}
+	return v, nil
 }
 
 // bfsLevelSync is Algorithm 1: expand the whole fringe, exchange the next
@@ -247,6 +271,7 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 
 	prefetcher, _ := db.(graphdb.Prefetcher)
 	filterOp, filterRef := cfg.Filter.metaOp()
+	nw := cfg.expandWorkers(db)
 	adj := graph.NewAdjList(1024)
 	var levcnt int32
 	for levcnt < cfg.maxLevels() {
@@ -318,6 +343,23 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 					}
 				}
 			}
+		} else if nw > 1 {
+			// Parallel expansion: workers split the fringe and only the
+			// exchange below runs on this goroutine. Levels are sets, so
+			// the scheduling-dependent order inside localNext/outbound
+			// does not change any BFSResult field.
+			acc, err := expandParallel(ep, db, visited, &cfg, fringe, levcnt, nw, 0)
+			if err != nil {
+				return res, err
+			}
+			if acc.found {
+				foundLocal = 1
+			}
+			res.EdgesTraversed += acc.edgesTraversed
+			res.VerticesVisited += acc.verticesVisited
+			res.FringeSent += acc.fringeSent
+			localNext = acc.localNext
+			outbound = acc.outbound
 		} else {
 			// Expand the local fringe in one batch (StreamDB requires
 			// it; everyone else benefits from it too).

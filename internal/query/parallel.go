@@ -1,0 +1,180 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mssg/internal/cluster"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+// expandChunk is how many fringe vertices a worker claims from the
+// shared cursor at a time: large enough to amortize the atomic, small
+// enough that skewed adjacency sizes still balance across workers.
+const expandChunk = 16
+
+// workers resolves the effective worker-count knob: 0 means GOMAXPROCS.
+func (c *BFSConfig) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// expandWorkers decides how many goroutines may expand one level's
+// fringe against db. Parallel expansion is skipped (serial fallback)
+// when the backend does not guarantee concurrent readers, when it
+// answers whole fringes in one batch pass (StreamDB: a per-vertex split
+// would scan the log once per vertex), and for ReturnPath queries
+// (which need per-vertex parent attribution through the serial loop).
+func (c *BFSConfig) expandWorkers(db graphdb.Graph) int {
+	n := c.workers()
+	if n <= 1 || c.ReturnPath || !db.ConcurrentReaders() {
+		return 1
+	}
+	if _, batch := db.(graphdb.BatchGraph); batch {
+		return 1
+	}
+	return n
+}
+
+// levelAcc is the merged outcome of one level's parallel expansion.
+type levelAcc struct {
+	found           bool
+	edgesTraversed  int64
+	verticesVisited int64
+	fringeSent      int64
+	// localNext holds discoveries this node will expand next level. The
+	// order is scheduling-dependent, but a BFS level is a set: the next
+	// level's fringe contents (and hence every BFSResult field) are
+	// independent of intra-level expansion order.
+	localNext []graph.VertexID
+	// outbound holds per-peer discoveries not yet shipped: everything
+	// for the level-synchronous variant, sub-threshold leftovers for the
+	// pipelined one.
+	outbound [][]graph.VertexID
+}
+
+// expandParallel fans one level's fringe across nworkers goroutines
+// pulling expandChunk-sized runs from a shared cursor. Each worker
+// calls AdjacencyUsingMetadata concurrently (allowed: the caller
+// checked db.ConcurrentReaders), marks discoveries in the shared
+// concurrency-safe visited set, and classifies them into its private
+// accumulator; the accumulators are merged after the join.
+//
+// sendThreshold > 0 selects pipelined behaviour: a worker ships a
+// peer bucket through ep the moment it reaches the threshold
+// (cluster endpoints are safe for concurrent senders), leaving only
+// sub-threshold leftovers in the returned accumulator. With
+// sendThreshold == 0 nothing is sent and the caller flushes all
+// buckets itself.
+func expandParallel(ep cluster.Endpoint, db graphdb.Graph, visited Visited,
+	cfg *BFSConfig, fringe []graph.VertexID, levcnt int32,
+	nworkers, sendThreshold int) (levelAcc, error) {
+
+	p := ep.Nodes()
+	self := ep.ID()
+	filterOp, filterRef := cfg.Filter.metaOp()
+
+	accs := make([]levelAcc, nworkers)
+	var cursor atomic.Int64
+	var firstErr atomic.Pointer[error]
+	fail := func(err error) {
+		e := err
+		firstErr.CompareAndSwap(nil, &e)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < nworkers; w++ {
+		wg.Add(1)
+		go func(acc *levelAcc) {
+			defer wg.Done()
+			acc.outbound = make([][]graph.VertexID, p)
+			adj := graph.NewAdjList(256)
+			for firstErr.Load() == nil {
+				start := cursor.Add(expandChunk) - expandChunk
+				if start >= int64(len(fringe)) {
+					return
+				}
+				end := start + expandChunk
+				if end > int64(len(fringe)) {
+					end = int64(len(fringe))
+				}
+				for _, v := range fringe[start:end] {
+					adj.Reset()
+					if err := db.AdjacencyUsingMetadata(v, adj, filterRef, filterOp); err != nil {
+						fail(err)
+						return
+					}
+					acc.edgesTraversed += int64(adj.Len())
+					for _, u := range adj.IDs() {
+						if u == cfg.Dest {
+							acc.found = true
+						}
+						isNew, err := visited.MarkIfNew(u, levcnt)
+						if err != nil {
+							fail(err)
+							return
+						}
+						if !isNew {
+							continue
+						}
+						acc.verticesVisited++
+						if cfg.Ownership == KnownMapping {
+							owner := cfg.ownerOf(u, p)
+							if owner == self {
+								acc.localNext = append(acc.localNext, u)
+								continue
+							}
+							acc.outbound[owner] = append(acc.outbound[owner], u)
+							acc.fringeSent++
+							if sendThreshold > 0 && len(acc.outbound[owner]) >= sendThreshold {
+								if err := ep.Send(owner, chFringe, encodeChunk(acc.outbound[owner])); err != nil {
+									fail(err)
+									return
+								}
+								acc.outbound[owner] = acc.outbound[owner][:0]
+							}
+						} else {
+							acc.localNext = append(acc.localNext, u)
+							for q := 0; q < p; q++ {
+								if cluster.NodeID(q) == self {
+									continue
+								}
+								acc.outbound[q] = append(acc.outbound[q], u)
+								acc.fringeSent++
+								if sendThreshold > 0 && len(acc.outbound[q]) >= sendThreshold {
+									if err := ep.Send(cluster.NodeID(q), chFringe, encodeChunk(acc.outbound[q])); err != nil {
+										fail(err)
+										return
+									}
+									acc.outbound[q] = acc.outbound[q][:0]
+								}
+							}
+						}
+					}
+				}
+			}
+		}(&accs[w])
+	}
+	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return levelAcc{}, *errp
+	}
+
+	merged := levelAcc{outbound: make([][]graph.VertexID, p)}
+	for i := range accs {
+		a := &accs[i]
+		merged.found = merged.found || a.found
+		merged.edgesTraversed += a.edgesTraversed
+		merged.verticesVisited += a.verticesVisited
+		merged.fringeSent += a.fringeSent
+		merged.localNext = append(merged.localNext, a.localNext...)
+		for q := 0; q < p; q++ {
+			merged.outbound[q] = append(merged.outbound[q], a.outbound[q]...)
+		}
+	}
+	return merged, nil
+}

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"time"
 
 	"mssg/internal/cluster"
 	"mssg/internal/graph"
@@ -39,6 +40,7 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 
 	prefetcher, _ := db.(graphdb.Prefetcher)
 	filterOp, filterRef := cfg.Filter.metaOp()
+	nw := cfg.expandWorkers(db)
 	adj := graph.NewAdjList(1024)
 	var levcnt int32
 	for levcnt < cfg.maxLevels() {
@@ -107,57 +109,108 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 			return nil
 		}
 
-		// Expand the fringe one vertex at a time, pipelining chunk sends
-		// (Algorithm 2 lines 9-22).
-		for _, v := range fringe {
-			adj.Reset()
-			if err := db.AdjacencyUsingMetadata(v, adj, filterRef, filterOp); err != nil {
-				return res, err
-			}
-			res.EdgesTraversed += int64(adj.Len())
-			for _, u := range adj.IDs() {
-				if u == cfg.Dest {
-					foundLocal = 1
+		// expandSerial is the paper's per-vertex expansion loop
+		// (Algorithm 2 lines 9-22), pipelining chunk sends and draining
+		// arrivals between vertices.
+		expandSerial := func() error {
+			for _, v := range fringe {
+				adj.Reset()
+				if err := db.AdjacencyUsingMetadata(v, adj, filterRef, filterOp); err != nil {
+					return err
 				}
-				isNew, err := visited.MarkIfNew(u, levcnt)
-				if err != nil {
-					return res, err
-				}
-				if !isNew {
-					continue
-				}
-				res.VerticesVisited++
-				if cfg.Ownership == KnownMapping {
-					owner := cfg.ownerOf(u, p)
-					if owner == self {
-						next = append(next, u)
+				res.EdgesTraversed += int64(adj.Len())
+				for _, u := range adj.IDs() {
+					if u == cfg.Dest {
+						foundLocal = 1
+					}
+					isNew, err := visited.MarkIfNew(u, levcnt)
+					if err != nil {
+						return err
+					}
+					if !isNew {
 						continue
 					}
-					buckets[owner] = append(buckets[owner], u)
-					res.FringeSent++
-					if len(buckets[owner]) >= threshold {
-						if err := sendBucket(int(owner)); err != nil {
-							return res, err
-						}
-					}
-				} else {
-					next = append(next, u)
-					for q := 0; q < p; q++ {
-						if cluster.NodeID(q) == self {
+					res.VerticesVisited++
+					if cfg.Ownership == KnownMapping {
+						owner := cfg.ownerOf(u, p)
+						if owner == self {
+							next = append(next, u)
 							continue
 						}
-						buckets[q] = append(buckets[q], u)
+						buckets[owner] = append(buckets[owner], u)
 						res.FringeSent++
-						if len(buckets[q]) >= threshold {
-							if err := sendBucket(q); err != nil {
-								return res, err
+						if len(buckets[owner]) >= threshold {
+							if err := sendBucket(int(owner)); err != nil {
+								return err
+							}
+						}
+					} else {
+						next = append(next, u)
+						for q := 0; q < p; q++ {
+							if cluster.NodeID(q) == self {
+								continue
+							}
+							buckets[q] = append(buckets[q], u)
+							res.FringeSent++
+							if len(buckets[q]) >= threshold {
+								if err := sendBucket(q); err != nil {
+									return err
+								}
 							}
 						}
 					}
 				}
+				// Overlap: absorb whatever peers have sent so far.
+				if err := poll(); err != nil {
+					return err
+				}
 			}
-			// Overlap: absorb whatever peers have sent so far.
-			if err := poll(); err != nil {
+			return nil
+		}
+
+		if nw > 1 {
+			// Parallel expansion: workers ship threshold-full chunks to
+			// peers themselves (endpoints allow concurrent senders),
+			// while this goroutine keeps draining arrivals — required
+			// under bounded mailboxes, where a full peer mailbox would
+			// otherwise deadlock two nodes sending at each other.
+			type expandOutcome struct {
+				acc levelAcc
+				err error
+			}
+			ch := make(chan expandOutcome, 1)
+			go func(levcnt int32) {
+				acc, err := expandParallel(ep, db, visited, &cfg, fringe, levcnt, nw, threshold)
+				ch <- expandOutcome{acc, err}
+			}(levcnt)
+			var acc levelAcc
+		expand:
+			for {
+				select {
+				case out := <-ch:
+					if out.err != nil {
+						return res, out.err
+					}
+					acc = out.acc
+					break expand
+				default:
+					if err := poll(); err != nil {
+						return res, err
+					}
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+			if acc.found {
+				foundLocal = 1
+			}
+			res.EdgesTraversed += acc.edgesTraversed
+			res.VerticesVisited += acc.verticesVisited
+			res.FringeSent += acc.fringeSent
+			next = append(next, acc.localNext...)
+			// Sub-threshold leftovers ride the normal end-of-level flush.
+			buckets = acc.outbound
+		} else {
+			if err := expandSerial(); err != nil {
 				return res, err
 			}
 		}

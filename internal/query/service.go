@@ -66,7 +66,7 @@ type bfsAnalysis struct{}
 func (bfsAnalysis) Name() string { return "bfs" }
 
 func (bfsAnalysis) Describe() string {
-	return "parallel out-of-core breadth-first search between two vertices (params: source, dest, pipelined, broadcast, threshold)"
+	return "parallel out-of-core breadth-first search between two vertices (params: source, dest, pipelined, broadcast, threshold, workers)"
 }
 
 func (bfsAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
@@ -92,6 +92,13 @@ func (bfsAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]
 			return nil, fmt.Errorf("query: bad threshold %q: %w", t, err)
 		}
 		cfg.Threshold = n
+	}
+	if w := params["workers"]; w != "" {
+		n, err := strconv.Atoi(w)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad workers %q: %w", w, err)
+		}
+		cfg.Workers = n
 	}
 	return ParallelBFS(f, dbs, cfg)
 }

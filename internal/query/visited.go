@@ -7,6 +7,8 @@ package query
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"mssg/internal/graph"
 	"mssg/internal/storage/blockio"
@@ -143,4 +145,119 @@ func (e *ExtVisited) Close() error {
 		return err
 	}
 	return e.store.Close()
+}
+
+// ConcurrentVisited marks Visited implementations whose MarkIfNew and
+// Level are safe for concurrent use. The parallel fringe expansion
+// (BFSConfig.Workers > 1) requires one; structures that don't implement
+// the marker are transparently wrapped in a single mutex.
+type ConcurrentVisited interface {
+	Visited
+	// ConcurrentMarkers returns true when MarkIfNew/Level/Count may be
+	// called from multiple goroutines simultaneously.
+	ConcurrentMarkers() bool
+}
+
+// visitedShards is the stripe count of ShardedVisited. 64 stripes keep
+// contention negligible for any realistic worker count while staying
+// small enough that per-query allocation stays cheap.
+const visitedShards = 64
+
+// ShardedVisited is the striped-lock in-memory visited structure used
+// by parallel fringe expansion: vertex v lives in stripe v % 64, so
+// workers marking different regions of the ID space rarely contend.
+type ShardedVisited struct {
+	shards [visitedShards]struct {
+		mu     sync.Mutex
+		levels map[graph.VertexID]int32
+	}
+	count atomic.Int64
+}
+
+// NewShardedVisited returns an empty concurrency-safe visited set.
+func NewShardedVisited() *ShardedVisited {
+	s := &ShardedVisited{}
+	for i := range s.shards {
+		s.shards[i].levels = make(map[graph.VertexID]int32)
+	}
+	return s
+}
+
+// MarkIfNew implements Visited; safe for concurrent use.
+func (s *ShardedVisited) MarkIfNew(v graph.VertexID, level int32) (bool, error) {
+	sh := &s.shards[uint64(v)%visitedShards]
+	sh.mu.Lock()
+	if _, seen := sh.levels[v]; seen {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	sh.levels[v] = level
+	sh.mu.Unlock()
+	s.count.Add(1)
+	return true, nil
+}
+
+// Level implements Visited; safe for concurrent use.
+func (s *ShardedVisited) Level(v graph.VertexID) (int32, error) {
+	sh := &s.shards[uint64(v)%visitedShards]
+	sh.mu.Lock()
+	l, seen := sh.levels[v]
+	sh.mu.Unlock()
+	if !seen {
+		return -1, nil
+	}
+	return l, nil
+}
+
+// Count implements Visited.
+func (s *ShardedVisited) Count() int64 { return s.count.Load() }
+
+// Close implements Visited.
+func (s *ShardedVisited) Close() error { return nil }
+
+// ConcurrentMarkers implements ConcurrentVisited.
+func (s *ShardedVisited) ConcurrentMarkers() bool { return true }
+
+// lockedVisited adapts a non-concurrent Visited (MemVisited, ExtVisited,
+// or a caller-provided structure) for parallel expansion with one mutex.
+// Coarse, but correct: ExtVisited's cache read-modify-write must not
+// interleave.
+type lockedVisited struct {
+	mu    sync.Mutex
+	inner Visited
+}
+
+func (l *lockedVisited) MarkIfNew(v graph.VertexID, level int32) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.MarkIfNew(v, level)
+}
+
+func (l *lockedVisited) Level(v graph.VertexID) (int32, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Level(v)
+}
+
+func (l *lockedVisited) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Count()
+}
+
+func (l *lockedVisited) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Close()
+}
+
+func (l *lockedVisited) ConcurrentMarkers() bool { return true }
+
+// ensureConcurrentVisited returns v itself when it already supports
+// concurrent marking, or a mutex-wrapped view of it otherwise.
+func ensureConcurrentVisited(v Visited) Visited {
+	if cv, ok := v.(ConcurrentVisited); ok && cv.ConcurrentMarkers() {
+		return v
+	}
+	return &lockedVisited{inner: v}
 }

