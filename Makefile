@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz bench bench-workers clean
+.PHONY: ci vet build test race fuzz chaos bench bench-workers clean
 
-ci: vet build race fuzz bench-workers
+ci: vet build race chaos fuzz bench-workers
 
 vet:
 	$(GO) vet ./...
@@ -15,17 +15,23 @@ vet:
 build:
 	$(GO) build ./...
 
-test:
+test: chaos
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the edge codec (regression corpus + 10s of
-# exploration per target).
+# Chaos-conformance suite: replay three fixed seeded fault plans over
+# both fabrics under the race detector (DESIGN.md "Failure model").
+chaos:
+	MSSG_CHAOS_SEEDS=1,7,42 $(GO) test -race -count=1 -run 'TestChaos' ./internal/chaos
+
+# Short fuzz pass over the edge codec and the TCP frame decoder
+# (regression corpus + 10s of exploration per target).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEdgeRoundTrip -fuzztime 10s ./internal/graph
 	$(GO) test -run xxx -fuzz FuzzEdgeDecodeNoPanic -fuzztime 10s ./internal/graph
+	$(GO) test -run xxx -fuzz FuzzTCPFrameDecode -fuzztime 10s ./internal/cluster
 
 # Paper figure/table regenerations (slow; one full experiment per bench).
 bench:

@@ -27,6 +27,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print progress")
 	workers := flag.Int("workers", 0,
 		"fringe-expansion goroutines per back-end node (0 = GOMAXPROCS, 1 = serial)")
+	faultSeed := flag.Int64("fault-seed", 0,
+		"non-zero: run over a fault-injecting fabric (1% drops) masked by reliable delivery, seeded with this value")
+	deadline := flag.Duration("deadline", 0,
+		"per-ingestion deadline (0 = none); overruns abort the experiment instead of hanging")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>|all\n\nexperiments:\n", os.Args[0])
 		for _, e := range experiments.All() {
@@ -51,7 +55,10 @@ func main() {
 		workDir = td
 	}
 
-	p := &experiments.Params{Scale: *scale, Queries: *queries, Dir: workDir, Workers: *workers}
+	p := &experiments.Params{
+		Scale: *scale, Queries: *queries, Dir: workDir, Workers: *workers,
+		FaultSeed: *faultSeed, Deadline: *deadline,
+	}
 	if *verbose {
 		p.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[%s] "+format+"\n",

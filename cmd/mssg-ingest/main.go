@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"mssg/internal/cluster"
 	"mssg/internal/core"
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
@@ -34,6 +35,15 @@ func main() {
 	window := flag.Int("window", 4096, "ingestion window (edges per block)")
 	reverse := flag.Bool("reverse", true, "store both edge orientations (undirected graph)")
 	tcp := flag.Bool("tcp", false, "use the loopback-TCP fabric instead of in-process")
+	faultSeed := flag.Int64("fault-seed", 0,
+		"non-zero: inject deterministic faults (drops, duplicates, delays) seeded with this value")
+	faultDrop := flag.Float64("fault-drop", 0.01, "fraction of messages dropped when -fault-seed is set")
+	faultCrash := flag.Int64("fault-crash", 0,
+		"non-zero: crash back-end node 1 after this many outgoing sends (requires -fault-seed)")
+	reliable := flag.Bool("reliable", false,
+		"layer acked, deduplicated, checksummed delivery over the fabric (implied by -fault-seed)")
+	deadline := flag.Duration("deadline", 0,
+		"ingestion deadline (0 = none); a dead back-end or overrun aborts the run instead of hanging")
 	defrag := flag.Bool("defrag", false, "run grDB chain defragmentation after ingestion (grdb backend only)")
 	fsck := flag.Bool("fsck", false, "verify grDB storage invariants after ingestion (grdb backend only)")
 	copyUp := flag.Bool("copyup", false, "use grDB's copy-up-on-overflow strategy instead of linking")
@@ -52,7 +62,7 @@ func main() {
 	if *tcp {
 		fabric = core.TCP
 	}
-	eng, err := core.New(core.Config{
+	cfg := core.Config{
 		Backends:  *backends,
 		FrontEnds: *frontends,
 		Backend:   *backend,
@@ -67,7 +77,22 @@ func main() {
 				return p
 			},
 		},
-	})
+		Reliable:       *reliable,
+		IngestDeadline: *deadline,
+	}
+	if *faultSeed != 0 {
+		plan := &cluster.Plan{
+			Seed:     *faultSeed,
+			DropProb: *faultDrop, DupProb: *faultDrop / 5, DelayProb: *faultDrop,
+			MaxDelay: 200 * time.Microsecond,
+		}
+		if *faultCrash > 0 && *backends > 1 {
+			plan.Crashes = []cluster.Crash{{Node: 1, AfterSends: *faultCrash}}
+		}
+		cfg.Fault = plan
+		cfg.Reliable = true
+	}
+	eng, err := core.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -106,6 +131,9 @@ func main() {
 		stats.EdgesIn.Load(), stats.EdgesStored.Load(), stats.Blocks.Load(),
 		*backends, *backend, elapsed.Round(time.Millisecond),
 		float64(stats.EdgesIn.Load())/elapsed.Seconds())
+	if r, d := stats.Retries.Load(), stats.DupBlocks.Load(); r > 0 || d > 0 {
+		fmt.Printf("fault recovery: %d window re-ships, %d duplicate windows discarded\n", r, d)
+	}
 
 	if *defrag {
 		start := time.Now()

@@ -39,6 +39,18 @@ type Message struct {
 // down.
 var ErrClosed = errors.New("cluster: fabric closed")
 
+// ErrNodeDown is returned once a peer is considered failed: by the
+// reliable layer when a node exceeds its heartbeat budget, and by the
+// fault-injecting fabric on a node its Plan has crashed. Operations that
+// would need the dead node fail fast with this error instead of blocking.
+var ErrNodeDown = errors.New("cluster: node down")
+
+// ErrTimeout is returned by the reliable layer when a send exhausts its
+// retransmit budget or a receive passes its deadline without the peer
+// being declared down. It marks a transient (retryable) failure, in
+// contrast to ErrNodeDown.
+var ErrTimeout = errors.New("cluster: operation timed out")
+
 // Endpoint is one node's handle on the fabric. An Endpoint may be used
 // from multiple goroutines; receives on distinct channels are independent.
 type Endpoint interface {

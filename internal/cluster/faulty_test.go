@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// collectFor drains ep's channel for d, returning the payloads seen.
+func collectFor(ep Endpoint, ch ChannelID, d time.Duration) [][]byte {
+	deadline := time.Now().Add(d)
+	var got [][]byte
+	for time.Now().Before(deadline) {
+		msg, ok, err := ep.TryRecv(ch)
+		if err != nil {
+			return got
+		}
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		got = append(got, msg.Payload)
+	}
+	return got
+}
+
+// TestFaultyDeterministicDrops pins that the same plan perturbs the same
+// messages on every run: two fresh fabrics with the same seed must
+// deliver exactly the same subset of a numbered message sequence.
+func TestFaultyDeterministicDrops(t *testing.T) {
+	run := func(seed int64) []string {
+		inner := NewInProc(2, 0)
+		f := NewFaulty(inner, Plan{Seed: seed, DropProb: 0.3})
+		defer f.Close()
+		src, dst := f.Endpoint(0), f.Endpoint(1)
+		for i := 0; i < 200; i++ {
+			if err := src.Send(1, 5, []byte(fmt.Sprintf("m%03d", i))); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		var got []string
+		for {
+			msg, ok, err := dst.TryRecv(5)
+			if err != nil || !ok {
+				break
+			}
+			got = append(got, string(msg.Payload))
+		}
+		return got
+	}
+
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("30%% drop delivered %d of 200 — injection inert or total", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed delivered different subsets:\n%v\n%v", a, b)
+	}
+	c := run(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds delivered identical subsets")
+	}
+}
+
+// TestFaultyDuplicates pins that DupProb delivers extra copies.
+func TestFaultyDuplicates(t *testing.T) {
+	f := NewFaulty(NewInProc(2, 0), Plan{Seed: 7, DupProb: 0.5})
+	defer f.Close()
+	src := f.Endpoint(0)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := src.Send(1, 5, []byte{byte(i)}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	got := collectFor(f.Endpoint(1), 5, 50*time.Millisecond)
+	if len(got) <= n {
+		t.Fatalf("50%% duplication delivered %d of %d sends — no extras seen", len(got), n)
+	}
+}
+
+// TestFaultyCorruption pins that corrupted payloads differ in exactly
+// one byte and arrive alongside intact ones.
+func TestFaultyCorruption(t *testing.T) {
+	f := NewFaulty(NewInProc(2, 0), Plan{Seed: 11, CorruptProb: 0.5})
+	defer f.Close()
+	src := f.Endpoint(0)
+	want := []byte("payload-under-test")
+	const n = 100
+	for i := 0; i < n; i++ {
+		p := make([]byte, len(want))
+		copy(p, want)
+		if err := src.Send(1, 5, p); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	var corrupt, intact int
+	for _, p := range collectFor(f.Endpoint(1), 5, 50*time.Millisecond) {
+		if bytes.Equal(p, want) {
+			intact++
+			continue
+		}
+		corrupt++
+		if len(p) != len(want) {
+			t.Fatalf("corruption changed length: %d != %d", len(p), len(want))
+		}
+		diff := 0
+		for i := range p {
+			if p[i] != want[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("corrupted payload differs in %d bytes, want 1", diff)
+		}
+	}
+	if corrupt == 0 || intact == 0 {
+		t.Fatalf("50%% corruption gave corrupt=%d intact=%d — expected a mix", corrupt, intact)
+	}
+}
+
+// TestFaultyCrashSchedule pins the crash semantics: after the scripted
+// send budget, the node's own ops fail with ErrNodeDown and messages to
+// it vanish without a sender-side error.
+func TestFaultyCrashSchedule(t *testing.T) {
+	f := NewFaulty(NewInProc(2, 0), Plan{Seed: 1, Crashes: []Crash{{Node: 0, AfterSends: 3}}})
+	defer f.Close()
+	doomed, peer := f.Endpoint(0), f.Endpoint(1)
+
+	for i := 0; i < 3; i++ {
+		if err := doomed.Send(1, 5, []byte{byte(i)}); err != nil {
+			t.Fatalf("send %d before crash: %v", i, err)
+		}
+	}
+	if err := doomed.Send(1, 5, []byte{99}); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("send past crash budget = %v, want ErrNodeDown", err)
+	}
+	if _, _, err := doomed.TryRecv(5); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("TryRecv on crashed node = %v, want ErrNodeDown", err)
+	}
+	// Sends to the dead node vanish silently, like datagrams to a dead host.
+	if err := peer.Send(0, 5, []byte{1}); err != nil {
+		t.Fatalf("send to crashed node = %v, want nil (silent drop)", err)
+	}
+	// The three pre-crash messages made it out.
+	if got := collectFor(peer, 5, 20*time.Millisecond); len(got) != 3 {
+		t.Fatalf("peer received %d pre-crash messages, want 3", len(got))
+	}
+}
+
+// TestFaultySendErr pins the ambiguous-failure injection: the send
+// reports an ErrTimeout-wrapped error even though the message was
+// delivered, which is exactly what retry protocols must tolerate.
+func TestFaultySendErr(t *testing.T) {
+	f := NewFaulty(NewInProc(2, 0), Plan{Seed: 3, SendErrProb: 1.0})
+	defer f.Close()
+	err := f.Endpoint(0).Send(1, 5, []byte("ambiguous"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("send = %v, want ErrTimeout-wrapped injected failure", err)
+	}
+	msg, ok, err2 := f.Endpoint(1).TryRecv(5)
+	if err2 != nil || !ok || string(msg.Payload) != "ambiguous" {
+		t.Fatalf("message should have been delivered despite the error: ok=%v err=%v", ok, err2)
+	}
+}
+
+// TestFaultyDelayReorders pins that delayed messages still arrive.
+func TestFaultyDelayReorders(t *testing.T) {
+	f := NewFaulty(NewInProc(2, 0), Plan{Seed: 9, DelayProb: 0.5, MaxDelay: 5 * time.Millisecond})
+	defer f.Close()
+	src := f.Endpoint(0)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := src.Send(1, 5, []byte{byte(i)}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	got := collectFor(f.Endpoint(1), 5, 100*time.Millisecond)
+	if len(got) != n {
+		t.Fatalf("delays lost messages: got %d of %d", len(got), n)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"sync"
+	"time"
 )
 
 // inprocFabric connects N in-process nodes with per-(node, channel)
@@ -115,6 +116,33 @@ func (m *mailbox) get() (Message, error) {
 	return msg, nil
 }
 
+// getWithin waits up to d for a message. ok=false with a nil error means
+// the wait timed out with the queue still empty.
+func (m *mailbox) getWithin(d time.Duration) (Message, bool, error) {
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer timer.Stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed && time.Now().Before(deadline) {
+		m.cond.Wait()
+	}
+	if len(m.queue) > 0 {
+		msg := m.queue[0]
+		m.queue = m.queue[1:]
+		m.cond.Broadcast()
+		return msg, true, nil
+	}
+	if m.closed {
+		return Message{}, false, ErrClosed
+	}
+	return Message{}, false, nil
+}
+
 func (m *mailbox) tryGet() (Message, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -133,6 +161,9 @@ func (m *mailbox) tryGet() (Message, bool, error) {
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
+	// Drop queued messages: the Fabric contract is that every receive
+	// after Close fails with ErrClosed, not that leftovers drain first.
+	m.queue = nil
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }

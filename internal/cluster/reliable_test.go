@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// fastReliable keeps protocol timers short enough for unit tests while
+// leaving generous absolute budgets for slow CI machines.
+func fastReliable() ReliableOptions {
+	return ReliableOptions{
+		RetransmitInitial: 2 * time.Millisecond,
+		RetransmitMax:     20 * time.Millisecond,
+		SendTimeout:       5 * time.Second,
+		HeartbeatEvery:    10 * time.Millisecond,
+		HeartbeatBudget:   150 * time.Millisecond,
+	}
+}
+
+// TestReliableMasksFaults is the layer's core guarantee: over a fabric
+// that drops, duplicates, corrupts, and delays traffic, every message
+// arrives exactly once and in per-(sender, channel) order.
+func TestReliableMasksFaults(t *testing.T) {
+	inner := NewFaulty(NewInProc(2, 0), Plan{
+		Seed:     21,
+		DropProb: 0.2, DupProb: 0.05, CorruptProb: 0.05, DelayProb: 0.1,
+		MaxDelay: time.Millisecond,
+	})
+	f := NewReliable(inner, fastReliable())
+	defer f.Close()
+
+	const n = 150
+	channels := []ChannelID{3, 9}
+	errc := make(chan error, 1)
+	go func() {
+		src := f.Endpoint(0)
+		for i := 0; i < n; i++ {
+			for _, ch := range channels {
+				if err := src.Send(1, ch, []byte(fmt.Sprintf("ch%d-%04d", ch, i))); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}
+		errc <- nil
+	}()
+
+	dst := f.Endpoint(1)
+	for i := 0; i < n; i++ {
+		for _, ch := range channels {
+			msg, err := dst.Recv(ch)
+			if err != nil {
+				t.Fatalf("recv ch %d #%d: %v", ch, i, err)
+			}
+			if want := fmt.Sprintf("ch%d-%04d", ch, i); string(msg.Payload) != want {
+				t.Fatalf("ch %d #%d: got %q, want %q (lost, duplicated, or reordered)",
+					ch, i, msg.Payload, want)
+			}
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	// Nothing extra may be buffered: exactly-once means no trailing dups.
+	if msg, ok, _ := dst.TryRecv(channels[0]); ok {
+		t.Fatalf("unexpected extra message %q after the full sequence", msg.Payload)
+	}
+}
+
+// TestReliableDetectsCrash pins failure detection: once a peer crashes,
+// sends to it fail with ErrNodeDown within the heartbeat budget instead
+// of retrying forever, and blocked receives fail fast too.
+func TestReliableDetectsCrash(t *testing.T) {
+	inner := NewFaulty(NewInProc(3, 0), Plan{
+		Seed:    5,
+		Crashes: []Crash{{Node: 1, AfterSends: 0}}, // node 1 dies immediately
+	})
+	f := NewReliable(inner, fastReliable())
+	defer f.Close()
+
+	src := f.Endpoint(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := src.Send(1, 4, []byte("into the void"))
+		if errors.Is(err, ErrNodeDown) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("send = %v, want ErrNodeDown (eventually)", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sends to a crashed node kept succeeding past the heartbeat budget")
+		}
+	}
+	// A receive with nothing inbound must also fail fast, not block.
+	start := time.Now()
+	if _, err := src.Recv(4); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("recv = %v, want ErrNodeDown", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("recv took %v to report the dead peer", time.Since(start))
+	}
+}
+
+// TestReliableSurvivesAmbiguousSendErrors pins that the layer absorbs
+// transport-level send errors (the injected ErrTimeout ambiguous
+// failure) by retransmitting until acked.
+func TestReliableSurvivesAmbiguousSendErrors(t *testing.T) {
+	inner := NewFaulty(NewInProc(2, 0), Plan{Seed: 13, SendErrProb: 0.5, DropProb: 0.2})
+	f := NewReliable(inner, fastReliable())
+	defer f.Close()
+
+	go func() {
+		src := f.Endpoint(0)
+		for i := 0; i < 50; i++ {
+			if err := src.Send(1, 2, []byte{byte(i)}); err != nil {
+				return
+			}
+		}
+	}()
+	dst := f.Endpoint(1)
+	for i := 0; i < 50; i++ {
+		msg, err := dst.Recv(2)
+		if err != nil {
+			t.Fatalf("recv #%d: %v", i, err)
+		}
+		if msg.Payload[0] != byte(i) {
+			t.Fatalf("recv #%d: got %d", i, msg.Payload[0])
+		}
+	}
+}
+
+// TestReliableReservedChannel pins that applications cannot collide with
+// the protocol's reserved channel.
+func TestReliableReservedChannel(t *testing.T) {
+	f := NewReliable(NewInProc(2, 0), fastReliable())
+	defer f.Close()
+	if err := f.Endpoint(0).Send(1, rlChannel, []byte("x")); err == nil {
+		t.Fatal("send on the reserved channel should fail")
+	}
+}
+
+// TestReliableOpsAfterClose extends the post-Close ErrClosed contract to
+// the reliable wrapper.
+func TestReliableOpsAfterClose(t *testing.T) {
+	f := NewReliable(NewInProc(2, 0), fastReliable())
+	ep := f.Endpoint(0)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ep.Send(1, 3, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+	if _, err := ep.Recv(3); !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv after close = %v, want ErrClosed", err)
+	}
+	if _, ok, err := ep.TryRecv(3); ok || !errors.Is(err, ErrClosed) {
+		t.Errorf("TryRecv after close = (%v, %v), want (false, ErrClosed)", ok, err)
+	}
+}
+
+// TestReliableNoGoroutineLeak pins that Close reaps the per-node pump
+// and monitor goroutines.
+func TestReliableNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		f := NewReliable(NewFaulty(NewInProc(4, 0), Plan{Seed: 2, DropProb: 0.1}), fastReliable())
+		go f.Endpoint(0).Send(1, 1, []byte("hello"))
+		f.Endpoint(1).Recv(1)
+		f.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+}

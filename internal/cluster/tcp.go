@@ -1,12 +1,57 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 )
+
+// maxFramePayload caps a frame's declared payload length. A corrupt or
+// hostile length field must produce a clean decode error, not a multi-GB
+// allocation.
+const maxFramePayload = 64 << 20
+
+// readFrame decodes one {channel uint32, length uint32, payload} frame.
+// io.EOF is returned only at a clean frame boundary; a frame truncated
+// mid-header or mid-payload yields io.ErrUnexpectedEOF. Oversized length
+// fields fail before allocating, and large payloads are read through a
+// growing buffer so a lying header cannot over-allocate past the bytes
+// actually on the wire.
+func readFrame(r io.Reader) (ChannelID, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("cluster: truncated frame header: %w", err)
+		}
+		return 0, nil, err
+	}
+	ch := ChannelID(binary.LittleEndian.Uint32(hdr[0:4]))
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("cluster: frame payload of %d bytes exceeds cap %d", n, maxFramePayload)
+	}
+	if n <= 1<<20 {
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, fmt.Errorf("cluster: truncated frame payload: %w", err)
+		}
+		return ch, payload, nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("cluster: truncated frame payload: %w", err)
+	}
+	return ch, buf.Bytes(), nil
+}
 
 // tcpFabric runs every node in this process but routes all traffic through
 // loopback TCP connections with a length-prefixed frame protocol, so the
@@ -188,22 +233,21 @@ func (e *tcpEndpoint) close() {
 }
 
 // readLoop consumes frames from one inbound connection and dispatches
-// them to mailboxes until the connection or fabric closes.
+// them to mailboxes until the connection or fabric closes, or a frame
+// fails to decode (the peer is then considered broken and dropped).
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return
 	}
 	from := NodeID(binary.LittleEndian.Uint32(hdr[:]))
-	var frame [8]byte
+	if Validate(from, e.fabric.size) != nil {
+		conn.Close()
+		return
+	}
 	for {
-		if _, err := io.ReadFull(conn, frame[:]); err != nil {
-			return
-		}
-		ch := ChannelID(binary.LittleEndian.Uint32(frame[0:4]))
-		n := binary.LittleEndian.Uint32(frame[4:8])
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		ch, payload, err := readFrame(conn)
+		if err != nil {
 			return
 		}
 		if e.box(ch).put(Message{From: from, Channel: ch, Payload: payload}) != nil {
@@ -234,12 +278,22 @@ func (e *tcpEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, err := p.conn.Write(frame[:]); err != nil {
-		return fmt.Errorf("cluster: send %d->%d: %w", e.id, to, err)
+		return e.sendErr(to, err)
 	}
 	if _, err := p.conn.Write(payload); err != nil {
-		return fmt.Errorf("cluster: send %d->%d: %w", e.id, to, err)
+		return e.sendErr(to, err)
 	}
 	return nil
+}
+
+// sendErr wraps a connection write failure. A write that raced with
+// fabric shutdown reports ErrClosed, not the raw net error, so callers
+// see the same post-Close contract on every fabric.
+func (e *tcpEndpoint) sendErr(to NodeID, err error) error {
+	if e.fabric.isClosed() {
+		return ErrClosed
+	}
+	return fmt.Errorf("cluster: send %d->%d: %w", e.id, to, err)
 }
 
 func (e *tcpEndpoint) Broadcast(ch ChannelID, payload []byte) error {

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameBytes builds a well-formed frame for fuzz seeds.
+func frameBytes(ch ChannelID, payload []byte) []byte {
+	b := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(b[0:4], uint32(ch))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(len(payload)))
+	copy(b[8:], payload)
+	return b
+}
+
+// FuzzTCPFrameDecode throws arbitrary byte streams at the TCP frame
+// decoder. Whatever arrives, readFrame must not panic and must not
+// allocate more than the bytes actually present (a lying length header
+// is a decode error, not a multi-GB allocation).
+func FuzzTCPFrameDecode(f *testing.F) {
+	f.Add(frameBytes(7, []byte("hello")))
+	f.Add(frameBytes(0, nil))
+	f.Add([]byte{1, 2, 3})                               // truncated header
+	f.Add(frameBytes(9, []byte("full"))[:10])            // mid-payload EOF
+	f.Add(frameBytes(0xFFFFFF00, make([]byte, 64)))      // reserved channel id
+	f.Add([]byte{0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})    // 4 GB length, no payload
+	f.Add(append(frameBytes(1, []byte("a")), 0xEE, 0xD)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			ch, payload, err := readFrame(r)
+			if err != nil {
+				if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					// Clean EOF is only legal at a frame boundary.
+					if rem := r.Len(); rem != 0 {
+						t.Fatalf("clean EOF with %d bytes unread", rem)
+					}
+				}
+				return
+			}
+			if len(payload) > len(data) {
+				t.Fatalf("decoded %d payload bytes from %d input bytes", len(payload), len(data))
+			}
+			_ = ch
+		}
+	})
+}
+
+// TestReadFrameErrors pins the decoder's three failure classes directly
+// (the fuzz seeds, asserted tightly).
+func TestReadFrameErrors(t *testing.T) {
+	// Truncated header.
+	_, _, err := readFrame(bytes.NewReader([]byte{1, 2, 3}))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated header: err = %v, want ErrUnexpectedEOF", err)
+	}
+	// Mid-payload EOF.
+	_, _, err = readFrame(bytes.NewReader(frameBytes(3, []byte("cut off"))[:10]))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("mid-payload EOF: err = %v, want ErrUnexpectedEOF", err)
+	}
+	// Oversized declared length fails before allocating.
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[4:8], maxFramePayload+1)
+	_, _, err = readFrame(bytes.NewReader(hdr[:]))
+	if err == nil || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("oversized length: err = %v, want explicit cap error", err)
+	}
+	// Clean boundary EOF is io.EOF exactly.
+	_, _, err = readFrame(bytes.NewReader(nil))
+	if err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	// A valid frame round-trips.
+	ch, payload, err := readFrame(bytes.NewReader(frameBytes(42, []byte("ok"))))
+	if err != nil || ch != 42 || string(payload) != "ok" {
+		t.Errorf("valid frame: ch=%d payload=%q err=%v", ch, payload, err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"mssg/internal/cluster"
 	"mssg/internal/datacutter"
@@ -57,6 +58,22 @@ type Config struct {
 	Fabric FabricKind
 	// MailboxBuffer bounds per-channel queued messages (0 = default).
 	MailboxBuffer int
+	// Fault, when non-nil, wraps the fabric in a deterministic
+	// fault-injection layer driven by this plan (drops, duplicates,
+	// corruption, delays, scripted crashes).
+	Fault *cluster.Plan
+	// Reliable layers acked, deduplicated, checksummed delivery over the
+	// (possibly faulty) fabric, with heartbeat-based failure detection.
+	Reliable bool
+	// ReliableOptions tunes the reliable layer; zero value uses defaults.
+	ReliableOptions cluster.ReliableOptions
+	// IngestDeadline bounds each ingestion run; 0 means none. Implies
+	// fail-fast supervision so a dead back-end aborts the run instead of
+	// wedging it.
+	IngestDeadline time.Duration
+	// IngestFailFast aborts an ingestion run as soon as any filter copy
+	// fails, even without a deadline.
+	IngestFailFast bool
 }
 
 // Engine is a running MSSG instance.
@@ -91,6 +108,15 @@ func New(cfg Config) (*Engine, error) {
 		fabric = f
 	default:
 		return nil, fmt.Errorf("core: unknown fabric kind %d", cfg.Fabric)
+	}
+	// Layering order matters: faults perturb the raw transport, and the
+	// reliable layer (when enabled) sits above them, masking what it can
+	// and converting what it cannot into ErrNodeDown/ErrTimeout.
+	if cfg.Fault != nil {
+		fabric = cluster.NewFaulty(fabric, *cfg.Fault)
+	}
+	if cfg.Reliable {
+		fabric = cluster.NewReliable(fabric, cfg.ReliableOptions)
 	}
 
 	e := &Engine{cfg: cfg, fabric: fabric}
@@ -148,8 +174,12 @@ func (e *Engine) Ingest(makeReader func(copy int) (graph.EdgeReader, error)) (*i
 		return nil, err
 	}
 	rt := datacutter.NewRuntime(e.fabric)
-	if err := rt.Run(g); err != nil {
-		return nil, err
+	ropts := datacutter.RunOptions{
+		Deadline: e.cfg.IngestDeadline,
+		FailFast: e.cfg.IngestFailFast || e.cfg.IngestDeadline > 0,
+	}
+	if err := rt.RunWith(g, ropts); err != nil {
+		return stats, err
 	}
 	return stats, nil
 }

@@ -4,9 +4,30 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mssg/internal/cluster"
 )
+
+// ErrDeadline is reported by RunWith when the graph-wide deadline passes
+// before every filter copy finishes.
+var ErrDeadline = errors.New("datacutter: graph deadline exceeded")
+
+// RunOptions configures supervised graph execution. The zero value runs
+// unsupervised, exactly like Run.
+type RunOptions struct {
+	// Deadline bounds the whole graph run (placement through Finalize);
+	// 0 means no deadline. When it passes, every blocked stream read is
+	// aborted and the run returns ErrDeadline joined with whatever the
+	// aborted copies reported.
+	Deadline time.Duration
+	// FailFast aborts the remaining copies as soon as any copy fails,
+	// instead of letting siblings drain to natural EOF. Use it when an
+	// upstream death would otherwise leave downstream readers blocked on
+	// streams nobody will ever close.
+	FailFast bool
+}
 
 // Runtime instantiates filter graphs on a cluster fabric and executes them
 // to completion (the paper's "filtering service").
@@ -32,9 +53,17 @@ type placedCopy struct {
 // all copies through Init (graph-wide barrier) → Process → output close →
 // Finalize. It returns the joined error of every failed copy.
 func (r *Runtime) Run(g *Graph) error {
+	return r.RunWith(g, RunOptions{})
+}
+
+// RunWith is Run under supervision: an optional graph-wide deadline and
+// optional fail-fast abort propagation (see RunOptions).
+func (r *Runtime) RunWith(g *Graph, opts RunOptions) error {
 	if len(g.filters) == 0 {
 		return fmt.Errorf("datacutter: empty graph")
 	}
+	supervised := opts.Deadline > 0 || opts.FailFast
+	var abort atomic.Bool
 	size := r.fabric.Nodes()
 
 	// Resolve placements.
@@ -77,19 +106,24 @@ func (r *Runtime) Run(g *Graph) error {
 		for c, dc := range dstCopies {
 			ch := streamChannel(s.idx, c)
 			dests[c] = dest{node: dc.inst.Node, ch: ch}
-			dc.ctx.inputs[s.dstPort] = &StreamReader{
+			rd := &StreamReader{
 				name:    fmt.Sprintf("%s.%s->%s.%s", s.src, s.srcPort, s.dst, s.dstPort),
 				ep:      dc.ctx.ep,
 				ch:      ch,
 				writers: len(srcCopies),
 			}
+			if supervised {
+				rd.abort = &abort
+			}
+			dc.ctx.inputs[s.dstPort] = rd
 		}
 		for _, sc := range srcCopies {
 			sc.ctx.outputs[s.srcPort] = &StreamWriter{
-				name:   fmt.Sprintf("%s.%s->%s.%s", s.src, s.srcPort, s.dst, s.dstPort),
-				ep:     sc.ctx.ep,
-				policy: s.policy,
-				dests:  dests,
+				name:    fmt.Sprintf("%s.%s->%s.%s", s.src, s.srcPort, s.dst, s.dstPort),
+				ep:      sc.ctx.ep,
+				policy:  s.policy,
+				dests:   dests,
+				srcCopy: sc.inst.Copy,
 			}
 		}
 	}
@@ -112,6 +146,9 @@ func (r *Runtime) Run(g *Graph) error {
 		errsMu.Lock()
 		errs = append(errs, fmt.Errorf("%s: %s: %w", pc.inst, stage, err))
 		errsMu.Unlock()
+		if opts.FailFast {
+			abort.Store(true)
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -137,6 +174,14 @@ func (r *Runtime) Run(g *Graph) error {
 	// Phase 2: Process; each copy closes its outputs when done (success or
 	// failure — downstream readers must unblock either way), then
 	// finalizes.
+	var deadlineHit atomic.Bool
+	if opts.Deadline > 0 {
+		timer := time.AfterFunc(opts.Deadline, func() {
+			deadlineHit.Store(true)
+			abort.Store(true)
+		})
+		defer timer.Stop()
+	}
 	for _, pc := range all {
 		wg.Add(1)
 		go func(pc *placedCopy) {
@@ -169,5 +214,8 @@ func (r *Runtime) Run(g *Graph) error {
 		}(pc)
 	}
 	wg.Wait()
+	if deadlineHit.Load() {
+		errs = append(errs, fmt.Errorf("graph ran past %v: %w", opts.Deadline, ErrDeadline))
+	}
 	return errors.Join(errs...)
 }

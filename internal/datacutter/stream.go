@@ -2,20 +2,35 @@ package datacutter
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
+	"time"
 
 	"mssg/internal/cluster"
 )
 
 // Stream wire format, carried over one fabric channel per (stream,
 // destination copy): a 5-byte header {kind byte, tag int32 LE} followed by
-// the payload. kindEOS marks an upstream copy's close; a reader sees EOF
-// once every upstream writer has closed.
+// the payload. kindEOS marks an upstream copy's close (its tag carries
+// the writer's copy index, so duplicated or re-sent EOS frames are
+// idempotent); a reader sees EOF once every upstream writer has closed.
 const (
 	kindData byte = 0
 	kindEOS  byte = 1
 )
+
+// ErrAborted is returned by StreamReader.Read when supervised execution
+// cancels the graph (a sibling copy failed under FailFast, or the
+// graph-wide deadline passed) before this stream reached EOF.
+var ErrAborted = errors.New("datacutter: stream aborted")
+
+// eosRetries is how many times Close re-sends an end-of-stream marker
+// after a transient (ErrTimeout) send failure. EOS is idempotent on the
+// receive side, so re-sending is always safe — and a lost EOS wedges the
+// reader, so the budget is generous.
+const eosRetries = 5
 
 // dcChannelBase offsets DataCutter stream channels away from the channel
 // ranges other services use on the same fabric.
@@ -78,13 +93,14 @@ type dest struct {
 
 // StreamWriter is a filter copy's handle on one output stream.
 type StreamWriter struct {
-	name   string
-	ep     cluster.Endpoint
-	policy WritePolicy
-	dests  []dest
-	next   int
-	closed bool
-	sent   int64
+	name    string
+	ep      cluster.Endpoint
+	policy  WritePolicy
+	dests   []dest
+	srcCopy int // this writer's copy index, carried in EOS frames
+	next    int
+	closed  bool
+	sent    int64
 }
 
 // Write emits one buffer according to the stream's policy.
@@ -134,18 +150,28 @@ func (w *StreamWriter) Fanout() int { return len(w.dests) }
 func (w *StreamWriter) Sent() int64 { return w.sent }
 
 // Close signals end-of-stream to every destination copy. The runtime
-// closes any writer the filter did not close itself.
+// closes any writer the filter did not close itself. Transient send
+// failures are retried: EOS frames carry the writer's copy index, so a
+// destination that already saw one ignores the duplicate.
 func (w *StreamWriter) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
+	var firstErr error
 	for _, d := range w.dests {
-		if err := w.ep.Send(d.node, d.ch, encodeFrame(kindEOS, 0, nil)); err != nil {
-			return err
+		var err error
+		for attempt := 0; attempt <= eosRetries; attempt++ {
+			err = w.ep.Send(d.node, d.ch, encodeFrame(kindEOS, int32(w.srcCopy), nil))
+			if err == nil || !errors.Is(err, cluster.ErrTimeout) {
+				break
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // StreamReader is a filter copy's handle on one input stream.
@@ -153,15 +179,18 @@ type StreamReader struct {
 	name    string
 	ep      cluster.Endpoint
 	ch      cluster.ChannelID
-	writers int // upstream copies still open
+	writers int            // total upstream copies
+	eos     map[int32]bool // upstream copies that have closed
+	abort   *atomic.Bool   // set by supervised runtimes; nil otherwise
 	recvd   int64
 }
 
 // Read blocks for the next buffer. It returns io.EOF once every upstream
-// writer has closed the stream.
+// writer has closed the stream, and ErrAborted if the supervising
+// runtime cancels the graph first.
 func (r *StreamReader) Read() (Buffer, error) {
-	for r.writers > 0 {
-		msg, err := r.ep.Recv(r.ch)
+	for len(r.eos) < r.writers {
+		msg, err := r.recv()
 		if err != nil {
 			return Buffer{}, err
 		}
@@ -170,13 +199,43 @@ func (r *StreamReader) Read() (Buffer, error) {
 			return Buffer{}, err
 		}
 		if kind == kindEOS {
-			r.writers--
+			if r.eos == nil {
+				r.eos = make(map[int32]bool)
+			}
+			r.eos[tag] = true
 			continue
 		}
 		r.recvd++
 		return Buffer{Tag: tag, Data: data}, nil
 	}
 	return Buffer{}, io.EOF
+}
+
+// recv blocks for the next frame. Under supervision it polls, so an
+// abort (deadline or sibling failure) unsticks a reader whose upstream
+// died without closing the stream — the failure-propagation path that
+// keeps one lost filter copy from wedging the whole graph.
+func (r *StreamReader) recv() (cluster.Message, error) {
+	if r.abort == nil {
+		return r.ep.Recv(r.ch)
+	}
+	wait := 50 * time.Microsecond
+	for {
+		msg, ok, err := r.ep.TryRecv(r.ch)
+		if err != nil {
+			return cluster.Message{}, err
+		}
+		if ok {
+			return msg, nil
+		}
+		if r.abort.Load() {
+			return cluster.Message{}, fmt.Errorf("stream %s: %w", r.name, ErrAborted)
+		}
+		time.Sleep(wait)
+		if wait < 2*time.Millisecond {
+			wait *= 2
+		}
+	}
 }
 
 // Received returns the number of data buffers read so far.

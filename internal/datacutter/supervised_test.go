@@ -1,0 +1,176 @@
+package datacutter
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"mssg/internal/cluster"
+)
+
+// crashingFabric wraps an in-process fabric so node 0 dies after its
+// first two sends — the stream it feeds is left half-open (no EOS).
+func crashingFabric(seed int64) cluster.Fabric {
+	return cluster.NewFaulty(cluster.NewInProc(2, 0), cluster.Plan{
+		Seed:    seed,
+		Crashes: []cluster.Crash{{Node: 0, AfterSends: 2}},
+	})
+}
+
+// drain reads its input to EOF.
+func drain() Factory {
+	return func(in Instance) (Filter, error) {
+		return &testFilter{process: func(ctx *Context) error {
+			r, err := ctx.Input("in")
+			if err != nil {
+				return err
+			}
+			for {
+				if _, err := r.Read(); err == io.EOF {
+					return nil
+				} else if err != nil {
+					return err
+				}
+			}
+		}}, nil
+	}
+}
+
+// TestRunWithDeadline pins the graph-wide deadline: a graph wedged on a
+// half-open stream (its source's node crashed before sending EOS)
+// returns ErrDeadline instead of blocking forever, and the blocked
+// reader reports ErrAborted. FailFast is off, so the deadline is the
+// only thing that can unstick it.
+func TestRunWithDeadline(t *testing.T) {
+	f := crashingFabric(5)
+	defer f.Close()
+	g := NewGraph()
+	if err := g.AddFilter("src", producer(10), PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("dst", drain(), PlaceOn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "dst", "in", RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- NewRuntime(f).RunWith(g, RunOptions{Deadline: 100 * time.Millisecond})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("RunWith = %v, want ErrDeadline", err)
+		}
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("RunWith = %v, want the blocked reader's ErrAborted joined in", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunWith did not return after its deadline — the graph wedged")
+	}
+}
+
+// TestRunWithFailFast pins failure propagation without a deadline: the
+// source's node crashes mid-run (so its EOS never arrives), and FailFast
+// aborts the sink blocked on the half-open stream. Without supervision
+// this exact graph blocks forever — the reader waits for an EOS from a
+// dead node.
+func TestRunWithFailFast(t *testing.T) {
+	f := crashingFabric(3)
+	defer f.Close()
+
+	g := NewGraph()
+	if err := g.AddFilter("src", producer(10), PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("dst", drain(), PlaceOn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "dst", "in", RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- NewRuntime(f).RunWith(g, RunOptions{FailFast: true})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, cluster.ErrNodeDown) {
+			t.Fatalf("RunWith = %v, want the source's ErrNodeDown", err)
+		}
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("RunWith = %v, want ErrAborted from the unstuck sink", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("FailFast did not unstick the sink blocked on the dead node's stream")
+	}
+}
+
+// TestSupervisedCleanRunUnchanged pins that supervision is free when
+// nothing fails: a healthy graph under deadline+failfast completes with
+// the same results as an unsupervised run.
+func TestSupervisedCleanRunUnchanged(t *testing.T) {
+	f := newFabric(t, 3)
+	g := NewGraph()
+	var mu sync.Mutex
+	got := map[int][]int32{}
+	if err := g.AddFilter("src", producer(20), PlaceOn(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFilter("dst", collector(&mu, got), PlaceCopies(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "out", "dst", "in", RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	err := NewRuntime(f).RunWith(g, RunOptions{Deadline: 30 * time.Second, FailFast: true})
+	if err != nil {
+		t.Fatalf("supervised clean run: %v", err)
+	}
+	total := 0
+	for _, tags := range got {
+		total += len(tags)
+	}
+	if total != 20 {
+		t.Fatalf("supervised run delivered %d of 20 buffers", total)
+	}
+}
+
+// TestDuplicateEOSIgnored pins the EOS idempotency that ship retries and
+// fabric-level duplication rely on: a reader that sees the same writer's
+// EOS twice still waits for the other writer's data.
+func TestDuplicateEOSIgnored(t *testing.T) {
+	f := newFabric(t, 1)
+	ep := f.Endpoint(0)
+	r := &StreamReader{name: "dup-eos", ep: ep, ch: 7, writers: 2}
+
+	// Writer 0 closes twice (a duplicated EOS), then writer 1 sends one
+	// buffer and closes.
+	for i := 0; i < 2; i++ {
+		if err := ep.Send(0, 7, encodeFrame(kindEOS, 0, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ep.Send(0, 7, encodeFrame(kindData, 99, []byte("late data"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send(0, 7, encodeFrame(kindEOS, 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := r.Read()
+	if err != nil {
+		t.Fatalf("Read after duplicate EOS = %v, want the late buffer", err)
+	}
+	if buf.Tag != 99 {
+		t.Fatalf("Read tag = %d, want 99", buf.Tag)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("Read = %v, want EOF after both writers closed", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"mssg/internal/cluster"
 	"mssg/internal/core"
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
@@ -87,6 +88,14 @@ type Params struct {
 	// search experiment (0 = GOMAXPROCS, 1 = the paper's serial
 	// expansion).
 	Workers int
+	// FaultSeed, when non-zero, runs every experiment over a
+	// fault-injecting fabric (1% drops, 0.2% duplicates, 1% delays)
+	// masked by the reliable delivery layer — a robustness soak with the
+	// same measured comparisons.
+	FaultSeed int64
+	// Deadline bounds each ingestion run (0 = none); deadline overruns
+	// and dead back-ends then abort the experiment instead of hanging it.
+	Deadline time.Duration
 	// Verbose, if set, receives progress lines.
 	Verbose func(format string, args ...any)
 }
@@ -157,14 +166,27 @@ var fiveDBsLarge = []string{"array", "hashmap", "bdb", "grdb", "stream"}
 
 // buildEngine creates an engine over a fresh subdirectory.
 func buildEngine(p *Params, label, backend string, backends, frontends int, opts graphdb.Options) (*core.Engine, error) {
-	return core.New(core.Config{
+	cfg := core.Config{
 		Backends:  backends,
 		FrontEnds: frontends,
 		Backend:   backend,
 		Dir:       fmt.Sprintf("%s/%s", p.Dir, label),
 		DBOptions: opts,
 		Ingest:    ingest.Config{AddReverse: true},
-	})
+	}
+	if p.FaultSeed != 0 {
+		cfg.Fault = &cluster.Plan{
+			Seed:     p.FaultSeed,
+			DropProb: 0.01, DupProb: 0.002, DelayProb: 0.01,
+			MaxDelay: 200 * time.Microsecond,
+		}
+		cfg.Reliable = true
+	}
+	if p.Deadline > 0 {
+		cfg.IngestDeadline = p.Deadline
+		cfg.IngestFailFast = true
+	}
+	return core.New(cfg)
 }
 
 // ingestDuration runs one ingestion and returns the wall time.

@@ -2,10 +2,12 @@ package ingest
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
 
+	"mssg/internal/cluster"
 	"mssg/internal/datacutter"
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
@@ -29,6 +31,22 @@ type Config struct {
 	AddReverse bool
 	// Policy is the declustering policy; nil means VertexMod.
 	Policy func() Policy
+	// ShipRetries is how many times a front-end re-ships a window after
+	// an ambiguous (cluster.ErrTimeout) send failure. The back-end
+	// deduplicates windows by id, so a re-ship of a window that actually
+	// arrived is counted in Stats.DupBlocks, not stored twice. 0 means 2;
+	// negative disables retries.
+	ShipRetries int
+}
+
+func (c Config) shipRetries() int {
+	if c.ShipRetries == 0 {
+		return 2
+	}
+	if c.ShipRetries < 0 {
+		return 0
+	}
+	return c.ShipRetries
 }
 
 func (c Config) windowEdges() int {
@@ -53,6 +71,12 @@ type Stats struct {
 	EdgesStored atomic.Int64
 	// Blocks counts windows shipped front-end → back-end.
 	Blocks atomic.Int64
+	// Retries counts window re-ships after ambiguous send failures.
+	Retries atomic.Int64
+	// DupBlocks counts windows a back-end received more than once and
+	// discarded (a retried ship whose first attempt actually arrived, or
+	// a duplicate injected by a faulty fabric).
+	DupBlocks atomic.Int64
 }
 
 const edgeBytes = 16
@@ -82,6 +106,40 @@ func decodeEdges(b []byte) ([]graph.Edge, error) {
 	return edges, nil
 }
 
+// windowHeaderBytes prefixes every shipped window with {frontend uint32,
+// seq uint64}: a globally unique window id, so back-ends can discard the
+// window if it arrives a second time (from a ship retry or a fabric-level
+// duplicate) and re-shipping is idempotent.
+const windowHeaderBytes = 12
+
+func encodeWindow(frontend uint32, seq uint64, edges []graph.Edge) []byte {
+	b := make([]byte, windowHeaderBytes+edgeBytes*len(edges))
+	binary.LittleEndian.PutUint32(b[0:4], frontend)
+	binary.LittleEndian.PutUint64(b[4:12], seq)
+	for i, e := range edges {
+		binary.LittleEndian.PutUint64(b[windowHeaderBytes+edgeBytes*i:], uint64(e.Src))
+		binary.LittleEndian.PutUint64(b[windowHeaderBytes+edgeBytes*i+8:], uint64(e.Dst))
+	}
+	return b
+}
+
+func decodeWindow(b []byte) (frontend uint32, seq uint64, edges []graph.Edge, err error) {
+	if len(b) < windowHeaderBytes {
+		return 0, 0, nil, fmt.Errorf("ingest: window of %d bytes shorter than its %d-byte header", len(b), windowHeaderBytes)
+	}
+	frontend = binary.LittleEndian.Uint32(b[0:4])
+	seq = binary.LittleEndian.Uint64(b[4:12])
+	edges, err = decodeEdges(b[windowHeaderBytes:])
+	return frontend, seq, edges, err
+}
+
+// windowKey collapses a window id into the dedup-set key. Front-end copy
+// counts are tiny (the paper tops out at 8), so 16 bits of frontend and
+// 48 bits of sequence cannot collide in practice.
+func windowKey(frontend uint32, seq uint64) uint64 {
+	return uint64(frontend)<<48 | seq&(1<<48-1)
+}
+
 // ingestFilter is the front-end filter: it reads its partition of the
 // edge stream, declusters each edge (both orientations when AddReverse),
 // and ships per-destination windows on the directed "out" stream.
@@ -91,7 +149,9 @@ type ingestFilter struct {
 	policy Policy
 	stats  *Stats
 
-	windows [][]graph.Edge
+	copyIdx  int
+	blockSeq uint64
+	windows  [][]graph.Edge
 }
 
 // Init implements datacutter.Filter.
@@ -103,18 +163,32 @@ func (f *ingestFilter) Init(ctx *datacutter.Context) error {
 	if out.Fanout() != f.cfg.Backends {
 		return fmt.Errorf("ingest: stream fanout %d != %d backends", out.Fanout(), f.cfg.Backends)
 	}
+	f.copyIdx = ctx.Instance().Copy
 	f.windows = make([][]graph.Edge, f.cfg.Backends)
 	return nil
 }
 
+// ship sends one window, retrying on ambiguous (ErrTimeout) failures —
+// safe because windows carry a unique id and back-ends deduplicate.
 func (f *ingestFilter) ship(out *datacutter.StreamWriter, dest int) error {
 	if len(f.windows[dest]) == 0 {
 		return nil
 	}
-	payload := encodeEdges(f.windows[dest])
+	f.blockSeq++
+	payload := encodeWindow(uint32(f.copyIdx), f.blockSeq, f.windows[dest])
 	f.windows[dest] = f.windows[dest][:0]
 	f.stats.Blocks.Add(1)
-	return out.WriteTo(dest, datacutter.Buffer{Data: payload})
+	var err error
+	for attempt := 0; attempt <= f.cfg.shipRetries(); attempt++ {
+		if attempt > 0 {
+			f.stats.Retries.Add(1)
+		}
+		err = out.WriteTo(dest, datacutter.Buffer{Data: payload})
+		if err == nil || !errors.Is(err, cluster.ErrTimeout) {
+			return err
+		}
+	}
+	return err
 }
 
 func (f *ingestFilter) route(out *datacutter.StreamWriter, e graph.Edge) error {
@@ -169,14 +243,40 @@ func (f *ingestFilter) Process(ctx *datacutter.Context) error {
 func (f *ingestFilter) Finalize(ctx *datacutter.Context) error { return nil }
 
 // storeFilter is the back-end filter: it drains windows from "in" and
-// stores them into its node's GraphDB instance.
+// stores them into its node's GraphDB instance. Windows are deduplicated
+// by id, so a re-shipped or fabric-duplicated window is stored once.
 type storeFilter struct {
 	db    graphdb.Graph
 	stats *Stats
+
+	seen map[uint64]struct{}
 }
 
 // Init implements datacutter.Filter.
-func (f *storeFilter) Init(ctx *datacutter.Context) error { return nil }
+func (f *storeFilter) Init(ctx *datacutter.Context) error {
+	f.seen = make(map[uint64]struct{})
+	return nil
+}
+
+// apply decodes and stores one window payload, skipping windows this
+// copy has already stored.
+func (f *storeFilter) apply(data []byte) error {
+	frontend, seq, edges, err := decodeWindow(data)
+	if err != nil {
+		return err
+	}
+	key := windowKey(frontend, seq)
+	if _, dup := f.seen[key]; dup {
+		f.stats.DupBlocks.Add(1)
+		return nil
+	}
+	f.seen[key] = struct{}{}
+	if err := f.db.StoreEdges(edges); err != nil {
+		return err
+	}
+	f.stats.EdgesStored.Add(int64(len(edges)))
+	return nil
+}
 
 // Process implements datacutter.Filter.
 func (f *storeFilter) Process(ctx *datacutter.Context) error {
@@ -192,14 +292,9 @@ func (f *storeFilter) Process(ctx *datacutter.Context) error {
 		if err != nil {
 			return err
 		}
-		edges, err := decodeEdges(buf.Data)
-		if err != nil {
+		if err := f.apply(buf.Data); err != nil {
 			return err
 		}
-		if err := f.db.StoreEdges(edges); err != nil {
-			return err
-		}
-		f.stats.EdgesStored.Add(int64(len(edges)))
 	}
 }
 

@@ -2,12 +2,20 @@ package query
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"mssg/internal/cluster"
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
 )
+
+// ErrPartialCoverage marks a BFS that failed because a back-end node died
+// (or timed out) mid-search: whatever was explored covers only part of
+// the declustered graph, so a "not found" cannot be trusted. Callers
+// detect it with errors.Is and either retry on the surviving fabric or
+// surface the partial result to the user.
+var ErrPartialCoverage = errors.New("query: partial graph coverage")
 
 // Channel layout for one BFS run. The query service reserves its own
 // range, away from DataCutter's stream channels.
@@ -194,20 +202,28 @@ func ParallelBFS(f cluster.Fabric, dbs []graphdb.Graph, cfg BFSConfig) (BFSResul
 }
 
 // bfsNode is one node's share of the search; it dispatches to the
-// level-synchronous or pipelined variant.
+// level-synchronous or pipelined variant. A failure caused by a dead or
+// unresponsive peer is wrapped in ErrPartialCoverage: the search did not
+// deadlock, but it also did not see the whole graph.
 func bfsNode(ep cluster.Endpoint, db graphdb.Graph, cfg BFSConfig) (BFSResult, error) {
 	visited, err := newVisited(ep.ID(), cfg, cfg.expandWorkers(db))
 	if err != nil {
 		return BFSResult{}, err
 	}
 	defer visited.Close()
+	var res BFSResult
 	if cfg.Pipelined {
 		if cfg.ReturnPath {
 			return BFSResult{}, fmt.Errorf("query: ReturnPath requires the level-synchronous BFS")
 		}
-		return bfsPipelined(ep, db, visited, cfg)
+		res, err = bfsPipelined(ep, db, visited, cfg)
+	} else {
+		res, err = bfsLevelSync(ep, db, visited, cfg)
 	}
-	return bfsLevelSync(ep, db, visited, cfg)
+	if err != nil && (errors.Is(err, cluster.ErrNodeDown) || errors.Is(err, cluster.ErrTimeout)) {
+		err = fmt.Errorf("%w: %w", ErrPartialCoverage, err)
+	}
+	return res, err
 }
 
 // newVisited builds the per-node visited structure. With parallel
