@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz chaos bench bench-workers clean
+.PHONY: ci vet build test race fuzz chaos bench bench-json bench-workers clean
 
 ci: vet build race chaos fuzz bench-workers
 
@@ -36,6 +36,13 @@ fuzz:
 # Paper figure/table regenerations (slow; one full experiment per bench).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkFig|BenchmarkTable' -benchtime=1x .
+
+# Machine-readable benchmark sweep: runs every experiment through
+# cmd/mssg-bench and writes BENCH_<timestamp>.json (tables plus ingest
+# throughput, per-level BFS latency percentiles, and cache hit rates
+# from the observability registry).
+bench-json:
+	$(GO) run ./cmd/mssg-bench -json auto all
 
 # Serial vs parallel fringe expansion on the shootout graph.
 bench-workers:

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"mssg/internal/experiments"
+	"mssg/internal/obs"
 )
 
 func main() {
@@ -31,6 +33,10 @@ func main() {
 		"non-zero: run over a fault-injecting fabric (1% drops) masked by reliable delivery, seeded with this value")
 	deadline := flag.Duration("deadline", 0,
 		"per-ingestion deadline (0 = none); overruns abort the experiment instead of hanging")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live /metrics, /trace and /debug/pprof on this address during the run; implies -json auto")
+	jsonOut := flag.String("json", "",
+		"write a machine-readable BENCH report: a path, or \"auto\" for BENCH_<timestamp>.json")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>|all\n\nexperiments:\n", os.Args[0])
 		for _, e := range experiments.All() {
@@ -55,15 +61,31 @@ func main() {
 		workDir = td
 	}
 
+	if *metricsAddr != "" && *jsonOut == "" {
+		*jsonOut = "auto"
+	}
+
 	p := &experiments.Params{
 		Scale: *scale, Queries: *queries, Dir: workDir, Workers: *workers,
 		FaultSeed: *faultSeed, Deadline: *deadline,
+		// A bench that reports latency percentiles and cache hit rates
+		// needs the gated per-op metrics on.
+		Metrics: *jsonOut != "" || *metricsAddr != "",
 	}
 	if *verbose {
 		p.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[%s] "+format+"\n",
 				append([]any{time.Now().Format("15:04:05")}, args...)...)
 		}
+	}
+
+	if *metricsAddr != "" {
+		s, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer s.Close()
+		fmt.Fprintf(os.Stderr, "mssg-bench: metrics on http://%s/metrics\n", s.Addr())
 	}
 
 	var toRun []experiments.Experiment
@@ -79,15 +101,51 @@ func main() {
 		toRun = []experiments.Experiment{e}
 	}
 
+	// Completed results accumulate under a lock so a SIGINT/SIGTERM can
+	// dump a partial report instead of losing the finished experiments.
+	var (
+		resMu   sync.Mutex
+		results []experimentResult
+	)
+	dump := func(interrupted bool) {
+		if *jsonOut == "" {
+			return
+		}
+		resMu.Lock()
+		snap := make([]experimentResult, len(results))
+		copy(snap, results)
+		resMu.Unlock()
+		path, err := writeReport(buildReport(p, snap, interrupted), *jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mssg-bench: writing report:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "mssg-bench: report written to %s\n", path)
+	}
+	obs.OnSignal(func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "mssg-bench: %v: writing partial report\n", sig)
+		dump(true)
+		os.Exit(130)
+	})
+
 	for _, e := range toRun {
 		start := time.Now()
 		table, err := e.Run(p)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
+		elapsed := time.Since(start)
 		fmt.Println(table.String())
-		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		resMu.Lock()
+		results = append(results, experimentResult{
+			ID: table.ID, Title: table.Title, Header: table.Header,
+			Rows: table.Rows, Notes: table.Notes,
+			ElapsedMs: elapsed.Milliseconds(),
+		})
+		resMu.Unlock()
 	}
+	dump(false)
 }
 
 func fatal(err error) {

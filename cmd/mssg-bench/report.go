@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mssg/internal/experiments"
+	"mssg/internal/obs"
+)
+
+// report is the machine-readable counterpart of the printed tables: the
+// experiment results plus the observability registry's view of the run
+// (ingest throughput, per-level BFS latency percentiles, cache hit
+// rates). It is written as BENCH_<timestamp>.json (or a caller-chosen
+// path) so sweeps can be diffed and plotted without scraping text.
+type report struct {
+	Generated   string             `json:"generated"`
+	Scale       float64            `json:"scale"`
+	Queries     int                `json:"queries"`
+	Workers     int                `json:"workers"`
+	Interrupted bool               `json:"interrupted,omitempty"`
+	Experiments []experimentResult `json:"experiments"`
+	Ingest      ingestSummary      `json:"ingest"`
+	BFS         bfsSummary         `json:"bfs"`
+	Cache       cacheSummary       `json:"cache"`
+	Metrics     obs.Snapshot       `json:"metrics"`
+}
+
+type experimentResult struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMs int64      `json:"elapsed_ms"`
+}
+
+type ingestSummary struct {
+	Runs           int64            `json:"runs"`
+	EdgesRouted    int64            `json:"edges_routed"`
+	WindowsApplied int64            `json:"windows_applied"`
+	TotalNs        int64            `json:"total_ns"`
+	EdgesPerSec    float64          `json:"edges_per_sec"`
+	RunNs          obs.HistSnapshot `json:"run_ns"`
+	WindowBuildNs  obs.HistSnapshot `json:"window_build_ns"`
+	DeclusterSkewX int64            `json:"decluster_skew_x1000"`
+}
+
+type bfsSummary struct {
+	Runs            int64                       `json:"runs"`
+	PartialCoverage int64                       `json:"partial_coverage"`
+	FringeSize      obs.HistSnapshot            `json:"fringe_size"`
+	ExpandNs        obs.HistSnapshot            `json:"expand_ns"`
+	Levels          map[string]obs.HistSnapshot `json:"levels,omitempty"`
+}
+
+type cacheSummary struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// buildReport assembles the report from the finished experiments and the
+// process-wide registry.
+func buildReport(p *experiments.Params, results []experimentResult, interrupted bool) *report {
+	snap := obs.Default().Snapshot()
+
+	var ing ingestSummary
+	ing.RunNs = snap.Histograms["ingest.run_ns"]
+	ing.WindowBuildNs = snap.Histograms["ingest.window_build_ns"]
+	ing.Runs = ing.RunNs.Count
+	ing.TotalNs = ing.RunNs.Sum
+	ing.WindowsApplied = snap.Counters["ingest.windows_applied"]
+	ing.DeclusterSkewX = snap.Counters["ingest.decluster_skew_x1000"]
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "ingest.dest_") && strings.HasSuffix(name, ".edges") {
+			ing.EdgesRouted += v
+		}
+	}
+	if ing.TotalNs > 0 {
+		ing.EdgesPerSec = float64(ing.EdgesRouted) / (float64(ing.TotalNs) / 1e9)
+	}
+
+	bfs := bfsSummary{
+		Runs:            snap.Counters["query.bfs.runs"],
+		PartialCoverage: snap.Counters["query.bfs.partial_coverage"],
+		FringeSize:      snap.Histograms["query.bfs.fringe_size"],
+		ExpandNs:        snap.Histograms["query.bfs.level_expand_ns"],
+	}
+	levelNames := make([]string, 0, 16)
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "query.bfs.level_") && strings.HasSuffix(name, ".expand_ns") {
+			levelNames = append(levelNames, name)
+		}
+	}
+	sort.Strings(levelNames)
+	if len(levelNames) > 0 {
+		bfs.Levels = make(map[string]obs.HistSnapshot, len(levelNames))
+		for _, name := range levelNames {
+			bfs.Levels[name] = snap.Histograms[name]
+		}
+	}
+
+	var ca cacheSummary
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "cache.") {
+			switch {
+			case strings.HasSuffix(name, ".hits"):
+				ca.Hits += v
+			case strings.HasSuffix(name, ".misses"):
+				ca.Misses += v
+			}
+		}
+	}
+	if total := ca.Hits + ca.Misses; total > 0 {
+		ca.HitRate = float64(ca.Hits) / float64(total)
+	}
+
+	return &report{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Scale:       p.Scale,
+		Queries:     p.Queries,
+		Workers:     p.Workers,
+		Interrupted: interrupted,
+		Experiments: results,
+		Ingest:      ing,
+		BFS:         bfs,
+		Cache:       ca,
+		Metrics:     snap,
+	}
+}
+
+// writeReport marshals the report to path. "auto" picks a timestamped
+// BENCH_*.json name in the working directory.
+func writeReport(r *report, path string) (string, error) {
+	if path == "auto" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("20060102T150405Z"))
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"mssg/internal/gen"
 	"mssg/internal/graph"
+	"mssg/internal/obs"
 )
 
 func main() {
@@ -29,7 +31,18 @@ func main() {
 	format := flag.String("format", "ascii", "output format: ascii or binary")
 	out := flag.String("out", "-", "output file (- for stdout)")
 	stats := flag.Bool("stats", false, "print Table 5.1-style statistics to stderr")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live /metrics and /debug/pprof on this address while generating")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		s, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer s.Close()
+		fmt.Fprintf(os.Stderr, "mssg-gen: metrics on http://%s/metrics\n", s.Addr())
+	}
 
 	var cfg gen.Config
 	if *preset != "" {
@@ -70,9 +83,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Signal handling: the generation loop polls a flag rather than the
+	// handler touching the writer, so the flush below never races a
+	// WriteEdge in flight. The deferred close then runs normally.
+	var stop atomic.Bool
+	obs.OnSignal(func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "mssg-gen: %v: stopping; flushing partial output\n", sig)
+		stop.Store(true)
+	})
+
+	mEdges := obs.Default().Counter("gen.edges")
 	deg := make([]int64, cfg.Vertices)
 	var edges int64
-	for {
+	for !stop.Load() {
 		e, err := g.ReadEdge()
 		if err == io.EOF {
 			break
@@ -86,9 +110,13 @@ func main() {
 		deg[e.Src]++
 		deg[e.Dst]++
 		edges++
+		mEdges.Inc()
 	}
 	if err := w.Flush(); err != nil {
 		fatal(err)
+	}
+	if stop.Load() {
+		fmt.Fprintf(os.Stderr, "mssg-gen: interrupted after %d edges; output flushed\n", edges)
 	}
 
 	if *stats {

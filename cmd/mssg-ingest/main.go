@@ -22,6 +22,7 @@ import (
 	_ "mssg/internal/graphdb/all"
 	"mssg/internal/graphdb/grdb"
 	"mssg/internal/ingest"
+	"mssg/internal/obs"
 )
 
 func main() {
@@ -47,6 +48,8 @@ func main() {
 	defrag := flag.Bool("defrag", false, "run grDB chain defragmentation after ingestion (grdb backend only)")
 	fsck := flag.Bool("fsck", false, "verify grDB storage invariants after ingestion (grdb backend only)")
 	copyUp := flag.Bool("copyup", false, "use grDB's copy-up-on-overflow strategy instead of linking")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live /metrics, /trace and /debug/pprof on this address (e.g. :8080); also enables per-op backend latency histograms")
 	flag.Parse()
 
 	if *in == "" || *dir == "" {
@@ -92,6 +95,17 @@ func main() {
 		cfg.Fault = plan
 		cfg.Reliable = true
 	}
+	var obsServer *obs.Server
+	if *metricsAddr != "" {
+		cfg.Metrics = obs.Default()
+		s, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		obsServer = s
+		fmt.Fprintf(os.Stderr, "mssg-ingest: metrics on http://%s/metrics\n", s.Addr())
+	}
+	defer obsServer.Close()
 	eng, err := core.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -101,6 +115,20 @@ func main() {
 			fatal(err)
 		}
 	}()
+
+	// Graceful shutdown: report whatever the last completed run stored,
+	// drain the metrics server, release the databases, then exit with the
+	// conventional signal status.
+	obs.OnSignal(func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "mssg-ingest: %v: shutting down\n", sig)
+		if st := eng.LastIngestStats(); st != nil {
+			fmt.Fprintf(os.Stderr, "mssg-ingest: last run: %d edges in, %d stored, %d blocks\n",
+				st.EdgesIn.Load(), st.EdgesStored.Load(), st.Blocks.Load())
+		}
+		obsServer.Close()
+		eng.Close()
+		os.Exit(130)
+	})
 
 	// Each front-end copy opens its own handle on the file and reads a
 	// disjoint share of the stream (round-robin by edge index).

@@ -21,6 +21,7 @@ import (
 	"mssg/internal/gen"
 	"mssg/internal/graph"
 	_ "mssg/internal/graphdb/all"
+	"mssg/internal/obs"
 	"mssg/internal/query"
 )
 
@@ -43,6 +44,8 @@ func main() {
 	khop := flag.Int("khop", 0, "instead of a path query, count vertices within k hops of -source")
 	component := flag.Bool("component", false, "instead of a path query, measure -source's connected component")
 	listAnalyses := flag.Bool("list-analyses", false, "list registered Query Service analyses and exit")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live /metrics, /trace and /debug/pprof on this address (e.g. :8080); also enables per-op backend latency histograms")
 	flag.Parse()
 
 	if *listAnalyses {
@@ -58,15 +61,36 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	eng, err := core.New(core.Config{
+	cfg := core.Config{
 		Backends: *backends,
 		Backend:  *backend,
 		Dir:      *dir,
-	})
+	}
+	var obsServer *obs.Server
+	if *metricsAddr != "" {
+		cfg.Metrics = obs.Default()
+		s, err := obs.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			fatal(err)
+		}
+		obsServer = s
+		fmt.Fprintf(os.Stderr, "mssg-query: metrics on http://%s/metrics\n", s.Addr())
+	}
+	defer obsServer.Close()
+	eng, err := core.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer eng.Close()
+
+	// Graceful shutdown: drain the metrics server (a final scrape sees
+	// the counters of every completed query) and release the databases.
+	obs.OnSignal(func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "mssg-query: %v: shutting down\n", sig)
+		obsServer.Close()
+		eng.Close()
+		os.Exit(130)
+	})
 
 	ownership := query.KnownMapping
 	if *broadcast {

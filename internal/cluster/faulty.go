@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mssg/internal/obs"
 )
 
 // Plan scripts deterministic fault injection for a faulty fabric. Every
@@ -62,6 +65,16 @@ type faultyFabric struct {
 	plan      Plan
 	endpoints []*faultyEndpoint
 
+	// Injection accounting: per-channel groups plus per-kind totals, so
+	// a chaos run can report exactly what the plan actually perturbed.
+	met          *fabricMetrics
+	mDrops       *obs.Counter
+	mDups        *obs.Counter
+	mCorruptions *obs.Counter
+	mDelays      *obs.Counter
+	mSendErrs    *obs.Counter
+	mCrashes     *obs.Counter
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -69,7 +82,17 @@ type faultyFabric struct {
 // NewFaulty wraps inner with scripted fault injection. Closing the
 // returned fabric closes inner too.
 func NewFaulty(inner Fabric, plan Plan) Fabric {
-	f := &faultyFabric{inner: inner, plan: plan}
+	reg := obs.Default()
+	f := &faultyFabric{
+		inner: inner, plan: plan,
+		met:          newFabricMetrics("cluster.faulty"),
+		mDrops:       reg.Counter("cluster.faulty.drops"),
+		mDups:        reg.Counter("cluster.faulty.dups"),
+		mCorruptions: reg.Counter("cluster.faulty.corruptions"),
+		mDelays:      reg.Counter("cluster.faulty.delays"),
+		mSendErrs:    reg.Counter("cluster.faulty.send_errors"),
+		mCrashes:     reg.Counter("cluster.faulty.crashes"),
+	}
 	for i := 0; i < inner.Nodes(); i++ {
 		ep := &faultyEndpoint{
 			fabric:     f,
@@ -174,7 +197,12 @@ func (e *faultyEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
 	}
 	n := e.sends.Add(1)
 	if e.crashAfter >= 0 && n > e.crashAfter {
-		e.crashed.Store(true)
+		if !e.crashed.Swap(true) {
+			e.fabric.mCrashes.Inc()
+			obs.DefaultTracer().Emit("fault.crash", map[string]string{
+				"node": strconv.Itoa(int(e.inner.ID())),
+			})
+		}
 	}
 	if e.crashed.Load() {
 		return e.errCrashed()
@@ -190,9 +218,14 @@ func (e *faultyEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
 	}
 
 	p := &e.fabric.plan
+	cm := e.fabric.met.channel(ch)
+	cm.sends.Inc()
+	cm.sendBytes.Add(int64(len(payload)))
 	u, v, h2, h3 := e.rolls(to, ch)
 	var injected error
 	if v < p.SendErrProb {
+		e.fabric.mSendErrs.Inc()
+		cm.injected.Inc()
 		injected = fmt.Errorf("%w: injected send failure %d->%d",
 			ErrTimeout, e.inner.ID(), to)
 	}
@@ -201,7 +234,11 @@ func (e *faultyEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
 	switch {
 	case u < cut:
 		// Dropped in transit.
+		e.fabric.mDrops.Inc()
+		cm.drops.Inc()
 	case u < cut+p.DupProb:
+		e.fabric.mDups.Inc()
+		cm.injected.Inc()
 		c := make([]byte, len(payload))
 		copy(c, payload)
 		if err := e.inner.Send(to, ch, c); err != nil {
@@ -211,6 +248,8 @@ func (e *faultyEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
 			return err
 		}
 	case u < cut+p.DupProb+p.CorruptProb && len(payload) > 0:
+		e.fabric.mCorruptions.Inc()
+		cm.injected.Inc()
 		c := make([]byte, len(payload))
 		copy(c, payload)
 		c[h2%uint64(len(c))] ^= byte(1 + h3%255)
@@ -218,6 +257,8 @@ func (e *faultyEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
 			return err
 		}
 	case u < cut+p.DupProb+p.CorruptProb+p.DelayProb:
+		e.fabric.mDelays.Inc()
+		cm.injected.Inc()
 		d := time.Duration(frac(h3) * float64(p.maxDelay()))
 		time.AfterFunc(d, func() {
 			if e.fabric.isClosed() || dst.crashed.Load() {

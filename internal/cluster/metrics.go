@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"mssg/internal/obs"
+)
+
+// chanMetrics is the pre-resolved per-channel counter group of one fabric
+// layer. Fields are looked up once, when the channel first carries
+// traffic, so the hot path pays one map read under RLock plus atomic
+// adds — never a name format or registry lookup per message.
+type chanMetrics struct {
+	sends       *obs.Counter // data frames handed to the layer below
+	sendBytes   *obs.Counter
+	recvs       *obs.Counter // frames delivered to the application
+	retransmits *obs.Counter // reliable: ack-timeout resends
+	dups        *obs.Counter // reliable: duplicate frames suppressed
+	acks        *obs.Counter // reliable: acks received
+	drops       *obs.Counter // faulty: frames discarded in transit
+	injected    *obs.Counter // faulty: dup+corrupt+delay+send-error injections
+}
+
+// fabricMetrics lazily builds chanMetrics per channel under a prefix
+// ("cluster.reliable", "cluster.faulty"). Channel cardinality is tiny in
+// practice — DataCutter streams, the BFS fringe/collective channels, and
+// the reserved reliable channel — so the map stays small.
+type fabricMetrics struct {
+	prefix string
+
+	mu  sync.RWMutex
+	chs map[ChannelID]*chanMetrics
+}
+
+func newFabricMetrics(prefix string) *fabricMetrics {
+	return &fabricMetrics{prefix: prefix, chs: make(map[ChannelID]*chanMetrics)}
+}
+
+// channel returns the counter group for ch, creating it on first use.
+func (m *fabricMetrics) channel(ch ChannelID) *chanMetrics {
+	m.mu.RLock()
+	c, ok := m.chs[ch]
+	m.mu.RUnlock()
+	if ok {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok = m.chs[ch]; ok {
+		return c
+	}
+	r := obs.Default()
+	p := fmt.Sprintf("%s.ch_%08x", m.prefix, uint32(ch))
+	c = &chanMetrics{
+		sends:       r.Counter(p + ".sends"),
+		sendBytes:   r.Counter(p + ".send_bytes"),
+		recvs:       r.Counter(p + ".recvs"),
+		retransmits: r.Counter(p + ".retransmits"),
+		dups:        r.Counter(p + ".dups"),
+		acks:        r.Counter(p + ".acks"),
+		drops:       r.Counter(p + ".drops"),
+		injected:    r.Counter(p + ".injected"),
+	}
+	m.chs[ch] = c
+	return c
+}

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mssg/internal/obs"
 )
 
 // The reliable layer multiplexes every logical channel over one reserved
@@ -109,6 +112,15 @@ type reliableFabric struct {
 	endpoints []*reliableEndpoint
 	stop      chan struct{}
 
+	// Per-channel counter groups plus whole-fabric protocol counters,
+	// resolved once at construction (see internal/obs package doc).
+	met           *fabricMetrics
+	mHbSent       *obs.Counter
+	mHbRecv       *obs.Counter
+	mCorruptDrops *obs.Counter
+	mNodeDown     *obs.Counter
+	mSendTimeouts *obs.Counter
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -117,7 +129,16 @@ type reliableFabric struct {
 // the returned fabric closes inner too. The wrapper reserves channel
 // 0xFFFFFF00 on the inner fabric for its frames.
 func NewReliable(inner Fabric, opts ReliableOptions) Fabric {
-	f := &reliableFabric{inner: inner, opts: opts.withDefaults(), stop: make(chan struct{})}
+	reg := obs.Default()
+	f := &reliableFabric{
+		inner: inner, opts: opts.withDefaults(), stop: make(chan struct{}),
+		met:           newFabricMetrics("cluster.reliable"),
+		mHbSent:       reg.Counter("cluster.reliable.heartbeats_sent"),
+		mHbRecv:       reg.Counter("cluster.reliable.heartbeats_recv"),
+		mCorruptDrops: reg.Counter("cluster.reliable.corrupt_drops"),
+		mNodeDown:     reg.Counter("cluster.reliable.node_down_declared"),
+		mSendTimeouts: reg.Counter("cluster.reliable.send_timeouts"),
+	}
 	now := time.Now().UnixNano()
 	for i := 0; i < inner.Nodes(); i++ {
 		ep := &reliableEndpoint{
@@ -284,12 +305,15 @@ func (e *reliableEndpoint) pump() {
 		}
 		kind, ch, seq, payload, derr := rlDecode(msg.Payload)
 		if derr != nil {
+			e.fabric.mCorruptDrops.Inc()
 			continue
 		}
 		e.heard(msg.From)
 		switch kind {
 		case rkHeartbeat:
+			e.fabric.mHbRecv.Inc()
 		case rkAck:
+			e.fabric.met.channel(ch).acks.Inc()
 			k := ackKey{msg.From, ch, seq}
 			e.mu.Lock()
 			if w, ok := e.waiters[k]; ok {
@@ -310,10 +334,12 @@ func (e *reliableEndpoint) pump() {
 			}
 			if seq < st.next {
 				e.mu.Unlock()
+				e.fabric.met.channel(ch).dups.Inc()
 				continue // duplicate of an already-delivered frame
 			}
 			if _, dup := st.stash[seq]; dup {
 				e.mu.Unlock()
+				e.fabric.met.channel(ch).dups.Inc()
 				continue
 			}
 			st.stash[seq] = payload
@@ -329,6 +355,7 @@ func (e *reliableEndpoint) pump() {
 			}
 			e.mu.Unlock()
 			if len(deliver) > 0 {
+				e.fabric.met.channel(ch).recvs.Add(int64(len(deliver)))
 				box := e.inbox(ch)
 				for _, m := range deliver {
 					_ = box.put(m)
@@ -355,8 +382,15 @@ func (e *reliableEndpoint) monitor() {
 				continue
 			}
 			_ = e.inner.Send(NodeID(j), rlChannel, rlEncode(rkHeartbeat, 0, 0, nil))
+			e.fabric.mHbSent.Inc()
 			if now-e.lastHeard[j].Load() > int64(budget) {
-				e.down[j].Store(true)
+				if !e.down[j].Swap(true) {
+					e.fabric.mNodeDown.Inc()
+					obs.DefaultTracer().Emit("cluster.node_down", map[string]string{
+						"observer": strconv.Itoa(int(e.inner.ID())),
+						"peer":     strconv.Itoa(j),
+					})
+				}
 			}
 		}
 	}
@@ -395,10 +429,17 @@ func (e *reliableEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
 	}()
 
 	frame := rlEncode(rkData, ch, seq, payload)
+	cm := e.fabric.met.channel(ch)
+	cm.sends.Inc()
+	cm.sendBytes.Add(int64(len(payload)))
 	opts := &e.fabric.opts
 	deadline := time.Now().Add(opts.SendTimeout)
 	backoff := opts.RetransmitInitial
+	attempts := 0
 	for {
+		if attempts++; attempts > 1 {
+			cm.retransmits.Inc()
+		}
 		// The inner fabric owns each sent slice, so every (re)transmit
 		// gets its own copy.
 		c := make([]byte, len(frame))
@@ -423,6 +464,7 @@ func (e *reliableEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
 			return errDown(to)
 		}
 		if time.Now().After(deadline) {
+			e.fabric.mSendTimeouts.Inc()
 			return fmt.Errorf("%w: send %d->%d ch %d seq %d unacked after %v",
 				ErrTimeout, e.inner.ID(), to, ch, seq, opts.SendTimeout)
 		}

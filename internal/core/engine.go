@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"mssg/internal/cluster"
@@ -23,6 +24,7 @@ import (
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
 	"mssg/internal/ingest"
+	"mssg/internal/obs"
 	"mssg/internal/query"
 )
 
@@ -74,6 +76,12 @@ type Config struct {
 	// IngestFailFast aborts an ingestion run as soon as any filter copy
 	// fails, even without a deadline.
 	IngestFailFast bool
+	// Metrics, when non-nil, enables per-operation latency histograms in
+	// every back-end (graphdb.<backend>.*_ns) and block-cache counter
+	// mirrors (cache.<backend>.*). It is copied into DBOptions for each
+	// node. The always-on service metrics (cluster, datacutter, ingest,
+	// query) live in obs.Default() regardless of this field.
+	Metrics *obs.Registry
 }
 
 // Engine is a running MSSG instance.
@@ -82,6 +90,10 @@ type Engine struct {
 	fabric cluster.Fabric
 	dbs    []graphdb.Graph
 	closed bool
+
+	// lastIngest holds the most recent completed Ingest run's statistics,
+	// for shutdown reporting from signal handlers.
+	lastIngest atomic.Pointer[ingest.Stats]
 }
 
 // New builds the fabric and opens one GraphDB instance per back-end node.
@@ -122,6 +134,9 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{cfg: cfg, fabric: fabric}
 	for i := 0; i < cfg.Backends; i++ {
 		opts := cfg.DBOptions
+		if opts.Metrics == nil {
+			opts.Metrics = cfg.Metrics
+		}
 		if cfg.Dir != "" {
 			opts.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("node%03d", i))
 			if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -178,10 +193,21 @@ func (e *Engine) Ingest(makeReader func(copy int) (graph.EdgeReader, error)) (*i
 		Deadline: e.cfg.IngestDeadline,
 		FailFast: e.cfg.IngestFailFast || e.cfg.IngestDeadline > 0,
 	}
-	if err := rt.RunWith(g, ropts); err != nil {
-		return stats, err
+	runStart := time.Now()
+	runErr := rt.RunWith(g, ropts)
+	obs.Default().Histogram("ingest.run_ns").Observe(time.Since(runStart).Nanoseconds())
+	e.lastIngest.Store(stats)
+	if runErr != nil {
+		return stats, runErr
 	}
 	return stats, nil
+}
+
+// LastIngestStats returns the statistics of the most recent Ingest run
+// (even a failed one), or nil if none has run. Safe to call from a signal
+// handler while a run is in flight: it sees the previous completed run.
+func (e *Engine) LastIngestStats() *ingest.Stats {
+	return e.lastIngest.Load()
 }
 
 // IngestEdges ingests a materialized edge list, splitting it evenly

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mssg/internal/cluster"
+	"mssg/internal/obs"
 )
 
 // ErrDeadline is reported by RunWith when the graph-wide deadline passes
@@ -98,19 +99,30 @@ func (r *Runtime) RunWith(g *Graph, opts RunOptions) error {
 		}
 	}
 
-	// Wire stream endpoints.
+	// Wire stream endpoints. Metrics are resolved here — once per stream
+	// per copy — so Write/Read never touch the registry. The queue-depth
+	// gauge is shared across every copy of a destination filter: writers
+	// raise it per delivered buffer, readers lower it, so its reading is
+	// the filter's total in-flight backlog.
+	reg := obs.Default()
 	for _, s := range g.streams {
 		srcCopies := copies[s.src]
 		dstCopies := copies[s.dst]
+		sName := fmt.Sprintf("datacutter.stream.%s_to_%s", s.src, s.dst)
+		depth := reg.Gauge(fmt.Sprintf("datacutter.filter.%s.queue_depth", s.dst))
 		dests := make([]dest, len(dstCopies))
 		for c, dc := range dstCopies {
 			ch := streamChannel(s.idx, c)
 			dests[c] = dest{node: dc.inst.Node, ch: ch}
 			rd := &StreamReader{
-				name:    fmt.Sprintf("%s.%s->%s.%s", s.src, s.srcPort, s.dst, s.dstPort),
-				ep:      dc.ctx.ep,
-				ch:      ch,
-				writers: len(srcCopies),
+				name:     fmt.Sprintf("%s.%s->%s.%s", s.src, s.srcPort, s.dst, s.dstPort),
+				ep:       dc.ctx.ep,
+				ch:       ch,
+				writers:  len(srcCopies),
+				mBuffers: reg.Counter(sName + ".recv_buffers"),
+				mBytes:   reg.Counter(sName + ".recv_bytes"),
+				mBlocked: reg.Histogram(sName + ".blocked_recv_ns"),
+				mDepth:   depth,
 			}
 			if supervised {
 				rd.abort = &abort
@@ -119,11 +131,15 @@ func (r *Runtime) RunWith(g *Graph, opts RunOptions) error {
 		}
 		for _, sc := range srcCopies {
 			sc.ctx.outputs[s.srcPort] = &StreamWriter{
-				name:    fmt.Sprintf("%s.%s->%s.%s", s.src, s.srcPort, s.dst, s.dstPort),
-				ep:      sc.ctx.ep,
-				policy:  s.policy,
-				dests:   dests,
-				srcCopy: sc.inst.Copy,
+				name:     fmt.Sprintf("%s.%s->%s.%s", s.src, s.srcPort, s.dst, s.dstPort),
+				ep:       sc.ctx.ep,
+				policy:   s.policy,
+				dests:    dests,
+				srcCopy:  sc.inst.Copy,
+				mBuffers: reg.Counter(sName + ".sent_buffers"),
+				mBytes:   reg.Counter(sName + ".sent_bytes"),
+				mBlocked: reg.Histogram(sName + ".blocked_send_ns"),
+				mDepth:   depth,
 			}
 		}
 	}

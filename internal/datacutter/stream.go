@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mssg/internal/cluster"
+	"mssg/internal/obs"
 )
 
 // Stream wire format, carried over one fabric channel per (stream,
@@ -101,6 +102,29 @@ type StreamWriter struct {
 	next    int
 	closed  bool
 	sent    int64
+
+	// Pre-resolved by the runtime at wiring time; nil (no-op) for
+	// hand-built writers. mDepth is shared with the stream's readers to
+	// approximate in-flight buffers on the destination filter.
+	mBuffers *obs.Counter
+	mBytes   *obs.Counter
+	mBlocked *obs.Histogram // time spent blocked in fabric sends, ns
+	mDepth   *obs.Gauge
+}
+
+// send is the instrumented fabric send every data write funnels through:
+// it charges bytes and blocked time, and raises the destination filter's
+// queue-depth gauge (its reader lowers it on delivery).
+func (w *StreamWriter) send(d dest, b Buffer) error {
+	start := time.Now()
+	err := w.ep.Send(d.node, d.ch, encodeFrame(kindData, b.Tag, b.Data))
+	w.mBlocked.ObserveSince(start)
+	if err == nil {
+		w.mBuffers.Inc()
+		w.mBytes.Add(int64(len(b.Data)))
+		w.mDepth.Add(1)
+	}
+	return err
 }
 
 // Write emits one buffer according to the stream's policy.
@@ -113,10 +137,10 @@ func (w *StreamWriter) Write(b Buffer) error {
 		d := w.dests[w.next%len(w.dests)]
 		w.next++
 		w.sent++
-		return w.ep.Send(d.node, d.ch, encodeFrame(kindData, b.Tag, b.Data))
+		return w.send(d, b)
 	case Broadcast:
 		for _, d := range w.dests {
-			if err := w.ep.Send(d.node, d.ch, encodeFrame(kindData, b.Tag, b.Data)); err != nil {
+			if err := w.send(d, b); err != nil {
 				return err
 			}
 			w.sent++
@@ -139,7 +163,7 @@ func (w *StreamWriter) WriteTo(copy int, b Buffer) error {
 	}
 	d := w.dests[copy]
 	w.sent++
-	return w.ep.Send(d.node, d.ch, encodeFrame(kindData, b.Tag, b.Data))
+	return w.send(d, b)
 }
 
 // Fanout returns the number of destination copies.
@@ -183,6 +207,13 @@ type StreamReader struct {
 	eos     map[int32]bool // upstream copies that have closed
 	abort   *atomic.Bool   // set by supervised runtimes; nil otherwise
 	recvd   int64
+
+	// Pre-resolved by the runtime at wiring time; nil (no-op) for
+	// hand-built readers. mDepth mirrors the writers' gauge.
+	mBuffers *obs.Counter
+	mBytes   *obs.Counter
+	mBlocked *obs.Histogram // time spent blocked waiting for a frame, ns
+	mDepth   *obs.Gauge
 }
 
 // Read blocks for the next buffer. It returns io.EOF once every upstream
@@ -206,6 +237,9 @@ func (r *StreamReader) Read() (Buffer, error) {
 			continue
 		}
 		r.recvd++
+		r.mBuffers.Inc()
+		r.mBytes.Add(int64(len(data)))
+		r.mDepth.Add(-1)
 		return Buffer{Tag: tag, Data: data}, nil
 	}
 	return Buffer{}, io.EOF
@@ -216,6 +250,8 @@ func (r *StreamReader) Read() (Buffer, error) {
 // died without closing the stream — the failure-propagation path that
 // keeps one lost filter copy from wedging the whole graph.
 func (r *StreamReader) recv() (cluster.Message, error) {
+	start := time.Now()
+	defer r.mBlocked.ObserveSince(start)
 	if r.abort == nil {
 		return r.ep.Recv(r.ch)
 	}

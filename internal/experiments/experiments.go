@@ -23,6 +23,7 @@ import (
 	"mssg/internal/graphdb"
 	_ "mssg/internal/graphdb/all"
 	"mssg/internal/ingest"
+	"mssg/internal/obs"
 	"mssg/internal/query"
 )
 
@@ -96,6 +97,11 @@ type Params struct {
 	// Deadline bounds each ingestion run (0 = none); deadline overruns
 	// and dead back-ends then abort the experiment instead of hanging it.
 	Deadline time.Duration
+	// Metrics enables per-operation latency histograms and cache counter
+	// mirrors in every engine built by the experiments, recorded in
+	// obs.Default(). Off by default: the per-op clock reads distort the
+	// finest-grained comparisons.
+	Metrics bool
 	// Verbose, if set, receives progress lines.
 	Verbose func(format string, args ...any)
 }
@@ -185,6 +191,9 @@ func buildEngine(p *Params, label, backend string, backends, frontends int, opts
 	if p.Deadline > 0 {
 		cfg.IngestDeadline = p.Deadline
 		cfg.IngestFailFast = true
+	}
+	if p.Metrics {
+		cfg.Metrics = obs.Default()
 	}
 	return core.New(cfg)
 }

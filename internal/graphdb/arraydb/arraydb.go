@@ -20,7 +20,9 @@ import (
 
 func init() {
 	graphdb.Register("array", func(opts graphdb.Options) (graphdb.Graph, error) {
-		return New(), nil
+		d := New()
+		d.stats.EnableLatency(opts.Metrics, "array")
+		return d, nil
 	})
 }
 
@@ -56,6 +58,8 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 	if d.closed {
 		return graphdb.ErrClosed
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveStore(start)
 	for _, e := range edges {
 		if err := graph.ValidateEdge(e); err != nil {
 			return err
@@ -146,6 +150,8 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if d.dirty {
 		return fmt.Errorf("arraydb: adjacency requested with staged edges; call Flush first")
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveAdjacency(start)
 	d.stats.AddAdjacencyCall()
 	if int64(v) < 0 || int64(v) >= int64(len(d.xadj))-1 {
 		return nil

@@ -85,6 +85,7 @@ func Open(opts graphdb.Options) (*DB, error) {
 	}
 	store.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
 	c := cache.New(cacheBytes)
+	c.EnableMetrics(opts.Metrics, "bdb")
 	meta, err := loadManifest(filepath.Join(opts.Dir, manifestName))
 	if err != nil {
 		store.Close()
@@ -95,14 +96,16 @@ func Open(opts graphdb.Options) (*DB, error) {
 		store.Close()
 		return nil, err
 	}
-	return &DB{
+	d := &DB{
 		dir:      opts.Dir,
 		store:    store,
 		cache:    c,
 		tree:     tree,
 		meta:     graphdb.NewMetaMap(),
 		chunkBuf: make([]byte, 0, chunkCap*8),
-	}, nil
+	}
+	d.stats.EnableLatency(opts.Metrics, "bdb")
+	return d, nil
 }
 
 func loadManifest(path string) (btree.Meta, error) {
@@ -163,6 +166,8 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 	if len(edges) == 0 {
 		return nil
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveStore(start)
 	grouped := make(map[graph.VertexID][]graph.VertexID)
 	for _, e := range edges {
 		if err := graph.ValidateEdge(e); err != nil {
@@ -256,6 +261,8 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if d.closed {
 		return graphdb.ErrClosed
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveAdjacency(start)
 	d.stats.AddAdjacencyCall()
 	c := d.tree.Seek(btree.U64Key(uint64(v), 1))
 	var scratch []graph.VertexID

@@ -223,6 +223,8 @@ func Open(opts graphdb.Options) (*DB, error) {
 		tailHint:  make(map[graph.VertexID]tailPos),
 		copyUp:    opts.CopyUpOnOverflow,
 	}
+	d.cache.EnableMetrics(opts.Metrics, "grdb")
+	d.stats.EnableLatency(opts.Metrics, "grdb")
 	for i, spec := range specs {
 		store, err := blockio.Open(opts.Dir, fmt.Sprintf("level%d", i), spec.BlockBytes, maxFile)
 		if err != nil {

@@ -21,6 +21,8 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 	if len(edges) == 0 {
 		return nil
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveStore(start)
 	grouped := make(map[graph.VertexID][]graph.VertexID)
 	for _, e := range edges {
 		if err := graph.ValidateEdge(e); err != nil {
@@ -226,6 +228,8 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if uint64(v) > maxStoreable {
 		return fmt.Errorf("grdb: vertex id %d beyond 61-bit storeable range", v)
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveAdjacency(start)
 	d.stats.AddAdjacencyCall()
 	if op == graphdb.MetaIgnore {
 		var n int64

@@ -13,7 +13,9 @@ import (
 
 func init() {
 	graphdb.Register("hashmap", func(opts graphdb.Options) (graphdb.Graph, error) {
-		return New(), nil
+		d := New()
+		d.stats.EnableLatency(opts.Metrics, "hashmap")
+		return d, nil
 	})
 }
 
@@ -38,6 +40,8 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 	if d.closed {
 		return graphdb.ErrClosed
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveStore(start)
 	for _, e := range edges {
 		if err := graph.ValidateEdge(e); err != nil {
 			return err
@@ -70,6 +74,8 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if d.closed {
 		return graphdb.ErrClosed
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveAdjacency(start)
 	d.stats.AddAdjacencyCall()
 	neighbors, ok := d.lists[v]
 	if !ok {

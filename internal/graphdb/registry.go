@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"mssg/internal/obs"
 )
 
 // Options configures a GraphDB instance at open time. Fields irrelevant to
@@ -44,6 +46,14 @@ type Options struct {
 	// machine; see blockio.Store.SimulateLatency.
 	SimReadLatency  time.Duration
 	SimWriteLatency time.Duration
+
+	// Metrics, when non-nil, enables per-operation latency histograms
+	// (graphdb.<backend>.adjacency_ns / store_ns) and cache counter
+	// mirroring in the opened instance, recorded into this registry.
+	// Nil keeps the per-op clock reads off the hot path entirely — the
+	// default, since a time.Now() pair per adjacency retrieval is
+	// measurable on the in-memory backends.
+	Metrics *obs.Registry
 }
 
 // LevelSpec describes one grDB storage level.

@@ -87,6 +87,7 @@ func Open(opts graphdb.Options) (*DB, error) {
 	heapStore.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
 	idxStore.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
 	c := cache.New(cacheBytes)
+	c.EnableMetrics(opts.Metrics, "mysql")
 	man, err := loadManifest(filepath.Join(opts.Dir, manifestName))
 	if err != nil {
 		heapStore.Close()
@@ -111,7 +112,7 @@ func Open(opts graphdb.Options) (*DB, error) {
 		idxStore.Close()
 		return nil, err
 	}
-	return &DB{
+	d := &DB{
 		dir:       opts.Dir,
 		heapStore: heapStore,
 		idxStore:  idxStore,
@@ -120,7 +121,9 @@ func Open(opts graphdb.Options) (*DB, error) {
 		index:     idx,
 		log:       log,
 		meta:      graphdb.NewMetaMap(),
-	}, nil
+	}
+	d.stats.EnableLatency(opts.Metrics, "mysql")
+	return d, nil
 }
 
 type manifest struct {
@@ -213,6 +216,8 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 	if len(edges) == 0 {
 		return nil
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveStore(start)
 	grouped := make(map[graph.VertexID][]graph.VertexID)
 	for _, e := range edges {
 		if err := graph.ValidateEdge(e); err != nil {
@@ -321,6 +326,8 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if d.closed {
 		return graphdb.ErrClosed
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveAdjacency(start)
 	d.stats.AddAdjacencyCall()
 
 	st, err := parseStatement(renderSelect(int64(v)))

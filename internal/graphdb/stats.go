@@ -1,6 +1,11 @@
 package graphdb
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+
+	"mssg/internal/obs"
+)
 
 // StatCounters is the concurrency-safe accumulator every backend embeds
 // behind its Stats() method. Adjacency retrievals are readers under the
@@ -11,13 +16,30 @@ type StatCounters struct {
 	edgesStored       atomic.Int64
 	adjacencyCalls    atomic.Int64
 	neighborsReturned atomic.Int64
+
+	// Latency histograms, nil until EnableLatency. atomic.Pointer so a
+	// disabled instance pays one pointer load (and skips the clock reads
+	// entirely via OpStart's zero return).
+	adjacencyNs atomic.Pointer[obs.Histogram]
+	storeNs     atomic.Pointer[obs.Histogram]
 }
 
 // AddEdgesStored credits n edges accepted by StoreEdges.
 func (c *StatCounters) AddEdgesStored(n int64) { c.edgesStored.Add(n) }
 
-// SetEdgesStored overwrites the stored-edge count (manifest reload).
-func (c *StatCounters) SetEdgesStored(n int64) { c.edgesStored.Store(n) }
+// SetEdgesStored raises the stored-edge count to n if it is below it.
+// Manifest reloads use this to restore the persisted count; the clamp
+// keeps EdgesStored monotonic when edges were stored before the reload
+// (a plain store would rewind the count, breaking Snapshot's documented
+// monotonicity and any rate computed from it).
+func (c *StatCounters) SetEdgesStored(n int64) {
+	for {
+		cur := c.edgesStored.Load()
+		if n <= cur || c.edgesStored.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
 
 // EdgesStored returns the current stored-edge count.
 func (c *StatCounters) EdgesStored() int64 { return c.edgesStored.Load() }
@@ -30,6 +52,47 @@ func (c *StatCounters) AddAdjacencyCalls(n int64) { c.adjacencyCalls.Add(n) }
 
 // AddNeighborsReturned credits n neighbours produced by retrievals.
 func (c *StatCounters) AddNeighborsReturned(n int64) { c.neighborsReturned.Add(n) }
+
+// EnableLatency turns on per-operation latency histograms, recorded as
+// graphdb.<backend>.adjacency_ns and graphdb.<backend>.store_ns in reg.
+// Backends call it from Open when Options.Metrics is set; it is a no-op
+// with a nil registry.
+func (c *StatCounters) EnableLatency(reg *obs.Registry, backend string) {
+	if reg == nil {
+		return
+	}
+	c.adjacencyNs.Store(reg.Histogram("graphdb." + backend + ".adjacency_ns"))
+	c.storeNs.Store(reg.Histogram("graphdb." + backend + ".store_ns"))
+}
+
+// OpStart returns the operation start timestamp for ObserveAdjacency /
+// ObserveStore, or 0 when latency metrics are disabled — so the disabled
+// path never reads the clock.
+func (c *StatCounters) OpStart() int64 {
+	if c.adjacencyNs.Load() == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// ObserveAdjacency records one adjacency retrieval's latency. start is
+// OpStart's return; 0 (metrics disabled) is ignored.
+func (c *StatCounters) ObserveAdjacency(start int64) {
+	if start != 0 {
+		if h := c.adjacencyNs.Load(); h != nil {
+			h.Observe(time.Now().UnixNano() - start)
+		}
+	}
+}
+
+// ObserveStore records one StoreEdges call's latency.
+func (c *StatCounters) ObserveStore(start int64) {
+	if start != 0 {
+		if h := c.storeNs.Load(); h != nil {
+			h.Observe(time.Now().UnixNano() - start)
+		}
+	}
+}
 
 // Snapshot returns the counters as a plain Stats value. Each field is
 // read atomically; the triple is not a single consistent cut, which is

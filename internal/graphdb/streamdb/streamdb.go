@@ -34,6 +34,7 @@ func init() {
 			return nil, err
 		}
 		d.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
+		d.stats.EnableLatency(opts.Metrics, "stream")
 		return d, nil
 	})
 }
@@ -113,6 +114,8 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 	if d.closed {
 		return graphdb.ErrClosed
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveStore(start)
 	var rec [recordBytes]byte
 	for _, e := range edges {
 		if err := graph.ValidateEdge(e); err != nil {
@@ -201,6 +204,8 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	if d.closed {
 		return graphdb.ErrClosed
 	}
+	start := d.stats.OpStart()
+	defer d.stats.ObserveAdjacency(start)
 	d.stats.AddAdjacencyCall()
 	var scratch []graph.VertexID
 	if err := d.scan(func(src, dst graph.VertexID) {

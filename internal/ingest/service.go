@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"mssg/internal/cluster"
 	"mssg/internal/datacutter"
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
+	"mssg/internal/obs"
 )
 
 // Config parameterizes one ingestion run.
@@ -152,6 +154,36 @@ type ingestFilter struct {
 	copyIdx  int
 	blockSeq uint64
 	windows  [][]graph.Edge
+
+	// windowStart[d] is when window d received its first edge; the
+	// build-latency histogram measures first-append -> ship.
+	windowStart []time.Time
+	mBuild      *obs.Histogram
+	mShip       *obs.Histogram
+	mWinEdges   *obs.Histogram
+	mDestEdges  []*obs.Counter
+}
+
+// registerSkew publishes ingest.decluster_skew_x1000: the ratio of the
+// most-loaded destination's edge count to the mean, scaled by 1000
+// (1000 = perfectly balanced). Pull-mode, so the per-edge path only pays
+// the per-destination counter it already increments.
+func registerSkew(reg *obs.Registry, dests []*obs.Counter) {
+	reg.RegisterFunc("ingest.decluster_skew_x1000", func() int64 {
+		var total, max int64
+		for _, c := range dests {
+			v := c.Value()
+			total += v
+			if v > max {
+				max = v
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		mean := float64(total) / float64(len(dests))
+		return int64(float64(max) / mean * 1000)
+	})
 }
 
 // Init implements datacutter.Filter.
@@ -165,6 +197,16 @@ func (f *ingestFilter) Init(ctx *datacutter.Context) error {
 	}
 	f.copyIdx = ctx.Instance().Copy
 	f.windows = make([][]graph.Edge, f.cfg.Backends)
+	f.windowStart = make([]time.Time, f.cfg.Backends)
+	reg := obs.Default()
+	f.mBuild = reg.Histogram("ingest.window_build_ns")
+	f.mShip = reg.Histogram("ingest.window_ship_ns")
+	f.mWinEdges = reg.Histogram("ingest.window_edges")
+	f.mDestEdges = make([]*obs.Counter, f.cfg.Backends)
+	for d := range f.mDestEdges {
+		f.mDestEdges[d] = reg.Counter(fmt.Sprintf("ingest.dest_%02d.edges", d))
+	}
+	registerSkew(reg, f.mDestEdges)
 	return nil
 }
 
@@ -174,10 +216,14 @@ func (f *ingestFilter) ship(out *datacutter.StreamWriter, dest int) error {
 	if len(f.windows[dest]) == 0 {
 		return nil
 	}
+	f.mWinEdges.Observe(int64(len(f.windows[dest])))
+	f.mBuild.ObserveSince(f.windowStart[dest])
 	f.blockSeq++
 	payload := encodeWindow(uint32(f.copyIdx), f.blockSeq, f.windows[dest])
 	f.windows[dest] = f.windows[dest][:0]
 	f.stats.Blocks.Add(1)
+	shipStart := time.Now()
+	defer f.mShip.ObserveSince(shipStart)
 	var err error
 	for attempt := 0; attempt <= f.cfg.shipRetries(); attempt++ {
 		if attempt > 0 {
@@ -196,7 +242,11 @@ func (f *ingestFilter) route(out *datacutter.StreamWriter, e graph.Edge) error {
 	if dest < 0 || dest >= f.cfg.Backends {
 		return fmt.Errorf("ingest: policy %s routed to %d of %d", f.policy.Name(), dest, f.cfg.Backends)
 	}
+	if len(f.windows[dest]) == 0 {
+		f.windowStart[dest] = time.Now()
+	}
 	f.windows[dest] = append(f.windows[dest], e)
+	f.mDestEdges[dest].Inc()
 	if len(f.windows[dest]) >= f.cfg.windowEdges() {
 		return f.ship(out, dest)
 	}
@@ -250,11 +300,19 @@ type storeFilter struct {
 	stats *Stats
 
 	seen map[uint64]struct{}
+
+	mStore   *obs.Histogram
+	mApplied *obs.Counter
+	mDups    *obs.Counter
 }
 
 // Init implements datacutter.Filter.
 func (f *storeFilter) Init(ctx *datacutter.Context) error {
 	f.seen = make(map[uint64]struct{})
+	reg := obs.Default()
+	f.mStore = reg.Histogram("ingest.store_window_ns")
+	f.mApplied = reg.Counter("ingest.windows_applied")
+	f.mDups = reg.Counter("ingest.dup_windows")
 	return nil
 }
 
@@ -268,12 +326,16 @@ func (f *storeFilter) apply(data []byte) error {
 	key := windowKey(frontend, seq)
 	if _, dup := f.seen[key]; dup {
 		f.stats.DupBlocks.Add(1)
+		f.mDups.Inc()
 		return nil
 	}
 	f.seen[key] = struct{}{}
+	start := time.Now()
 	if err := f.db.StoreEdges(edges); err != nil {
 		return err
 	}
+	f.mStore.ObserveSince(start)
+	f.mApplied.Inc()
 	f.stats.EdgesStored.Add(int64(len(edges)))
 	return nil
 }

@@ -1,0 +1,196 @@
+// Package obs is MSSG's dependency-free observability layer: a metrics
+// registry (atomic counters, gauges, and fixed-bucket histograms with
+// percentile snapshots), a ring-buffered span/event tracer, and a live
+// HTTP server exposing both plus the Go runtime's pprof endpoints.
+//
+// The paper (chapter 5) evaluates MSSG entirely through throughput and
+// latency tables; this package is how the reproduction attributes that
+// time to filters, fabrics, backends, and BFS levels while a run is in
+// flight instead of inferring it from coarse after-the-fact Stats
+// snapshots.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost. Counters and gauges are single atomic adds;
+//     histogram observation is two atomic adds plus one bucket add.
+//     Instrumented code paths hold pre-resolved *Counter/*Histogram
+//     pointers so the registry map is never touched per operation.
+//  2. No dependencies. Everything is stdlib; the package imports
+//     nothing from the rest of the repo, so every layer (cluster,
+//     datacutter, graphdb, query) may depend on it without cycles.
+//  3. Always-on by default. Coarse-grained metrics (per window, per
+//     BFS level, per message) record unconditionally against the
+//     Default registry; only per-storage-op latency timing is gated
+//     (graphdb.Options.Metrics) because a clock read per adjacency
+//     retrieval is measurable on in-memory backends.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value (queue depths, skew ratios).
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of every Histogram: bucket i
+// holds observations v with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1),
+// covering 1ns..~9.2e18 with no configuration and no allocation. The
+// relative quantile error of power-of-two buckets is bounded by 2x,
+// which is ample for the order-of-magnitude attribution this layer is
+// for (and for the paper's tables, which span decades).
+const histBuckets = 64
+
+// Histogram is a fixed-bucket (power-of-two) histogram of int64
+// observations — latencies in nanoseconds by convention (name them
+// *_ns), but any non-negative magnitude works (fringe sizes, window
+// edge counts).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketFor maps an observation to its bucket index.
+func bucketFor(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v - 1)) // smallest i with 2^i >= v
+}
+
+// Observe records one observation. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketFor(v)].Add(1)
+}
+
+// ObserveSince records the elapsed time since start, in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(int64(time.Since(start)))
+	}
+}
+
+// HistSnapshot is a consistent-enough view of a Histogram: each field is
+// read atomically, and the percentile estimates are the upper bound of
+// the bucket containing that quantile (so P50 <= true p50 <= 2*P50).
+type HistSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Mean  int64 `json:"mean"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// bucketUpper returns the upper value bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i >= 63 {
+		return int64(1)<<62 + (int64(1)<<62 - 1) // MaxInt64 without overflow
+	}
+	return int64(1) << i
+}
+
+// Snapshot captures the histogram's counts and percentile estimates.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = s.Sum / s.Count
+	var cum [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+		cum[i] = total
+	}
+	// total may trail Count under concurrent writers; quantiles are
+	// computed against what the buckets actually held.
+	if total == 0 {
+		return s
+	}
+	q := func(p float64) int64 {
+		rank := int64(p * float64(total))
+		if rank < 1 {
+			rank = 1
+		}
+		for i := range cum {
+			if cum[i] >= rank {
+				u := bucketUpper(i)
+				if s.Max > 0 && u > s.Max {
+					return s.Max
+				}
+				return u
+			}
+		}
+		return s.Max
+	}
+	s.P50, s.P95, s.P99 = q(0.50), q(0.95), q(0.99)
+	return s
+}

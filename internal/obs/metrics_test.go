@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// nil receivers are no-ops, so call sites never need enabled checks.
+	var nc *Counter
+	nc.Inc()
+	nc.Add(5)
+	if nc.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	var ng *Gauge
+	ng.Set(9)
+	if ng.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	var nh *Histogram
+	nh.Observe(5)
+	nh.ObserveSince(time.Now())
+	if s := nh.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram should snapshot empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	// 100 observations of 100ns, 5 of ~10µs, 1 of ~1ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(10_000)
+	}
+	h.Observe(1_000_000)
+	s := h.Snapshot()
+	if s.Count != 106 {
+		t.Fatalf("count = %d, want 106", s.Count)
+	}
+	if s.Max != 1_000_000 {
+		t.Fatalf("max = %d, want 1000000", s.Max)
+	}
+	// Power-of-two buckets bound each estimate to [v, 2v).
+	if s.P50 < 100 || s.P50 >= 200 {
+		t.Fatalf("p50 = %d, want in [100,200)", s.P50)
+	}
+	if s.P95 < 100 || s.P95 >= 200 {
+		t.Fatalf("p95 = %d, want in [100,200)", s.P95)
+	}
+	if s.P99 < 10_000 || s.P99 >= 20_000 {
+		t.Fatalf("p99 = %d, want in [10000,20000)", s.P99)
+	}
+	if s.Mean <= 0 || s.Sum != 100*100+5*10_000+1_000_000 {
+		t.Fatalf("sum/mean wrong: %+v", s)
+	}
+}
+
+func TestHistogramMaxClampsEstimates(t *testing.T) {
+	var h Histogram
+	h.Observe(5) // bucket upper bound is 8; max is 5
+	s := h.Snapshot()
+	if s.P50 != 5 || s.P99 != 5 {
+		t.Fatalf("estimates should clamp to max: %+v", s)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a.b")
+	c2 := r.Counter("a.b")
+	if c1 != c2 {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.Counter("a.c") == c1 {
+		t.Fatal("distinct names must return distinct counters")
+	}
+	if r.Gauge("a.b") == nil || r.Histogram("a.b") == nil {
+		t.Fatal("kinds are namespaced independently")
+	}
+	c1.Add(3)
+	r.Gauge("g").Set(-2)
+	r.Histogram("h_ns").Observe(1000)
+	r.RegisterFunc("pull", func() int64 { return 99 })
+
+	s := r.Snapshot()
+	if s.Counters["a.b"] != 3 || s.Counters["pull"] != 99 {
+		t.Fatalf("counters snapshot wrong: %v", s.Counters)
+	}
+	if s.Gauges["g"] != -2 {
+		t.Fatalf("gauges snapshot wrong: %v", s.Gauges)
+	}
+	if s.Histograms["h_ns"].Count != 1 {
+		t.Fatalf("histograms snapshot wrong: %v", s.Histograms)
+	}
+}
+
+func TestRegistryWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(7)
+	r.Histogram("y_ns").Observe(123)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["x"] != 7 || s.Histograms["y_ns"].Count != 1 {
+		t.Fatalf("round trip lost data: %+v", s)
+	}
+}
+
+// TestConcurrentMetrics hammers one counter, gauge, and histogram from
+// many goroutines while snapshots run, under -race.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			h := r.Histogram("h")
+			g := r.Gauge("g")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(int64(i % 1000))
+				g.Add(1)
+				g.Add(-1)
+				if i%500 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != workers*iters {
+		t.Fatalf("counter = %d, want %d", s.Counters["c"], workers*iters)
+	}
+	if s.Histograms["h"].Count != workers*iters {
+		t.Fatalf("hist count = %d, want %d", s.Histograms["h"].Count, workers*iters)
+	}
+	if s.Gauges["g"] != 0 {
+		t.Fatalf("gauge = %d, want 0", s.Gauges["g"])
+	}
+}

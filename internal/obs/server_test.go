@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test.hits").Add(5)
+	tr := NewTracer(8)
+	tr.Emit("boot", nil)
+
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["test.hits"] != 5 {
+		t.Fatalf("/metrics counters = %v", snap.Counters)
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	var texp struct {
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(body, &texp); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(texp.Events) != 1 || texp.Events[0].Name != "boot" {
+		t.Fatalf("/trace events = %+v", texp.Events)
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/"} {
+		if code, _ := get(t, base+path); code != http.StatusOK {
+			t.Fatalf("%s status %d", path, code)
+		}
+	}
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope status %d, want 404", code)
+	}
+}
+
+func TestServeNilDefaults(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, "http://"+srv.Addr()+"/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var nilSrv *Server
+	if nilSrv.Close() != nil || nilSrv.Addr() != "" {
+		t.Fatal("nil server should be inert")
+	}
+}

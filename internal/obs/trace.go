@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one tracer record: an instantaneous event, or a completed
+// span (Kind "span", with a duration and optional parent). Attrs maps
+// marshal with sorted keys, so exported JSON is deterministic.
+type Event struct {
+	Seq      uint64            `json:"seq"`
+	UnixNano int64             `json:"unix_nano"`
+	Name     string            `json:"name"`
+	Kind     string            `json:"kind"` // "event" | "span"
+	SpanID   uint64            `json:"span_id,omitempty"`
+	ParentID uint64            `json:"parent_id,omitempty"`
+	DurNs    int64             `json:"dur_ns,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer is a fixed-capacity ring buffer of Events. Emission is
+// mutex-guarded and allocation-light; when the ring is full the oldest
+// record is overwritten and Dropped is incremented, so a tracer can run
+// for the whole life of a process with bounded memory. All methods are
+// safe on a nil *Tracer (no-ops), so instrumentation sites never need
+// an enabled check.
+type Tracer struct {
+	mu      sync.Mutex
+	cap     int
+	buf     []Event // ring storage, len == cap once full
+	start   int     // index of the oldest record
+	seq     uint64
+	spanSeq uint64
+	dropped int64
+	now     func() time.Time
+}
+
+// DefaultTracerCap is the retention of the process-wide tracer: deep
+// enough to hold every BFS level span and fault event of a typical
+// experiment sweep, small enough to be invisible in memory profiles.
+const DefaultTracerCap = 4096
+
+// NewTracer returns a tracer retaining the most recent cap records
+// (cap <= 0 selects DefaultTracerCap).
+func NewTracer(cap int) *Tracer {
+	if cap <= 0 {
+		cap = DefaultTracerCap
+	}
+	return &Tracer{cap: cap, now: time.Now}
+}
+
+var defaultTracer = NewTracer(DefaultTracerCap)
+
+// DefaultTracer returns the process-wide tracer every built-in
+// instrumentation site records into.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// SetClock replaces the tracer's time source. For tests (golden JSON
+// export needs deterministic timestamps); not safe to call while other
+// goroutines are emitting.
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t != nil {
+		t.now = now
+	}
+}
+
+// push appends one record, overwriting the oldest when full.
+func (t *Tracer) push(e Event) {
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.start] = e
+		t.start = (t.start + 1) % t.cap
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Emit records an instantaneous event.
+func (t *Tracer) Emit(name string, attrs map[string]string) {
+	if t == nil {
+		return
+	}
+	t.push(Event{UnixNano: t.now().UnixNano(), Name: name, Kind: "event", Attrs: attrs})
+}
+
+// Span is an in-flight operation started by StartSpan. It is recorded
+// into the ring only when End is called, stamped with its duration.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  map[string]string
+}
+
+// StartSpan opens a root span. The returned Span is nil (and safe to
+// use) when the tracer is nil.
+func (t *Tracer) StartSpan(name string, attrs map[string]string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.spanSeq++
+	id := t.spanSeq
+	t.mu.Unlock()
+	return &Span{t: t, id: id, name: name, start: t.now(), attrs: attrs}
+}
+
+// Child opens a nested span recording this span as its parent.
+func (s *Span) Child(name string, attrs map[string]string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.t.StartSpan(name, attrs)
+	c.parent = s.id
+	return c
+}
+
+// End records the span with its measured duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.t.now()
+	s.t.push(Event{
+		UnixNano: now.UnixNano(),
+		Name:     s.name,
+		Kind:     "span",
+		SpanID:   s.id,
+		ParentID: s.parent,
+		DurNs:    now.Sub(s.start).Nanoseconds(),
+		Attrs:    s.attrs,
+	})
+}
+
+// Snapshot returns the retained records, oldest first.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	for i := 0; i < len(t.buf); i++ {
+		out = append(out, t.buf[(t.start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Dropped returns how many records the ring has overwritten.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// traceExport is the JSON schema of WriteJSON.
+type traceExport struct {
+	Dropped int64   `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// WriteJSON writes the retained records as indented JSON — the payload
+// of the /trace endpoint.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	exp := traceExport{Dropped: t.Dropped(), Events: t.Snapshot()}
+	if exp.Events == nil {
+		exp.Events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(exp)
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock steps a deterministic clock by 1ms per call.
+func fixedClock() func() time.Time {
+	base := time.Unix(1700000000, 0).UTC()
+	n := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * time.Millisecond)
+		n++
+		return t
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetClock(fixedClock())
+
+	root := tr.StartSpan("bfs", map[string]string{"src": "1"})
+	child := root.Child("level", map[string]string{"level": "0"})
+	grand := child.Child("expand", nil)
+	grand.End()
+	child.End()
+	root.End()
+	tr.Emit("done", nil)
+
+	evs := tr.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	// Spans record at End: grand, child, root, then the event.
+	g, c, r, e := evs[0], evs[1], evs[2], evs[3]
+	if g.Name != "expand" || c.Name != "level" || r.Name != "bfs" || e.Name != "done" {
+		t.Fatalf("order wrong: %v %v %v %v", g.Name, c.Name, r.Name, e.Name)
+	}
+	if r.ParentID != 0 {
+		t.Fatalf("root has parent %d", r.ParentID)
+	}
+	if c.ParentID != r.SpanID {
+		t.Fatalf("child parent = %d, want %d", c.ParentID, r.SpanID)
+	}
+	if g.ParentID != c.SpanID {
+		t.Fatalf("grandchild parent = %d, want %d", g.ParentID, c.SpanID)
+	}
+	if r.Kind != "span" || e.Kind != "event" {
+		t.Fatalf("kinds wrong: %q %q", r.Kind, e.Kind)
+	}
+	if r.DurNs <= c.DurNs || c.DurNs <= g.DurNs {
+		t.Fatalf("durations not nested: root=%d child=%d grand=%d", r.DurNs, c.DurNs, g.DurNs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("seq not increasing: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestRetentionCap(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		tr.Emit(fmt.Sprintf("e%d", i), nil)
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d, want 8", len(evs))
+	}
+	if tr.Dropped() != 12 {
+		t.Fatalf("dropped = %d, want 12", tr.Dropped())
+	}
+	// The newest 8 survive, oldest first.
+	for i, e := range evs {
+		if want := fmt.Sprintf("e%d", 12+i); e.Name != want {
+			t.Fatalf("evs[%d] = %q, want %q", i, e.Name, want)
+		}
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit("x", nil)
+	s := tr.StartSpan("y", nil)
+	s.Child("z", nil).End()
+	s.End()
+	if tr.Snapshot() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer should be empty")
+	}
+}
+
+// TestConcurrentEmit exercises emission, spans, and snapshots from many
+// goroutines under -race.
+func TestConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sp := tr.StartSpan("op", nil)
+				tr.Emit("tick", nil)
+				sp.End()
+				if i%100 == 0 {
+					_ = tr.Snapshot()
+					_ = tr.Dropped()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(len(tr.Snapshot())) + tr.Dropped()
+	if want := int64(workers * iters * 2); total != want {
+		t.Fatalf("retained+dropped = %d, want %d", total, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetClock(fixedClock())
+	sp := tr.StartSpan("ingest.window", map[string]string{"dest": "2"})
+	tr.Emit("fault.drop", map[string]string{"ch": "0x100"})
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "dropped": 0,
+  "events": [
+    {
+      "seq": 1,
+      "unix_nano": 1700000000001000000,
+      "name": "fault.drop",
+      "kind": "event",
+      "attrs": {
+        "ch": "0x100"
+      }
+    },
+    {
+      "seq": 2,
+      "unix_nano": 1700000000002000000,
+      "name": "ingest.window",
+      "kind": "span",
+      "span_id": 1,
+      "dur_ns": 2000000,
+      "attrs": {
+        "dest": "2"
+      }
+    }
+  ]
+}
+`
+	if buf.String() != golden {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), golden)
+	}
+	// And it must round-trip as valid JSON.
+	var exp struct {
+		Dropped int64   `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &exp); err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Events) != 2 || exp.Events[1].DurNs != 2_000_000 {
+		t.Fatalf("round trip wrong: %+v", exp)
+	}
+}

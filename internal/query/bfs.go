@@ -4,10 +4,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
+	"time"
 
 	"mssg/internal/cluster"
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
+	"mssg/internal/obs"
 )
 
 // ErrPartialCoverage marks a BFS that failed because a back-end node died
@@ -136,6 +139,19 @@ type BFSResult struct {
 	Path []graph.VertexID
 	// Levels is the number of BFS levels executed.
 	Levels int32
+	// LevelStats is the per-level breakdown: fringe size (summed across
+	// nodes) and expansion/total latency (max across nodes, since the
+	// level barrier makes the slowest node the level's wall-clock).
+	LevelStats []LevelStat
+}
+
+// LevelStat describes one BFS level. Fields marshal directly into
+// mssg-bench's BENCH_*.json per-level breakdown.
+type LevelStat struct {
+	Level    int32 `json:"level"`
+	Fringe   int64 `json:"fringe"`
+	ExpandNs int64 `json:"expand_ns"`
+	TotalNs  int64 `json:"total_ns"`
 }
 
 // fringe wire format: kind byte, then count little-endian uint64 ids.
@@ -190,12 +206,26 @@ func ParallelBFS(f cluster.Fabric, dbs []graphdb.Graph, cfg BFSConfig) (BFSResul
 	combined.VerticesVisited = 0
 	combined.FringeSent = 0
 	combined.Path = nil
+	combined.LevelStats = nil
 	for _, r := range results {
 		combined.EdgesTraversed += r.EdgesTraversed
 		combined.VerticesVisited += r.VerticesVisited
 		combined.FringeSent += r.FringeSent
 		if r.Path != nil {
 			combined.Path = r.Path
+		}
+		for i, ls := range r.LevelStats {
+			if i >= len(combined.LevelStats) {
+				combined.LevelStats = append(combined.LevelStats, LevelStat{Level: ls.Level})
+			}
+			c := &combined.LevelStats[i]
+			c.Fringe += ls.Fringe
+			if ls.ExpandNs > c.ExpandNs {
+				c.ExpandNs = ls.ExpandNs
+			}
+			if ls.TotalNs > c.TotalNs {
+				c.TotalNs = ls.TotalNs
+			}
 		}
 	}
 	return combined, nil
@@ -221,6 +251,11 @@ func bfsNode(ep cluster.Endpoint, db graphdb.Graph, cfg BFSConfig) (BFSResult, e
 		res, err = bfsLevelSync(ep, db, visited, cfg)
 	}
 	if err != nil && (errors.Is(err, cluster.ErrNodeDown) || errors.Is(err, cluster.ErrTimeout)) {
+		qm().partial.Inc()
+		obs.DefaultTracer().Emit("bfs.partial_coverage", map[string]string{
+			"node":  strconv.Itoa(int(ep.ID())),
+			"level": strconv.Itoa(int(res.Levels)),
+		})
 		err = fmt.Errorf("%w: %w", ErrPartialCoverage, err)
 	}
 	return res, err
@@ -289,9 +324,21 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 	filterOp, filterRef := cfg.Filter.metaOp()
 	nw := cfg.expandWorkers(db)
 	adj := graph.NewAdjList(1024)
+	met := qm()
+	met.runs.Inc()
+	runSpan := obs.DefaultTracer().StartSpan("bfs.levelsync", map[string]string{
+		"node": strconv.Itoa(int(self)),
+	})
+	defer runSpan.End()
 	var levcnt int32
 	for levcnt < cfg.maxLevels() {
 		levcnt++
+		levelStart := time.Now()
+		met.fringe.Observe(int64(len(fringe)))
+		lvlSpan := runSpan.Child("bfs.level", map[string]string{
+			"level":  strconv.Itoa(int(levcnt)),
+			"fringe": strconv.Itoa(len(fringe)),
+		})
 		if cfg.Prefetch && prefetcher != nil {
 			if _, err := prefetcher.PrefetchAdjacency(fringe); err != nil {
 				return res, err
@@ -398,6 +445,11 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 			}
 		}
 
+		expandNs := time.Since(levelStart).Nanoseconds()
+		met.expand.Observe(expandNs)
+		met.levelHist(levcnt).Observe(expandNs)
+		exchangeStart := time.Now()
+
 		// Exchange: send each peer its share (possibly empty), then a
 		// done marker; collect peers' chunks until all markers arrive.
 		for q := 0; q < p; q++ {
@@ -467,6 +519,14 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 				return res, fmt.Errorf("query: unknown fringe frame kind %d", msg.Payload[0])
 			}
 		}
+		met.exchange.ObserveSince(exchangeStart)
+		lvlSpan.End()
+		res.LevelStats = append(res.LevelStats, LevelStat{
+			Level:    levcnt,
+			Fringe:   int64(len(fringe)),
+			ExpandNs: expandNs,
+			TotalNs:  time.Since(levelStart).Nanoseconds(),
+		})
 
 		// Level barrier + termination checks.
 		foundGlobal, err := coll.AllReduceMax(foundLocal)

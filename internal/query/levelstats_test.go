@@ -1,0 +1,48 @@
+package query
+
+import (
+	"testing"
+
+	"mssg/internal/cluster"
+)
+
+// TestBFSLevelStats: on a 9-edge chain, every level's fringe is exactly
+// one vertex and the per-level breakdown must mirror Levels, for both
+// algorithms.
+func TestBFSLevelStats(t *testing.T) {
+	edges := chainEdges(9)
+	for _, pipelined := range []bool{false, true} {
+		name := "levelsync"
+		if pipelined {
+			name = "pipelined"
+		}
+		t.Run(name, func(t *testing.T) {
+			f := cluster.NewInProc(2, 0)
+			defer f.Close()
+			dbs := partition(t, edges, 2)
+			res, err := ParallelBFS(f, dbs, BFSConfig{Source: 0, Dest: 9, Pipelined: pipelined})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found || res.Levels != 9 {
+				t.Fatalf("found=%v levels=%d, want found at level 9", res.Found, res.Levels)
+			}
+			if len(res.LevelStats) != int(res.Levels) {
+				t.Fatalf("got %d level stats for %d levels", len(res.LevelStats), res.Levels)
+			}
+			for i, ls := range res.LevelStats {
+				if ls.Level != int32(i+1) {
+					t.Fatalf("LevelStats[%d].Level = %d, want %d", i, ls.Level, i+1)
+				}
+				// A chain's fringe is one vertex per level, summed across
+				// both nodes (the non-owner holds an empty fringe).
+				if ls.Fringe != 1 {
+					t.Fatalf("level %d fringe = %d, want 1", ls.Level, ls.Fringe)
+				}
+				if ls.ExpandNs < 0 || ls.TotalNs < ls.ExpandNs {
+					t.Fatalf("level %d timings inconsistent: %+v", ls.Level, ls)
+				}
+			}
+		})
+	}
+}

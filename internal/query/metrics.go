@@ -1,0 +1,64 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"mssg/internal/obs"
+)
+
+// bfsLevelHistCap bounds the per-level histogram family
+// (query.bfs.level_NN.expand_ns). Small-world graphs finish in a handful
+// of levels; anything deeper folds into the last histogram so metric
+// cardinality stays fixed.
+const bfsLevelHistCap = 16
+
+// queryMetrics is the pre-resolved metric set of the query service,
+// built once per process (see internal/obs package doc: hot paths never
+// touch the registry).
+type queryMetrics struct {
+	runs       *obs.Counter   // query.bfs.runs
+	partial    *obs.Counter   // query.bfs.partial_coverage
+	fringe     *obs.Histogram // query.bfs.fringe_size (per node per level)
+	expand     *obs.Histogram // query.bfs.level_expand_ns
+	exchange   *obs.Histogram // query.bfs.level_exchange_ns
+	contention *obs.Counter   // query.visited.contention (striped-lock waits)
+	levels     [bfsLevelHistCap]*obs.Histogram
+}
+
+var (
+	qmOnce sync.Once
+	qmVal  *queryMetrics
+)
+
+func qm() *queryMetrics {
+	qmOnce.Do(func() {
+		r := obs.Default()
+		m := &queryMetrics{
+			runs:       r.Counter("query.bfs.runs"),
+			partial:    r.Counter("query.bfs.partial_coverage"),
+			fringe:     r.Histogram("query.bfs.fringe_size"),
+			expand:     r.Histogram("query.bfs.level_expand_ns"),
+			exchange:   r.Histogram("query.bfs.level_exchange_ns"),
+			contention: r.Counter("query.visited.contention"),
+		}
+		for i := range m.levels {
+			m.levels[i] = r.Histogram(fmt.Sprintf("query.bfs.level_%02d.expand_ns", i+1))
+		}
+		qmVal = m
+	})
+	return qmVal
+}
+
+// levelHist returns the expansion-latency histogram for BFS level lev
+// (1-based), folding deep levels into the last slot.
+func (m *queryMetrics) levelHist(lev int32) *obs.Histogram {
+	i := int(lev) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= bfsLevelHistCap {
+		i = bfsLevelHistCap - 1
+	}
+	return m.levels[i]
+}

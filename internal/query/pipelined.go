@@ -2,11 +2,13 @@ package query
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"mssg/internal/cluster"
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
+	"mssg/internal/obs"
 )
 
 // bfsPipelined is Algorithm 2: identical level structure to Algorithm 1,
@@ -42,9 +44,21 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 	filterOp, filterRef := cfg.Filter.metaOp()
 	nw := cfg.expandWorkers(db)
 	adj := graph.NewAdjList(1024)
+	met := qm()
+	met.runs.Inc()
+	runSpan := obs.DefaultTracer().StartSpan("bfs.pipelined", map[string]string{
+		"node": strconv.Itoa(int(self)),
+	})
+	defer runSpan.End()
 	var levcnt int32
 	for levcnt < cfg.maxLevels() {
 		levcnt++
+		levelStart := time.Now()
+		met.fringe.Observe(int64(len(fringe)))
+		lvlSpan := runSpan.Child("bfs.level", map[string]string{
+			"level":  strconv.Itoa(int(levcnt)),
+			"fringe": strconv.Itoa(len(fringe)),
+		})
 		if cfg.Prefetch && prefetcher != nil {
 			if _, err := prefetcher.PrefetchAdjacency(fringe); err != nil {
 				return res, err
@@ -215,6 +229,14 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 			}
 		}
 
+		// Expansion overlapped its sends, so expand_ns here covers the
+		// whole compute+ship phase; exchange_ns covers only the end-of-
+		// level flush and drain below.
+		expandNs := time.Since(levelStart).Nanoseconds()
+		met.expand.Observe(expandNs)
+		met.levelHist(levcnt).Observe(expandNs)
+		exchangeStart := time.Now()
+
 		// Flush remaining buckets, signal level completion, then drain
 		// until every peer has signalled (FIFO per sender guarantees all
 		// their chunks precede their marker).
@@ -245,6 +267,15 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 				return res, fmt.Errorf("query: unknown fringe frame kind %d", msg.Payload[0])
 			}
 		}
+
+		met.exchange.ObserveSince(exchangeStart)
+		lvlSpan.End()
+		res.LevelStats = append(res.LevelStats, LevelStat{
+			Level:    levcnt,
+			Fringe:   int64(len(fringe)),
+			ExpandNs: expandNs,
+			TotalNs:  time.Since(levelStart).Nanoseconds(),
+		})
 
 		foundGlobal, err := coll.AllReduceMax(foundLocal)
 		if err != nil {

@@ -183,10 +183,16 @@ func NewShardedVisited() *ShardedVisited {
 	return s
 }
 
-// MarkIfNew implements Visited; safe for concurrent use.
+// MarkIfNew implements Visited; safe for concurrent use. A failed
+// TryLock counts one contended stripe acquisition — the cheap signal
+// behind query.visited.contention (a TryLock is a single CAS; the
+// blocking Lock that follows is what the workers would have paid anyway).
 func (s *ShardedVisited) MarkIfNew(v graph.VertexID, level int32) (bool, error) {
 	sh := &s.shards[uint64(v)%visitedShards]
-	sh.mu.Lock()
+	if !sh.mu.TryLock() {
+		qm().contention.Inc()
+		sh.mu.Lock()
+	}
 	if _, seen := sh.levels[v]; seen {
 		sh.mu.Unlock()
 		return false, nil

@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"mssg/internal/obs"
 )
 
 // Store is the backing storage for one space. *blockio.Store satisfies it.
@@ -69,6 +71,29 @@ type BlockCache struct {
 	// without scanning.
 	pinned int64
 	stats  Stats
+
+	// Mirror counters, nil until EnableMetrics (obs counters are nil-safe
+	// no-ops). Shared by label, so every cache instance opened under the
+	// same label — one per backend node — accumulates into one global
+	// hit/miss view.
+	mHits, mMisses, mEvictions, mWriteBacks *obs.Counter
+}
+
+// EnableMetrics mirrors the cache's counters into reg under
+// cache.<label>.{hits,misses,evictions,writebacks}. Counters are shared
+// across instances with the same label; residency and pins stay
+// per-instance in Stats() (a global gauge over N caches is meaningless).
+func (c *BlockCache) EnableMetrics(reg *obs.Registry, label string) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := "cache." + label
+	c.mHits = reg.Counter(p + ".hits")
+	c.mMisses = reg.Counter(p + ".misses")
+	c.mEvictions = reg.Counter(p + ".evictions")
+	c.mWriteBacks = reg.Counter(p + ".writebacks")
 }
 
 // New creates a cache with the given byte budget. A budget of 0 disables
@@ -131,11 +156,13 @@ func (c *BlockCache) evictLocked() error {
 				return err
 			}
 			c.stats.WriteBacks++
+			c.mWriteBacks.Inc()
 		}
 		c.unlink(victim)
 		delete(c.entries, victim.key)
 		c.size -= int64(len(victim.buf))
 		c.stats.Evictions++
+		c.mEvictions.Inc()
 	}
 	return nil
 }
@@ -177,12 +204,14 @@ func (h *Handle) Release() error {
 				return err
 			}
 			h.c.stats.WriteBacks++
+			h.c.mWriteBacks.Inc()
 			h.e.dirty = false
 		}
 		h.c.unlink(h.e)
 		delete(h.c.entries, h.e.key)
 		h.c.size -= int64(len(h.e.buf))
 		h.c.stats.Evictions++
+		h.c.mEvictions.Inc()
 	}
 	return nil
 }
@@ -201,6 +230,7 @@ func (c *BlockCache) Get(space uint32, block int64) (*Handle, error) {
 	k := key{space: space, block: block}
 	if e, hit := c.entries[k]; hit {
 		c.stats.Hits++
+		c.mHits.Inc()
 		if e.pins == 0 {
 			c.pinned++
 		}
@@ -210,6 +240,7 @@ func (c *BlockCache) Get(space uint32, block int64) (*Handle, error) {
 		return &Handle{c: c, e: e}, nil
 	}
 	c.stats.Misses++
+	c.mMisses.Inc()
 	buf := make([]byte, store.BlockSize())
 	// Drop the lock during the disk read so other blocks stay accessible.
 	c.mu.Unlock()
@@ -253,6 +284,7 @@ func (c *BlockCache) Flush() error {
 		}
 		e.dirty = false
 		c.stats.WriteBacks++
+		c.mWriteBacks.Inc()
 	}
 	return nil
 }

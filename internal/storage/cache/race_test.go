@@ -3,6 +3,8 @@ package cache
 import (
 	"sync"
 	"testing"
+
+	"mssg/internal/obs"
 )
 
 // TestConcurrentGetStats hammers Get/MarkDirty/Release from many
@@ -25,6 +27,9 @@ func TestConcurrentGetStats(t *testing.T) {
 	if err := c.AttachSpace(0, s); err != nil {
 		t.Fatal(err)
 	}
+	// Private registry so this test's mirror assertions are isolated.
+	reg := obs.NewRegistry()
+	c.EnableMetrics(reg, "racetest")
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -61,7 +66,11 @@ func TestConcurrentGetStats(t *testing.T) {
 					return
 				}
 				if i%3 == 0 {
-					h.Data()[0] = byte(w)
+					// Two workers may legitimately pin the same block at
+					// once, so each writes its own word-aligned offset:
+					// concurrent mutation of one byte through two handles
+					// would be a caller-side data race, not a cache bug.
+					h.Data()[w*8] = byte(i)
 					h.MarkDirty()
 				}
 				if err := h.Release(); err != nil {
@@ -84,6 +93,22 @@ func TestConcurrentGetStats(t *testing.T) {
 	}
 	if st.Resident != c.Size() {
 		t.Fatalf("Stats.Resident = %d, Size() = %d", st.Resident, c.Size())
+	}
+	// 32 working-set blocks against a 4-block budget must have churned.
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions under a 4-block budget")
+	}
+	// The obs mirror must agree exactly with the under-lock counters.
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"cache.racetest.hits":       st.Hits,
+		"cache.racetest.misses":     st.Misses,
+		"cache.racetest.evictions":  st.Evictions,
+		"cache.racetest.writebacks": st.WriteBacks,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
 	}
 	if err := c.Flush(); err != nil {
 		t.Fatal(err)
