@@ -1,13 +1,14 @@
 # Developer/CI entry points. `make ci` is the gate every change must
 # pass: vet, build, the full test suite under the race detector (the
-# concurrency-conformance suite only means something with -race), a
-# short fuzz pass over the edge codec, and the headline benchmarks.
+# concurrency-conformance suite only means something with -race), the
+# chaos and crash conformance suites, a short fuzz pass over the wire
+# and storage codecs, and the headline benchmarks.
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz chaos bench bench-json bench-workers clean
+.PHONY: ci vet build test race fuzz chaos crash scrub bench bench-json bench-workers clean
 
-ci: vet build race chaos fuzz bench-workers
+ci: vet build race chaos crash fuzz bench-workers
 
 vet:
 	$(GO) vet ./...
@@ -15,7 +16,7 @@ vet:
 build:
 	$(GO) build ./...
 
-test: chaos
+test: chaos crash
 	$(GO) test ./...
 
 race:
@@ -26,12 +27,29 @@ race:
 chaos:
 	MSSG_CHAOS_SEEDS=1,7,42 $(GO) test -race -count=1 -run 'TestChaos' ./internal/chaos
 
-# Short fuzz pass over the edge codec and the TCP frame decoder
-# (regression corpus + 10s of exploration per target).
+# Crash-conformance suite: kill the durable store at every filesystem
+# operation under four torn-write policies, recover, and verify against
+# the oracle (DESIGN.md "Durability & crash recovery"). Set
+# MSSG_CRASH_STRIDE=N to subsample the sweep.
+crash:
+	$(GO) test -race -count=1 -run 'TestKillAtEverySyncpoint|TestCrashDuringRecovery|TestTornBlockNeverReadsValid' ./internal/crash
+	$(GO) test -race -count=1 -run 'TestIngestCrashResumeSweep' ./internal/ingest
+
+# Offline checksum scrub of every node database under DIR (quarantines
+# and repairs corrupt blocks): make scrub DIR=/data/mssg
+scrub:
+	$(GO) run ./cmd/mssg-bench -check $(DIR)
+
+# Short fuzz pass over the wire and storage codecs (regression corpus +
+# 10s of exploration per target).
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEdgeRoundTrip -fuzztime 10s ./internal/graph
 	$(GO) test -run xxx -fuzz FuzzEdgeDecodeNoPanic -fuzztime 10s ./internal/graph
 	$(GO) test -run xxx -fuzz FuzzTCPFrameDecode -fuzztime 10s ./internal/cluster
+	$(GO) test -run xxx -fuzz FuzzRecordScan -fuzztime 10s ./internal/storage/wal
+	$(GO) test -run xxx -fuzz FuzzManifestDecode -fuzztime 10s ./internal/graphdb/grdb
+	$(GO) test -run xxx -fuzz FuzzStateRecordDecode -fuzztime 10s ./internal/graphdb/grdb
+	$(GO) test -run xxx -fuzz FuzzWALRecordDecode -fuzztime 10s ./internal/graphdb/reldb
 
 # Paper figure/table regenerations (slow; one full experiment per bench).
 bench:

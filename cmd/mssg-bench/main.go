@@ -14,10 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
 	"mssg/internal/experiments"
+	"mssg/internal/graphdb"
+	"mssg/internal/graphdb/grdb"
 	"mssg/internal/obs"
 )
 
@@ -37,8 +40,10 @@ func main() {
 		"serve live /metrics, /trace and /debug/pprof on this address during the run; implies -json auto")
 	jsonOut := flag.String("json", "",
 		"write a machine-readable BENCH report: a path, or \"auto\" for BENCH_<timestamp>.json")
+	check := flag.Bool("check", false,
+		"instead of an experiment, scrub every grDB node database under the <dir> argument: verify all block checksums, quarantine and repair corrupt blocks, and run the structural check")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>|all\n\nexperiments:\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>|all\n       %s -check <dir>\n\nexperiments:\n", os.Args[0], os.Args[0])
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-9s  %s\n", e.ID, e.Desc)
 		}
@@ -49,6 +54,11 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *check {
+		runCheck(flag.Arg(0))
+		return
 	}
 
 	workDir := *dir
@@ -146,6 +156,40 @@ func main() {
 		resMu.Unlock()
 	}
 	dump(false)
+}
+
+// runCheck scrubs every grDB node database under root (the layout
+// mssg-ingest and the experiments produce: root/node000, root/node001,
+// ...): block checksums are verified, corrupt blocks quarantined and
+// repaired, and the structural check run on each instance.
+func runCheck(root string) {
+	reports, err := grdb.ScrubDir(root, graphdb.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if len(reports) == 0 {
+		fatal(fmt.Errorf("no grDB databases found under %s", root))
+	}
+	names := make([]string, 0, len(reports))
+	for name := range reports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var scanned, corrupt int64
+	for _, name := range names {
+		rep := reports[name]
+		scanned += rep.BlocksScanned
+		corrupt += rep.CorruptBlocks
+		fmt.Printf("%s: %d blocks scanned, %d corrupt\n", name, rep.BlocksScanned, rep.CorruptBlocks)
+		for _, q := range rep.Quarantined {
+			fmt.Printf("  quarantined %s\n", q)
+		}
+	}
+	if corrupt > 0 {
+		fmt.Printf("scrub: repaired %d corrupt blocks of %d (raw bytes preserved in quarantine/)\n", corrupt, scanned)
+		os.Exit(1)
+	}
+	fmt.Printf("scrub OK: %d databases, %d blocks, all checksums valid\n", len(reports), scanned)
 }
 
 func fatal(err error) {

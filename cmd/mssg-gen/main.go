@@ -18,6 +18,7 @@ import (
 
 	"mssg/internal/gen"
 	"mssg/internal/graph"
+	"mssg/internal/graphdb"
 	"mssg/internal/obs"
 )
 
@@ -31,6 +32,10 @@ func main() {
 	format := flag.String("format", "ascii", "output format: ascii or binary")
 	out := flag.String("out", "-", "output file (- for stdout)")
 	stats := flag.Bool("stats", false, "print Table 5.1-style statistics to stderr")
+	durability := flag.String("durability", "none",
+		"none or full: full fsyncs the output file before exit so the edge list survives a crash")
+	verifyOnOpen := flag.Bool("verify-on-open", false,
+		"re-open and re-parse the written file, failing if any record is unreadable or the edge count differs")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve live /metrics and /debug/pprof on this address while generating")
 	flag.Parse()
@@ -55,12 +60,21 @@ func main() {
 		cfg = gen.Config{Name: "custom", Vertices: *vertices, M: *m, HubFraction: *hub, Seed: *seed}
 	}
 
+	if _, err := graphdb.ParseDurability(*durability); err != nil {
+		fatal(err)
+	}
+	if (*durability == "full" || *verifyOnOpen) && *out == "-" {
+		fatal(fmt.Errorf("-durability full and -verify-on-open need -out to name a file"))
+	}
+
 	var sink io.Writer = os.Stdout
+	var outFile *os.File
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
+		outFile = f
 		defer func() {
 			if err := f.Close(); err != nil {
 				fatal(err)
@@ -115,8 +129,19 @@ func main() {
 	if err := w.Flush(); err != nil {
 		fatal(err)
 	}
+	if *durability == "full" && outFile != nil {
+		if err := outFile.Sync(); err != nil {
+			fatal(err)
+		}
+	}
 	if stop.Load() {
 		fmt.Fprintf(os.Stderr, "mssg-gen: interrupted after %d edges; output flushed\n", edges)
+	}
+	if *verifyOnOpen {
+		if err := verifyOutput(*out, *format, edges); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mssg-gen: verified %d edges re-parse cleanly\n", edges)
 	}
 
 	if *stats {
@@ -124,6 +149,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, gen.StatsHeader)
 		fmt.Fprintln(os.Stderr, s.String())
 	}
+}
+
+// verifyOutput re-opens the written edge list and re-parses every record,
+// checking the count matches what was generated.
+func verifyOutput(path, format string, want int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var r graph.EdgeReader
+	switch format {
+	case "ascii":
+		r = graph.NewASCIIEdgeReader(f)
+	case "binary":
+		r = graph.NewBinaryEdgeReader(f)
+	}
+	var got int64
+	for {
+		if _, err := r.ReadEdge(); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("verify: record %d: %w", got, err)
+		}
+		got++
+	}
+	if got != want {
+		return fmt.Errorf("verify: re-parsed %d edges, wrote %d", got, want)
+	}
+	return nil
 }
 
 func statsFromDegrees(name string, deg []int64, edges int64) gen.Stats {

@@ -48,6 +48,10 @@ func main() {
 	defrag := flag.Bool("defrag", false, "run grDB chain defragmentation after ingestion (grdb backend only)")
 	fsck := flag.Bool("fsck", false, "verify grDB storage invariants after ingestion (grdb backend only)")
 	copyUp := flag.Bool("copyup", false, "use grDB's copy-up-on-overflow strategy instead of linking")
+	durability := flag.String("durability", "none",
+		"crash safety: none (page-cache only) or full (WAL + checksums + atomic checkpoints; back-ends also checkpoint their ingest position for exactly-once resume)")
+	verifyOnOpen := flag.Bool("verify-on-open", false,
+		"run the backend's structural consistency check after recovery when opening each database")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve live /metrics, /trace and /debug/pprof on this address (e.g. :8080); also enables per-op backend latency histograms")
 	flag.Parse()
@@ -58,6 +62,10 @@ func main() {
 		os.Exit(2)
 	}
 	if _, err := ingest.PolicyByName(*policy); err != nil {
+		fatal(err)
+	}
+	durLevel, err := graphdb.ParseDurability(*durability)
+	if err != nil {
 		fatal(err)
 	}
 
@@ -71,7 +79,11 @@ func main() {
 		Backend:   *backend,
 		Dir:       *dir,
 		Fabric:    fabric,
-		DBOptions: graphdb.Options{CopyUpOnOverflow: *copyUp},
+		DBOptions: graphdb.Options{
+			CopyUpOnOverflow: *copyUp,
+			Durability:       durLevel,
+			VerifyOnOpen:     *verifyOnOpen,
+		},
 		Ingest: ingest.Config{
 			WindowEdges: *window,
 			AddReverse:  *reverse,

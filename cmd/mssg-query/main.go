@@ -20,6 +20,7 @@ import (
 	"mssg/internal/core"
 	"mssg/internal/gen"
 	"mssg/internal/graph"
+	"mssg/internal/graphdb"
 	_ "mssg/internal/graphdb/all"
 	"mssg/internal/obs"
 	"mssg/internal/query"
@@ -44,6 +45,10 @@ func main() {
 	khop := flag.Int("khop", 0, "instead of a path query, count vertices within k hops of -source")
 	component := flag.Bool("component", false, "instead of a path query, measure -source's connected component")
 	listAnalyses := flag.Bool("list-analyses", false, "list registered Query Service analyses and exit")
+	durability := flag.String("durability", "none",
+		"crash safety mode the database was ingested with: none or full (must match, checksum sidecars are only kept under full)")
+	verifyOnOpen := flag.Bool("verify-on-open", false,
+		"run the backend's structural consistency check after recovery when opening each database")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve live /metrics, /trace and /debug/pprof on this address (e.g. :8080); also enables per-op backend latency histograms")
 	flag.Parse()
@@ -61,10 +66,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	durLevel, err := graphdb.ParseDurability(*durability)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := core.Config{
-		Backends: *backends,
-		Backend:  *backend,
-		Dir:      *dir,
+		Backends:  *backends,
+		Backend:   *backend,
+		Dir:       *dir,
+		DBOptions: graphdb.Options{Durability: durLevel, VerifyOnOpen: *verifyOnOpen},
 	}
 	var obsServer *obs.Server
 	if *metricsAddr != "" {

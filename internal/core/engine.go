@@ -176,6 +176,12 @@ func (e *Engine) Ingest(makeReader func(copy int) (graph.EdgeReader, error)) (*i
 	icfg := e.cfg.Ingest
 	icfg.FrontEnds = e.cfg.FrontEnds
 	icfg.Backends = e.cfg.Backends
+	// Durable databases get durable ingest: back-ends checkpoint their
+	// window dedup-set so a crashed-and-restarted run can re-ship the
+	// stream without double-storing.
+	if e.cfg.DBOptions.Durability >= graphdb.DurabilityFull {
+		icfg.Durable = true
+	}
 
 	stats := &ingest.Stats{}
 	g := datacutter.NewGraph()

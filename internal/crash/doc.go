@@ -1,0 +1,12 @@
+// Package crash holds the kill-at-every-syncpoint conformance suite: it
+// runs durable grDB workloads and durable ingest over a crash-injection
+// filesystem (storage/crashfs), simulates a crash at every filesystem
+// operation under several torn-write policies, reopens the database on
+// the real filesystem, and verifies the recovered state against an
+// in-memory oracle — no committed batch lost, no uncommitted batch
+// partially visible, no duplicate edges, no torn block read as valid.
+//
+// The sweep visits every operation by default; set MSSG_CRASH_STRIDE=N
+// to subsample (every Nth crash point), which `go test -short` also
+// does. `make crash` runs the full sweep under the race detector.
+package crash

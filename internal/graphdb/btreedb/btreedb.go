@@ -23,6 +23,8 @@ import (
 	"mssg/internal/storage/blockio"
 	"mssg/internal/storage/btree"
 	"mssg/internal/storage/cache"
+	"mssg/internal/storage/fsutil"
+	"mssg/internal/storage/vfs"
 )
 
 func init() {
@@ -48,6 +50,7 @@ const (
 // DB is the BerkeleyDB-substitute graph store.
 type DB struct {
 	dir    string
+	fsys   vfs.FS
 	store  *blockio.Store
 	cache  *cache.BlockCache
 	tree   *btree.Tree
@@ -76,17 +79,21 @@ func Open(opts graphdb.Options) (*DB, error) {
 	if maxFile <= 0 {
 		maxFile = defaultMaxFileBytes
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := vfs.Or(opts.FS)
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("btreedb: %w", err)
 	}
-	store, err := blockio.Open(opts.Dir, "bt", pageSize, maxFile)
+	store, err := blockio.OpenStore(blockio.Config{
+		Dir: opts.Dir, Prefix: "bt", BlockSize: pageSize,
+		MaxFileBytes: maxFile, FS: opts.FS,
+	})
 	if err != nil {
 		return nil, err
 	}
 	store.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
 	c := cache.New(cacheBytes)
 	c.EnableMetrics(opts.Metrics, "bdb")
-	meta, err := loadManifest(filepath.Join(opts.Dir, manifestName))
+	meta, err := loadManifest(fsys, filepath.Join(opts.Dir, manifestName))
 	if err != nil {
 		store.Close()
 		return nil, err
@@ -98,6 +105,7 @@ func Open(opts graphdb.Options) (*DB, error) {
 	}
 	d := &DB{
 		dir:      opts.Dir,
+		fsys:     fsys,
 		store:    store,
 		cache:    c,
 		tree:     tree,
@@ -108,8 +116,8 @@ func Open(opts graphdb.Options) (*DB, error) {
 	return d, nil
 }
 
-func loadManifest(path string) (btree.Meta, error) {
-	b, err := os.ReadFile(path)
+func loadManifest(fsys vfs.FS, path string) (btree.Meta, error) {
+	b, err := fsutil.ReadFile(fsys, path)
 	if errors.Is(err, os.ErrNotExist) {
 		return btree.Meta{}, nil
 	}
@@ -132,7 +140,7 @@ func (d *DB) saveManifest() error {
 	binary.LittleEndian.PutUint64(b[0:8], uint64(m.Root))
 	binary.LittleEndian.PutUint64(b[8:16], uint64(m.NumPages))
 	binary.LittleEndian.PutUint64(b[16:24], uint64(m.Count))
-	return os.WriteFile(filepath.Join(d.dir, manifestName), b[:], 0o644)
+	return fsutil.WriteFileAtomic(d.fsys, filepath.Join(d.dir, manifestName), b[:], 0o644)
 }
 
 // head record accessors: value = {tailSeq uint32, tailCount uint32}.

@@ -199,6 +199,21 @@ type Prefetcher interface {
 	PrefetchAdjacency(fringe []graph.VertexID) (int, error)
 }
 
+// Checkpointer is an optional extension for backends that persist an
+// application checkpoint blob atomically with the graph itself: the blob
+// staged by SetCheckpoint becomes durable in the same commit (Flush)
+// that makes the edges stored before it durable, so the two can never
+// diverge across a crash. The ingest pipeline stores its set of applied
+// window ids here to achieve exactly-once edge delivery across restarts.
+type Checkpointer interface {
+	// SetCheckpoint stages blob; it is committed by the next Flush.
+	SetCheckpoint(blob []byte) error
+	// GetCheckpoint returns the blob from the last committed Flush (nil
+	// when none was ever staged). The returned slice must not be
+	// modified.
+	GetCheckpoint() ([]byte, error)
+}
+
 // IOCounters is an optional extension reporting physical I/O for
 // out-of-core implementations.
 type IOCounters interface {

@@ -33,15 +33,15 @@ package grdb
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
+	"mssg/internal/obs"
 	"mssg/internal/storage/blockio"
 	"mssg/internal/storage/cache"
+	"mssg/internal/storage/vfs"
+	"mssg/internal/storage/wal"
 )
 
 func init() {
@@ -120,6 +120,30 @@ type DB struct {
 	// (level 0 plus one tail) until the top level, so tail hints are
 	// unnecessary and disabled in this mode.
 	copyUp bool
+
+	// fsys is the filesystem all durable I/O goes through (the crash
+	// suite injects crashfs here); see graphdb.Options.FS.
+	fsys vfs.FS
+
+	// durable enables the crash-safe checkpoint protocol of DESIGN.md
+	// §11: block checksums, the write-ahead log, no-steal caching, and
+	// recovery-on-open. Flush becomes an atomic checkpoint.
+	durable bool
+
+	// wal is the redo log (durable mode only); see checkpoint().
+	wal *wal.Log
+
+	// manifestGen counts manifest saves; persisted for diagnostics.
+	manifestGen uint64
+
+	// ckptStaged is the blob from the most recent SetCheckpoint;
+	// ckptCommitted is the blob from the last committed Flush (what
+	// GetCheckpoint returns). See graphdb.Checkpointer.
+	ckptStaged    []byte
+	ckptCommitted []byte
+
+	// Recovery/scrub observability (nil-safe no-ops without a registry).
+	mRecoveryRuns, mRecoveryRecords, mRecoveryBlocks, mScrubCorrupt *obs.Counter
 
 	closed bool
 	stats  graphdb.StatCounters
@@ -210,7 +234,8 @@ func Open(opts graphdb.Options) (*DB, error) {
 	case cacheBytes < 0:
 		cacheBytes = 0
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := vfs.Or(opts.FS)
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("grdb: %w", err)
 	}
 
@@ -222,11 +247,31 @@ func Open(opts graphdb.Options) (*DB, error) {
 		maxVertex: -1,
 		tailHint:  make(map[graph.VertexID]tailPos),
 		copyUp:    opts.CopyUpOnOverflow,
+		fsys:      fsys,
+		durable:   opts.Durability >= graphdb.DurabilityFull,
 	}
 	d.cache.EnableMetrics(opts.Metrics, "grdb")
 	d.stats.EnableLatency(opts.Metrics, "grdb")
+	if reg := opts.Metrics; reg != nil {
+		d.mRecoveryRuns = reg.Counter("grdb.recovery.runs")
+		d.mRecoveryRecords = reg.Counter("grdb.recovery.wal_records")
+		d.mRecoveryBlocks = reg.Counter("grdb.recovery.blocks_applied")
+		d.mScrubCorrupt = reg.Counter("grdb.scrub.corrupt_blocks")
+	}
+	if d.durable {
+		// Dirty blocks must not reach their data files before the WAL
+		// holding their images is synced (DESIGN.md §11).
+		d.cache.SetNoSteal(true)
+	}
 	for i, spec := range specs {
-		store, err := blockio.Open(opts.Dir, fmt.Sprintf("level%d", i), spec.BlockBytes, maxFile)
+		store, err := blockio.OpenStore(blockio.Config{
+			Dir:          opts.Dir,
+			Prefix:       fmt.Sprintf("level%d", i),
+			BlockSize:    spec.BlockBytes,
+			MaxFileBytes: maxFile,
+			Checksums:    d.durable,
+			FS:           opts.FS,
+		})
 		if err != nil {
 			d.closeStores()
 			return nil, err
@@ -247,6 +292,18 @@ func Open(opts graphdb.Options) (*DB, error) {
 		d.closeStores()
 		return nil, err
 	}
+	if d.durable {
+		if err := d.recoverDurable(); err != nil {
+			d.closeStores()
+			return nil, err
+		}
+	}
+	if opts.VerifyOnOpen {
+		if _, err := d.Check(); err != nil {
+			d.closeStores()
+			return nil, fmt.Errorf("grdb: verify-on-open: %w", err)
+		}
+	}
 	return d, nil
 }
 
@@ -256,36 +313,9 @@ func (d *DB) closeStores() {
 			l.store.Close()
 		}
 	}
-}
-
-func (d *DB) loadManifest() error {
-	b, err := os.ReadFile(filepath.Join(d.dir, manifestName))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
+	if d.wal != nil {
+		d.wal.Close()
 	}
-	if err != nil {
-		return fmt.Errorf("grdb: manifest: %w", err)
-	}
-	want := 8 * (len(d.levels) + 2)
-	if len(b) != want {
-		return fmt.Errorf("grdb: manifest is %d bytes, want %d (level ladder mismatch?)", len(b), want)
-	}
-	d.stats.SetEdgesStored(int64(binary.LittleEndian.Uint64(b[0:8])))
-	d.maxVertex = graph.VertexID(binary.LittleEndian.Uint64(b[8:16]))
-	for i := range d.nextFree {
-		d.nextFree[i] = int64(binary.LittleEndian.Uint64(b[8*(i+2):]))
-	}
-	return nil
-}
-
-func (d *DB) saveManifest() error {
-	b := make([]byte, 8*(len(d.levels)+2))
-	binary.LittleEndian.PutUint64(b[0:8], uint64(d.stats.EdgesStored()))
-	binary.LittleEndian.PutUint64(b[8:16], uint64(d.maxVertex))
-	for i, nf := range d.nextFree {
-		binary.LittleEndian.PutUint64(b[8*(i+2):], uint64(nf))
-	}
-	return os.WriteFile(filepath.Join(d.dir, manifestName), b, 0o644)
 }
 
 // subBlock pins the block containing sub-block s of level ℓ and returns

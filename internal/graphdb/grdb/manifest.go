@@ -1,0 +1,165 @@
+package grdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"mssg/internal/graph"
+	"mssg/internal/storage/fsutil"
+)
+
+// The manifest is grDB's root pointer: the state a reopen starts from.
+// Version 2 frames the payload with a magic, a generation stamp, and a
+// CRC32-C, and carries the application checkpoint blob (see
+// graphdb.Checkpointer) next to the allocation state so both commit in
+// the same atomic rename. The legacy v1 format — raw 8*(levels+2) bytes
+// of {edges, maxVertex, nextFree...} — is still accepted on read.
+//
+// Layout (little-endian):
+//
+//	magic     [8]byte  "GRDBMAN2"
+//	gen       uint64   // incremented on every save
+//	edges     uint64
+//	maxVertex uint64   // two's complement; ^0 when empty
+//	levels    uint32
+//	ckptLen   uint32
+//	nextFree  [levels]uint64
+//	ckpt      [ckptLen]byte
+//	crc       uint32   // CRC32-C over everything before it
+const manifestMagic = "GRDBMAN2"
+
+const manifestFixed = 8 + 8 + 8 + 8 + 4 + 4 // through ckptLen
+
+var (
+	le         = binary.LittleEndian
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// ErrCorruptManifest is wrapped by manifest decode failures.
+var ErrCorruptManifest = errors.New("grdb: corrupt manifest")
+
+// manifestState is the decoded manifest content.
+type manifestState struct {
+	gen       uint64
+	edges     int64
+	maxVertex graph.VertexID
+	nextFree  []int64
+	ckpt      []byte
+}
+
+func encodeManifest(st manifestState) []byte {
+	b := make([]byte, manifestFixed+8*len(st.nextFree)+len(st.ckpt)+4)
+	copy(b[0:8], manifestMagic)
+	le.PutUint64(b[8:16], st.gen)
+	le.PutUint64(b[16:24], uint64(st.edges))
+	le.PutUint64(b[24:32], uint64(st.maxVertex))
+	le.PutUint32(b[32:36], uint32(len(st.nextFree)))
+	le.PutUint32(b[36:40], uint32(len(st.ckpt)))
+	off := manifestFixed
+	for _, nf := range st.nextFree {
+		le.PutUint64(b[off:], uint64(nf))
+		off += 8
+	}
+	copy(b[off:], st.ckpt)
+	off += len(st.ckpt)
+	le.PutUint32(b[off:], crc32.Checksum(b[:off], castagnoli))
+	return b
+}
+
+// decodeManifest parses either manifest version. levels is the opener's
+// ladder length; a mismatch is an error (the ladder is part of the
+// on-disk format). The function must not panic on any input — it is
+// fuzzed directly.
+func decodeManifest(b []byte, levels int) (manifestState, error) {
+	var st manifestState
+	if len(b) >= 8 && string(b[0:8]) == manifestMagic {
+		if len(b) < manifestFixed+4 {
+			return st, fmt.Errorf("%w: %d bytes is shorter than the v2 header", ErrCorruptManifest, len(b))
+		}
+		body, crcb := b[:len(b)-4], b[len(b)-4:]
+		if got := crc32.Checksum(body, castagnoli); got != le.Uint32(crcb) {
+			return st, fmt.Errorf("%w: checksum 0x%08x, want 0x%08x", ErrCorruptManifest, got, le.Uint32(crcb))
+		}
+		nLevels := int(le.Uint32(b[32:36]))
+		ckptLen := int(le.Uint32(b[36:40]))
+		if nLevels != levels {
+			return st, fmt.Errorf("grdb: manifest has %d levels, ladder has %d", nLevels, levels)
+		}
+		if len(body) != manifestFixed+8*nLevels+ckptLen {
+			return st, fmt.Errorf("%w: %d bytes, want %d", ErrCorruptManifest, len(b), manifestFixed+8*nLevels+ckptLen+4)
+		}
+		st.gen = le.Uint64(b[8:16])
+		st.edges = int64(le.Uint64(b[16:24]))
+		st.maxVertex = graph.VertexID(le.Uint64(b[24:32]))
+		st.nextFree = make([]int64, nLevels)
+		off := manifestFixed
+		for i := range st.nextFree {
+			st.nextFree[i] = int64(le.Uint64(b[off:]))
+			off += 8
+		}
+		if ckptLen > 0 {
+			st.ckpt = append([]byte(nil), b[off:off+ckptLen]...)
+		}
+		return st, nil
+	}
+	// Legacy v1: raw {edges, maxVertex, nextFree[levels]}.
+	if len(b) != 8*(levels+2) {
+		return st, fmt.Errorf("%w: %d bytes matches neither v2 nor the %d-byte v1 format (level ladder mismatch?)",
+			ErrCorruptManifest, len(b), 8*(levels+2))
+	}
+	st.edges = int64(le.Uint64(b[0:8]))
+	st.maxVertex = graph.VertexID(le.Uint64(b[8:16]))
+	st.nextFree = make([]int64, levels)
+	for i := range st.nextFree {
+		st.nextFree[i] = int64(le.Uint64(b[8*(i+2):]))
+	}
+	return st, nil
+}
+
+func (d *DB) manifestState() manifestState {
+	return manifestState{
+		gen:       d.manifestGen,
+		edges:     d.stats.EdgesStored(),
+		maxVertex: d.maxVertex,
+		nextFree:  d.nextFree,
+		ckpt:      d.ckptStaged,
+	}
+}
+
+func (d *DB) applyManifestState(st manifestState) {
+	d.manifestGen = st.gen
+	d.stats.SetEdgesStored(st.edges)
+	d.maxVertex = st.maxVertex
+	copy(d.nextFree, st.nextFree)
+	d.ckptStaged = st.ckpt
+	d.ckptCommitted = st.ckpt
+}
+
+func (d *DB) loadManifest() error {
+	b, err := fsutil.ReadFile(d.fsys, filepath.Join(d.dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("grdb: manifest: %w", err)
+	}
+	st, err := decodeManifest(b, len(d.levels))
+	if err != nil {
+		return err
+	}
+	d.applyManifestState(st)
+	return nil
+}
+
+// saveManifest atomically replaces the manifest (temp file + fsync +
+// rename + directory fsync): a crash anywhere leaves either the old or
+// the new manifest, never a torn mix.
+func (d *DB) saveManifest() error {
+	d.manifestGen++
+	b := encodeManifest(d.manifestState())
+	return fsutil.WriteFileAtomic(d.fsys, filepath.Join(d.dir, manifestName), b, 0o644)
+}

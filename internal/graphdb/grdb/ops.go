@@ -298,15 +298,24 @@ func (d *DB) ChainLength(v graph.VertexID) (int, error) {
 	}
 }
 
-// Flush implements graphdb.Graph.
+// Flush implements graphdb.Graph. In durable mode it is an atomic
+// checkpoint: when it returns nil, every edge stored and checkpoint
+// blob staged before the call survives any crash (see durable.go).
 func (d *DB) Flush() error {
 	if d.closed {
 		return graphdb.ErrClosed
 	}
+	if d.durable {
+		return d.checkpoint()
+	}
 	if err := d.cache.Flush(); err != nil {
 		return err
 	}
-	return d.saveManifest()
+	if err := d.saveManifest(); err != nil {
+		return err
+	}
+	d.ckptCommitted = d.ckptStaged
+	return nil
 }
 
 // Close implements graphdb.Graph.
@@ -321,6 +330,11 @@ func (d *DB) Close() error {
 	var first error
 	for _, l := range d.levels {
 		if err := l.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if d.wal != nil {
+		if err := d.wal.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

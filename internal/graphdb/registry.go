@@ -7,7 +7,44 @@ import (
 	"time"
 
 	"mssg/internal/obs"
+	"mssg/internal/storage/vfs"
 )
+
+// DurabilityLevel selects how much crash safety an out-of-core backend
+// provides (DESIGN.md §11).
+type DurabilityLevel int
+
+const (
+	// DurabilityNone is the historical behaviour: writes reach the OS
+	// page cache and survive process exit but not a crash or power cut.
+	DurabilityNone DurabilityLevel = iota
+	// DurabilityFull enables the write-ahead log, per-block checksums,
+	// atomic manifest commits, and recovery-on-open: every Flush is an
+	// atomic, durable checkpoint, and a crash at any moment loses at
+	// most the edges stored since the last completed Flush.
+	DurabilityFull
+)
+
+func (d DurabilityLevel) String() string {
+	switch d {
+	case DurabilityNone:
+		return "none"
+	case DurabilityFull:
+		return "full"
+	}
+	return fmt.Sprintf("DurabilityLevel(%d)", int(d))
+}
+
+// ParseDurability maps a command-line durability name to its level.
+func ParseDurability(s string) (DurabilityLevel, error) {
+	switch s {
+	case "none", "":
+		return DurabilityNone, nil
+	case "full":
+		return DurabilityFull, nil
+	}
+	return 0, fmt.Errorf("unknown durability %q (want none or full)", s)
+}
 
 // Options configures a GraphDB instance at open time. Fields irrelevant to
 // a backend are ignored by it (the in-memory backends have no directory or
@@ -46,6 +83,20 @@ type Options struct {
 	// machine; see blockio.Store.SimulateLatency.
 	SimReadLatency  time.Duration
 	SimWriteLatency time.Duration
+
+	// Durability selects crash safety for out-of-core backends. The
+	// in-memory backends ignore it (they have no durable state at all).
+	Durability DurabilityLevel
+
+	// VerifyOnOpen runs the backend's structural consistency check
+	// (grDB: Check) after recovery, failing Open on any damage the
+	// recovery pass could not repair.
+	VerifyOnOpen bool
+
+	// FS is the filesystem out-of-core backends perform durable I/O
+	// through. Nil means the real filesystem; the crash suite injects
+	// crashfs here.
+	FS vfs.FS
 
 	// Metrics, when non-nil, enables per-operation latency histograms
 	// (graphdb.<backend>.adjacency_ns / store_ns) and cache counter

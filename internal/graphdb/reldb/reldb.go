@@ -14,6 +14,9 @@ import (
 	"mssg/internal/storage/blockio"
 	"mssg/internal/storage/btree"
 	"mssg/internal/storage/cache"
+	"mssg/internal/storage/fsutil"
+	"mssg/internal/storage/vfs"
+	"mssg/internal/storage/wal"
 )
 
 func init() {
@@ -42,15 +45,19 @@ const (
 // DB is the MySQL-substitute graph store.
 type DB struct {
 	dir       string
+	fsys      vfs.FS
 	heapStore *blockio.Store
 	idxStore  *blockio.Store
 	cache     *cache.BlockCache
 	heap      *heap
 	index     *btree.Tree
-	log       *wal
+	log       *wal.Log
 	meta      *graphdb.MetaMap
-	closed    bool
-	stats     graphdb.StatCounters
+	// durable adds data-file fsyncs to every Flush so a completed Flush
+	// survives a crash, not just a process exit.
+	durable bool
+	closed  bool
+	stats   graphdb.StatCounters
 	// statements counts parsed statements (for reports); atomic because
 	// SELECTs are readers and may run concurrently.
 	statements atomic.Int64
@@ -72,14 +79,22 @@ func Open(opts graphdb.Options) (*DB, error) {
 	if maxFile <= 0 {
 		maxFile = defaultMaxFileBytes
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := vfs.Or(opts.FS)
+	durable := opts.Durability >= graphdb.DurabilityFull
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("reldb: %w", err)
 	}
-	heapStore, err := blockio.Open(opts.Dir, "heap", heapPageSize, maxFile)
+	heapStore, err := blockio.OpenStore(blockio.Config{
+		Dir: opts.Dir, Prefix: "heap", BlockSize: heapPageSize,
+		MaxFileBytes: maxFile, Checksums: durable, FS: opts.FS,
+	})
 	if err != nil {
 		return nil, err
 	}
-	idxStore, err := blockio.Open(opts.Dir, "idx", indexPageSize, maxFile)
+	idxStore, err := blockio.OpenStore(blockio.Config{
+		Dir: opts.Dir, Prefix: "idx", BlockSize: indexPageSize,
+		MaxFileBytes: maxFile, Checksums: durable, FS: opts.FS,
+	})
 	if err != nil {
 		heapStore.Close()
 		return nil, err
@@ -88,7 +103,7 @@ func Open(opts graphdb.Options) (*DB, error) {
 	idxStore.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
 	c := cache.New(cacheBytes)
 	c.EnableMetrics(opts.Metrics, "mysql")
-	man, err := loadManifest(filepath.Join(opts.Dir, manifestName))
+	man, err := loadManifest(fsys, filepath.Join(opts.Dir, manifestName))
 	if err != nil {
 		heapStore.Close()
 		idxStore.Close()
@@ -106,7 +121,7 @@ func Open(opts graphdb.Options) (*DB, error) {
 		idxStore.Close()
 		return nil, err
 	}
-	log, err := openWAL(filepath.Join(opts.Dir, "wal.log"))
+	log, err := wal.Open(fsys, filepath.Join(opts.Dir, "wal.log"))
 	if err != nil {
 		heapStore.Close()
 		idxStore.Close()
@@ -114,6 +129,7 @@ func Open(opts graphdb.Options) (*DB, error) {
 	}
 	d := &DB{
 		dir:       opts.Dir,
+		fsys:      fsys,
 		heapStore: heapStore,
 		idxStore:  idxStore,
 		cache:     c,
@@ -121,8 +137,22 @@ func Open(opts graphdb.Options) (*DB, error) {
 		index:     idx,
 		log:       log,
 		meta:      graphdb.NewMetaMap(),
+		durable:   durable,
 	}
 	d.stats.EnableLatency(opts.Metrics, "mysql")
+	// Redo what the last crash left in the log, then complete the
+	// interrupted flush so the next crash starts from a clean slate.
+	replayed, err := d.replayWAL()
+	if err != nil {
+		d.closeStores()
+		return nil, fmt.Errorf("reldb: WAL replay: %w", err)
+	}
+	if replayed > 0 {
+		if err := d.Flush(); err != nil {
+			d.closeStores()
+			return nil, fmt.Errorf("reldb: post-replay flush: %w", err)
+		}
+	}
 	return d, nil
 }
 
@@ -132,8 +162,8 @@ type manifest struct {
 	heapPages int64
 }
 
-func loadManifest(path string) (manifest, error) {
-	b, err := os.ReadFile(path)
+func loadManifest(fsys vfs.FS, path string) (manifest, error) {
+	b, err := fsutil.ReadFile(fsys, path)
 	if errors.Is(err, os.ErrNotExist) {
 		return manifest{}, nil
 	}
@@ -162,7 +192,7 @@ func (d *DB) saveManifest() error {
 	binary.LittleEndian.PutUint64(b[16:24], uint64(m.Count))
 	binary.LittleEndian.PutUint64(b[24:32], uint64(d.heap.tail))
 	binary.LittleEndian.PutUint64(b[32:40], uint64(d.heap.numPages))
-	return os.WriteFile(filepath.Join(d.dir, manifestName), b[:], 0o644)
+	return fsutil.WriteFileAtomic(d.fsys, filepath.Join(d.dir, manifestName), b[:], 0o644)
 }
 
 // head record: index key (v, 0) → {tailChunk uint32, tailCount uint32}.
@@ -189,15 +219,12 @@ func (d *DB) writeHead(v graph.VertexID, tailChunk, tailCount uint32) error {
 }
 
 // execInsert runs one parsed REPLACE against storage: WAL first, then a
-// new heap row version, then the index repoint.
+// new heap row version, then the index repoint. Records are staged in the
+// log and group-committed by the next Flush — one fsync per flush window
+// rather than the per-statement flush that makes transactional engines
+// slow ingesters.
 func (d *DB) execInsert(st statement) error {
-	if err := d.log.append(st.vertex, st.chunk, st.blob); err != nil {
-		return err
-	}
-	// Autocommit: each statement commits, so its log record must reach
-	// the OS before the data pages change (the per-statement flush that
-	// makes transactional engines slow ingesters).
-	if err := d.log.flush(); err != nil {
+	if _, err := d.log.Append(encodeWALRecord(st.vertex, st.chunk, st.blob)); err != nil {
 		return err
 	}
 	ref, err := d.heap.insert(row{vertex: st.vertex, chunk: st.chunk, blob: st.blob})
@@ -299,6 +326,15 @@ func (d *DB) appendNeighbors(src graph.VertexID, add []graph.VertexID) error {
 			blob = blob[:0]
 		}
 	}
+	// Log the head update too (chunk 0 = head record), so replay restores
+	// it; if this record is lost, replay's self-heal rebuilds the head
+	// from the highest row chunk it sees.
+	var hb [8]byte
+	binary.LittleEndian.PutUint32(hb[0:4], tailChunk)
+	binary.LittleEndian.PutUint32(hb[4:8], tailCount)
+	if _, err := d.log.Append(encodeWALRecord(int64(src), 0, hb[:])); err != nil {
+		return err
+	}
 	return d.writeHead(src, tailChunk, tailCount)
 }
 
@@ -371,18 +407,32 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 	return nil
 }
 
-// Flush implements graphdb.Graph.
+// Flush implements graphdb.Graph. The log sync is the commit point: once
+// it returns, the flushed statements survive a crash (replay redoes
+// them); the write-back, data syncs, and manifest that follow retire the
+// log so the next recovery starts empty.
 func (d *DB) Flush() error {
 	if d.closed {
 		return graphdb.ErrClosed
 	}
-	if err := d.log.flush(); err != nil {
+	if err := d.log.Sync(); err != nil {
 		return err
 	}
 	if err := d.cache.Flush(); err != nil {
 		return err
 	}
-	return d.saveManifest()
+	if d.durable {
+		if err := d.heapStore.Sync(); err != nil {
+			return err
+		}
+		if err := d.idxStore.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := d.saveManifest(); err != nil {
+		return err
+	}
+	return d.log.Reset()
 }
 
 // Close implements graphdb.Graph.
@@ -394,13 +444,19 @@ func (d *DB) Close() error {
 		return err
 	}
 	d.closed = true
-	if err := d.log.close(); err != nil {
-		return err
+	return d.closeStores()
+}
+
+// closeStores releases file handles without flushing; first error wins.
+func (d *DB) closeStores() error {
+	err := d.log.Close()
+	if e := d.heapStore.Close(); err == nil {
+		err = e
 	}
-	if err := d.heapStore.Close(); err != nil {
-		return err
+	if e := d.idxStore.Close(); err == nil {
+		err = e
 	}
-	return d.idxStore.Close()
+	return err
 }
 
 // Stats implements graphdb.Graph.

@@ -147,11 +147,11 @@ func TestChunkSplitAcrossRows(t *testing.T) {
 
 func TestWALGrowsWithWrites(t *testing.T) {
 	d := openTest(t)
-	before := d.log.lsn
+	before := d.log.Seq()
 	if err := d.StoreEdges([]graph.Edge{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}}); err != nil {
 		t.Fatal(err)
 	}
-	if d.log.lsn <= before {
+	if d.log.Seq() <= before {
 		t.Fatal("WAL did not grow")
 	}
 }

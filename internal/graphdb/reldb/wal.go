@@ -1,55 +1,100 @@
 package reldb
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
-	"os"
+
+	"mssg/internal/graph"
+	"mssg/internal/storage/btree"
+	"mssg/internal/storage/wal"
 )
 
-// wal is the write-ahead log: every row image is appended before the heap
-// and index are touched, as a transactional engine must. Records are
-// {lsn uint64, vertex uint64, chunk uint32, blobLen uint32, blob}.
-type wal struct {
-	f   *os.File
-	w   *bufio.Writer
-	lsn uint64
+// reldb logs through the shared CRC-framed write-ahead log
+// (storage/wal), replacing its original ad-hoc log — which had no
+// checksums, no replay, and a "recovery" that set the LSN to the file
+// size. Record payloads are
+//
+//	vertex  uint64
+//	chunk   uint32
+//	blob    [rest]
+//
+// Chunk 0 is not a row: it carries the vertex's head record
+// ({tailChunk uint32, tailCount uint32} as the blob), logged after the
+// row inserts it summarizes so replay restores heads in order.
+
+const walRecordHeader = 8 + 4
+
+func encodeWALRecord(vertex int64, chunk uint32, blob []byte) []byte {
+	b := make([]byte, walRecordHeader+len(blob))
+	binary.LittleEndian.PutUint64(b[0:8], uint64(vertex))
+	binary.LittleEndian.PutUint32(b[8:12], chunk)
+	copy(b[walRecordHeader:], blob)
+	return b
 }
 
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+// decodeWALRecord splits a payload; blob aliases p. Must not panic on
+// any input (fuzzed via FuzzWALRecordDecode).
+func decodeWALRecord(p []byte) (vertex int64, chunk uint32, blob []byte, err error) {
+	if len(p) < walRecordHeader {
+		return 0, 0, nil, fmt.Errorf("reldb: WAL record of %d bytes is shorter than its header", len(p))
+	}
+	return int64(binary.LittleEndian.Uint64(p[0:8])),
+		binary.LittleEndian.Uint32(p[8:12]),
+		p[walRecordHeader:], nil
+}
+
+// replayWAL re-executes every durable log record against the heap and
+// index: row records re-insert (a fresh heap row version; the index
+// repoint makes the replay idempotent — re-replaying can waste heap
+// space but never duplicates an edge in query results), head records
+// rewrite the head. Because a crash can lose the head update that
+// followed an insert, replay also tracks each vertex's highest replayed
+// chunk and self-heals heads that lag it. Returns the number of records
+// applied.
+func (d *DB) replayWAL() (int, error) {
+	type tailSeen struct {
+		chunk uint32
+		count uint32
+	}
+	fixes := make(map[int64]tailSeen)
+	n := 0
+	err := d.log.Replay(func(r wal.Record) error {
+		vertex, chunk, blob, err := decodeWALRecord(r.Payload)
+		if err != nil {
+			return err
+		}
+		n++
+		if chunk == 0 {
+			if len(blob) != 8 {
+				return fmt.Errorf("reldb: WAL head record for %d is %d bytes, want 8", vertex, len(blob))
+			}
+			return d.index.Put(btree.U64Key(uint64(vertex), 0), blob)
+		}
+		ref, err := d.heap.insert(row{vertex: vertex, chunk: chunk, blob: blob})
+		if err != nil {
+			return err
+		}
+		if err := d.index.Put(btree.U64Key(uint64(vertex), uint64(chunk)), ref.encode()); err != nil {
+			return err
+		}
+		if f := fixes[vertex]; chunk >= f.chunk {
+			fixes[vertex] = tailSeen{chunk: chunk, count: uint32(len(blob) / 8)}
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("reldb: wal: %w", err)
+		return n, err
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("reldb: wal: %w", err)
+	for vertex, f := range fixes {
+		tailChunk, tailCount, err := d.readHead(graph.VertexID(vertex))
+		if err != nil {
+			return n, err
+		}
+		if tailChunk < f.chunk || (tailChunk == f.chunk && tailCount != f.count) {
+			if err := d.writeHead(graph.VertexID(vertex), f.chunk, f.count); err != nil {
+				return n, err
+			}
+		}
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<20), lsn: uint64(st.Size())}, nil
-}
-
-func (l *wal) append(vertex int64, chunk uint32, blob []byte) error {
-	l.lsn++
-	var hdr [24]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], l.lsn)
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(vertex))
-	binary.LittleEndian.PutUint32(hdr[16:20], chunk)
-	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(blob)))
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("reldb: wal append: %w", err)
-	}
-	if _, err := l.w.Write(blob); err != nil {
-		return fmt.Errorf("reldb: wal append: %w", err)
-	}
-	return nil
-}
-
-func (l *wal) flush() error { return l.w.Flush() }
-
-func (l *wal) close() error {
-	if err := l.w.Flush(); err != nil {
-		return err
-	}
-	return l.f.Close()
+	return n, nil
 }

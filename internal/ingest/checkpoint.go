@@ -1,0 +1,56 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Back-ends that sit on a durable GraphDB (one implementing
+// graphdb.Checkpointer) persist their window dedup-set with every
+// database checkpoint. After a crash, the restarted back-end reloads the
+// set and discards any window it had already stored — so a front-end can
+// blindly re-ship its whole stream and ingestion stays exactly-once: a
+// window is either in the last committed checkpoint (skipped as a
+// duplicate) or it isn't (stored again along with the dedup entry, both
+// committed atomically by the next Flush).
+
+// ckptMagic versions the checkpoint blob layout.
+const ckptMagic = "ICK1"
+
+// encodeSeen serializes a window dedup-set: magic, count, sorted keys.
+func encodeSeen(seen map[uint64]struct{}) []byte {
+	keys := make([]uint64, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b := make([]byte, len(ckptMagic)+8+8*len(keys))
+	copy(b, ckptMagic)
+	binary.LittleEndian.PutUint64(b[4:12], uint64(len(keys)))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(b[12+8*i:], k)
+	}
+	return b
+}
+
+// decodeSeen parses a checkpoint blob back into a dedup-set. A nil or
+// empty blob (fresh database) yields an empty set. Must not panic on any
+// input.
+func decodeSeen(b []byte) (map[uint64]struct{}, error) {
+	seen := make(map[uint64]struct{})
+	if len(b) == 0 {
+		return seen, nil
+	}
+	if len(b) < 12 || string(b[:4]) != ckptMagic {
+		return nil, fmt.Errorf("ingest: malformed checkpoint blob (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint64(b[4:12])
+	if (len(b)-12)%8 != 0 || n != uint64(len(b)-12)/8 {
+		return nil, fmt.Errorf("ingest: checkpoint blob claims %d keys in %d bytes", n, len(b))
+	}
+	for i := 0; i < int(n); i++ {
+		seen[binary.LittleEndian.Uint64(b[12+8*i:])] = struct{}{}
+	}
+	return seen, nil
+}

@@ -39,6 +39,22 @@ type Config struct {
 	// arrived is counted in Stats.DupBlocks, not stored twice. 0 means 2;
 	// negative disables retries.
 	ShipRetries int
+	// Durable makes back-ends persist their window dedup-set through
+	// graphdb.Checkpointer, so a restarted back-end resumes from its last
+	// committed (frontend, seq) window instead of double-storing a
+	// re-shipped stream. Requires databases that implement Checkpointer
+	// (grDB); Init fails otherwise.
+	Durable bool
+	// CheckpointWindows is how many applied windows a durable back-end
+	// stores between checkpoints (dedup-set + Flush). <= 0 means 64.
+	CheckpointWindows int
+}
+
+func (c Config) checkpointWindows() int {
+	if c.CheckpointWindows <= 0 {
+		return 64
+	}
+	return c.CheckpointWindows
 }
 
 func (c Config) shipRetries() int {
@@ -296,10 +312,16 @@ func (f *ingestFilter) Finalize(ctx *datacutter.Context) error { return nil }
 // stores them into its node's GraphDB instance. Windows are deduplicated
 // by id, so a re-shipped or fabric-duplicated window is stored once.
 type storeFilter struct {
+	cfg   Config
 	db    graphdb.Graph
 	stats *Stats
 
 	seen map[uint64]struct{}
+	// ckpt is the database's checkpoint interface when cfg.Durable; the
+	// dedup-set is staged through it and committed by db.Flush, making
+	// (window applied, window remembered) one atomic unit.
+	ckpt      graphdb.Checkpointer
+	sinceCkpt int
 
 	mStore   *obs.Histogram
 	mApplied *obs.Counter
@@ -309,10 +331,40 @@ type storeFilter struct {
 // Init implements datacutter.Filter.
 func (f *storeFilter) Init(ctx *datacutter.Context) error {
 	f.seen = make(map[uint64]struct{})
+	if f.cfg.Durable {
+		ck, ok := f.db.(graphdb.Checkpointer)
+		if !ok {
+			return fmt.Errorf("ingest: durable ingest needs a database implementing graphdb.Checkpointer, got %T", f.db)
+		}
+		f.ckpt = ck
+		blob, err := ck.GetCheckpoint()
+		if err != nil {
+			return err
+		}
+		if f.seen, err = decodeSeen(blob); err != nil {
+			return err
+		}
+	}
 	reg := obs.Default()
 	f.mStore = reg.Histogram("ingest.store_window_ns")
 	f.mApplied = reg.Counter("ingest.windows_applied")
 	f.mDups = reg.Counter("ingest.dup_windows")
+	return nil
+}
+
+// commitCheckpoint stages the dedup-set and flushes the database, making
+// everything applied so far durable in one atomic step.
+func (f *storeFilter) commitCheckpoint() error {
+	if f.ckpt == nil {
+		return nil
+	}
+	if err := f.ckpt.SetCheckpoint(encodeSeen(f.seen)); err != nil {
+		return err
+	}
+	if err := f.db.Flush(); err != nil {
+		return err
+	}
+	f.sinceCkpt = 0
 	return nil
 }
 
@@ -337,6 +389,12 @@ func (f *storeFilter) apply(data []byte) error {
 	f.mStore.ObserveSince(start)
 	f.mApplied.Inc()
 	f.stats.EdgesStored.Add(int64(len(edges)))
+	if f.ckpt != nil {
+		f.sinceCkpt++
+		if f.sinceCkpt >= f.cfg.checkpointWindows() {
+			return f.commitCheckpoint()
+		}
+	}
 	return nil
 }
 
@@ -360,9 +418,13 @@ func (f *storeFilter) Process(ctx *datacutter.Context) error {
 	}
 }
 
-// Finalize implements datacutter.Filter: make the stored graph durable
-// and retrievable before the query phase starts.
+// Finalize implements datacutter.Filter: make the stored graph — and,
+// when durable, the final dedup-set — durable and retrievable before the
+// query phase starts.
 func (f *storeFilter) Finalize(ctx *datacutter.Context) error {
+	if f.ckpt != nil {
+		return f.commitCheckpoint()
+	}
 	return f.db.Flush()
 }
 
@@ -398,7 +460,7 @@ func BuildGraph(g *datacutter.Graph, cfg Config, stats *Stats,
 		if d == nil {
 			return nil, fmt.Errorf("ingest: no database for store copy %d", in.Copy)
 		}
-		return &storeFilter{db: d, stats: stats}, nil
+		return &storeFilter{cfg: cfg, db: d, stats: stats}, nil
 	}, storePlacement)
 	if err != nil {
 		return err

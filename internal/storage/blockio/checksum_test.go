@@ -1,0 +1,171 @@
+package blockio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openChecked(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := OpenStore(Config{Dir: dir, Prefix: "ck", BlockSize: 512, MaxFileBytes: 4096, Checksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openChecked(t, dir)
+	buf := make([]byte, 512)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	// Spread across two files (8 blocks per file).
+	for _, idx := range []int64{0, 3, 7, 8, 12} {
+		buf[0] = byte(idx)
+		if err := s.WriteBlock(idx, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openChecked(t, dir)
+	defer s.Close()
+	got := make([]byte, 512)
+	for _, idx := range []int64{0, 3, 7, 8, 12} {
+		if err := s.ReadBlock(idx, got); err != nil {
+			t.Fatalf("block %d: %v", idx, err)
+		}
+		if got[0] != byte(idx) || got[1] != 1 {
+			t.Fatalf("block %d content %v", idx, got[:2])
+		}
+	}
+	// Unwritten blocks still read as zeroes without error.
+	if err := s.ReadBlock(5, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range got {
+		if c != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s := openChecked(t, dir)
+	buf := make([]byte, 512)
+	buf[100] = 0xAA
+	if err := s.WriteBlock(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit in the data file.
+	path := filepath.Join(dir, "ck.0000")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[2*512+100] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openChecked(t, dir)
+	defer s.Close()
+	err = s.ReadBlock(2, buf)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if c := s.Counters(); c.ChecksumFailures != 1 {
+		t.Fatalf("ChecksumFailures = %d, want 1", c.ChecksumFailures)
+	}
+}
+
+func TestChecksumDetectsTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	s := openChecked(t, dir)
+	buf := make([]byte, 512)
+	buf[0] = 1
+	if err := s.WriteBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash after the data write of block 1 but before its
+	// checksum update: non-zero data with no sidecar entry.
+	path := filepath.Join(dir, "ck.0000")
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]byte, 512)
+	torn[7] = 0xFF
+	if _, err := f.WriteAt(torn, 512); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s = openChecked(t, dir)
+	defer s.Close()
+	err = s.ReadBlock(1, buf)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for torn write, got %v", err)
+	}
+}
+
+func TestGenerationStamps(t *testing.T) {
+	dir := t.TempDir()
+	s := openChecked(t, dir)
+	defer s.Close()
+	buf := make([]byte, 512)
+	if written, gen, _ := s.BlockInfo(4); written || gen != 0 {
+		t.Fatalf("fresh block: written=%v gen=%d", written, gen)
+	}
+	for i := 1; i <= 3; i++ {
+		buf[0] = byte(i)
+		if err := s.WriteBlock(4, buf); err != nil {
+			t.Fatal(err)
+		}
+		written, gen, err := s.BlockInfo(4)
+		if err != nil || !written || gen != uint64(i) {
+			t.Fatalf("after write %d: written=%v gen=%d err=%v", i, written, gen, err)
+		}
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := openChecked(t, t.TempDir())
+	buf := make([]byte, 512)
+	if err := s.WriteBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.ReadBlock(0, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadBlock after Close: %v", err)
+	}
+	if err := s.WriteBlock(0, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WriteBlock after Close: %v", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close: %v", err)
+	}
+	if _, _, err := s.BlockInfo(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("BlockInfo after Close: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"mssg/internal/obs"
@@ -71,6 +72,14 @@ type BlockCache struct {
 	// without scanning.
 	pinned int64
 	stats  Stats
+
+	// noSteal, when set, forbids writing dirty blocks back to the
+	// backing store outside an explicit Flush: eviction skips dirty
+	// victims (overshooting the budget if necessary) and zero-budget
+	// release keeps dirty entries resident. Durable backends rely on
+	// this — a dirty block must not reach its data file before the
+	// write-ahead log holding its image is synced (DESIGN.md §11).
+	noSteal bool
 
 	// Mirror counters, nil until EnableMetrics (obs counters are nil-safe
 	// no-ops). Shared by label, so every cache instance opened under the
@@ -136,13 +145,18 @@ func (c *BlockCache) pushFront(e *entry) {
 	c.head.next = e
 }
 
+// SetNoSteal switches the cache's write-back policy; see the noSteal
+// field. Call before use; not synchronized with concurrent access.
+func (c *BlockCache) SetNoSteal(on bool) { c.noSteal = on }
+
 // evictLocked writes back and drops unpinned LRU entries until the cache
 // fits its budget. Called with c.mu held.
 func (c *BlockCache) evictLocked() error {
 	for c.size > c.capacity {
-		// Scan from the LRU end for an unpinned victim.
+		// Scan from the LRU end for an unpinned (and, under no-steal,
+		// clean) victim.
 		victim := c.tail.prev
-		for victim != c.head && victim.pins > 0 {
+		for victim != c.head && (victim.pins > 0 || (c.noSteal && victim.dirty)) {
 			victim = victim.prev
 		}
 		if victim == c.head {
@@ -197,7 +211,12 @@ func (h *Handle) Release() error {
 		h.c.pinned--
 	}
 	if h.e.pins == 0 && c0(h.c) {
-		// Zero-budget mode: write back and drop immediately.
+		// Zero-budget mode: write back and drop immediately — except
+		// under no-steal, where dirty entries must stay resident until
+		// the next Flush.
+		if h.e.dirty && h.c.noSteal {
+			return nil
+		}
 		if h.e.dirty {
 			store := h.c.spaces[h.e.key.space]
 			if err := store.WriteBlock(h.e.key.block, h.e.buf); err != nil {
@@ -268,6 +287,33 @@ func (c *BlockCache) Get(space uint32, block int64) (*Handle, error) {
 		return nil, err
 	}
 	return &Handle{c: c, e: e}, nil
+}
+
+// Dirty calls fn for every dirty resident block, in (space, block)
+// order, under the cache lock. fn must not re-enter the cache. Durable
+// backends use this to log block images to their WAL before Flush
+// writes the blocks back.
+func (c *BlockCache) Dirty(fn func(space uint32, block int64, data []byte) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]key, 0, len(c.entries))
+	for k, e := range c.entries {
+		if e.dirty {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].space != keys[j].space {
+			return keys[i].space < keys[j].space
+		}
+		return keys[i].block < keys[j].block
+	})
+	for _, k := range keys {
+		if err := fn(k.space, k.block, c.entries[k].buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Flush writes back every dirty block without evicting anything.

@@ -1,0 +1,507 @@
+// Package crashfs is a fault-injecting vfs.FS that simulates a process
+// killed (and a disk caught mid-flush) at any chosen durability
+// operation. The crash suite (internal/crash) uses it to verify that the
+// storage stack recovers correctly no matter which write, fsync, rename,
+// truncate, or directory sync the "power cut" lands on.
+//
+// # Model
+//
+// Every durability-relevant operation — WriteAt, Sync, Truncate, Rename,
+// SyncDir — increments an operation counter. When the counter reaches
+// the configured crash point, the filesystem "crashes":
+//
+//   - all writes since each file's last successful Sync are rolled back
+//     (simulating dirty OS pages lost by the kill), restoring the file's
+//     last-synced content;
+//   - renames not yet made durable by a SyncDir of their directory are
+//     undone, and files created but never synced are removed;
+//   - the crashing operation itself is applied per the configured Policy:
+//     not at all, cut short at a byte boundary, torn at 512-byte sector
+//     granularity, or applied in full with one bit flipped;
+//   - every subsequent operation fails with ErrCrashed.
+//
+// The combination is deliberately adversarial: an unsynced write from
+// before the crash point can vanish while the crashing write partially
+// survives — exactly the reordering freedom real disks have — so any
+// recovery protocol that relies on unsynced ordering will fail the suite.
+package crashfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"mssg/internal/storage/vfs"
+)
+
+// ErrCrashed is returned by every operation after the simulated crash.
+var ErrCrashed = errors.New("crashfs: crashed")
+
+// Policy selects what the crashing operation leaves on disk.
+type Policy int
+
+const (
+	// CutClean drops the crashing operation entirely.
+	CutClean Policy = iota
+	// CutShort applies only the first half of the crashing write.
+	CutShort
+	// TearSectors applies alternating 512-byte sectors of the crashing
+	// write (even sectors land, odd sectors are lost).
+	TearSectors
+	// FlipBit applies the crashing write in full but flips one bit in
+	// its middle byte.
+	FlipBit
+)
+
+func (p Policy) String() string {
+	switch p {
+	case CutClean:
+		return "cut-clean"
+	case CutShort:
+		return "cut-short"
+	case TearSectors:
+		return "tear-sectors"
+	case FlipBit:
+		return "flip-bit"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+const sectorBytes = 512
+
+// undoRec captures the state a region had before one write or truncate,
+// so the unsynced change can be rolled back at crash time.
+type undoRec struct {
+	off     int64
+	preData []byte // previous bytes of [off, off+len), clamped to preSize
+	preSize int64  // file size before the operation
+}
+
+// renameRec is an unsynced rename (or create) awaiting a SyncDir.
+type renameRec struct {
+	dir     string
+	oldname string // "" for a create
+	newname string
+}
+
+// FS is the crash-injecting filesystem.
+type FS struct {
+	inner vfs.FS
+
+	mu      sync.Mutex
+	ops     int64
+	crashAt int64
+	policy  Policy
+	crashed bool
+
+	handles []*file     // every handle ever opened (inner kept for rollback)
+	pending []renameRec // unsynced renames/creates
+}
+
+// file wraps one inner handle with its unsynced-write journal.
+type file struct {
+	fs     *FS
+	inner  vfs.File
+	name   string
+	undo   []undoRec
+	closed bool
+}
+
+// New wraps inner (nil means the real filesystem) without a crash point:
+// operations are counted but never fail. Use SetCrashPoint to arm it.
+func New(inner vfs.FS) *FS {
+	return &FS{inner: vfs.Or(inner)}
+}
+
+// SetCrashPoint arms the filesystem: the op-th durability operation
+// (1-based) crashes with the given policy. op <= 0 disarms.
+func (f *FS) SetCrashPoint(op int64, policy Policy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = op
+	f.policy = policy
+}
+
+// Ops returns the number of durability operations observed so far.
+func (f *FS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the simulated crash has happened.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Shutdown closes every retained inner handle. Call when a run ends
+// without crashing (after a crash the handles are already closed).
+func (f *FS) Shutdown() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closeAllLocked()
+}
+
+func (f *FS) closeAllLocked() {
+	for _, h := range f.handles {
+		h.inner.Close()
+	}
+	f.handles = nil
+}
+
+// step accounts one durability operation. It returns (true, nil) when
+// this operation is the crashing one (caller applies its policy and then
+// calls crashLocked), (false, ErrCrashed) when the crash already
+// happened, and (false, nil) in normal operation. Caller holds f.mu.
+func (f *FS) stepLocked() (crashNow bool, err error) {
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	f.ops++
+	if f.crashAt > 0 && f.ops == f.crashAt {
+		return true, nil
+	}
+	return false, nil
+}
+
+// rollbackLocked undoes all unsynced state: per-file write journals
+// (newest first), then unsynced renames and creates. Inner handles stay
+// open so the caller can apply the crashing op's surviving fragment
+// post-rollback before finishCrashLocked closes everything. Caller
+// holds f.mu.
+func (f *FS) rollbackLocked() {
+	// Undo unsynced writes, newest first, per file.
+	for _, h := range f.handles {
+		for i := len(h.undo) - 1; i >= 0; i-- {
+			u := h.undo[i]
+			h.inner.Truncate(u.preSize)
+			if len(u.preData) > 0 {
+				h.inner.WriteAt(u.preData, u.off)
+			}
+		}
+		h.undo = nil
+	}
+	// Undo unsynced renames and creates, newest first.
+	for i := len(f.pending) - 1; i >= 0; i-- {
+		r := f.pending[i]
+		if r.oldname == "" {
+			f.inner.Remove(r.newname)
+		} else {
+			f.inner.Rename(r.newname, r.oldname)
+		}
+	}
+	f.pending = nil
+}
+
+func (f *FS) finishCrashLocked() {
+	f.crashed = true
+	f.closeAllLocked()
+}
+
+// journal records the pre-image of [off, off+n) of h before a write or
+// truncate touches it. Caller holds f.mu.
+func (h *file) journal(off int64, n int64) error {
+	preSize, err := h.inner.Size()
+	if err != nil {
+		return err
+	}
+	rec := undoRec{off: off, preSize: preSize}
+	if off < preSize {
+		m := n
+		if off+m > preSize {
+			m = preSize - off
+		}
+		rec.preData = make([]byte, m)
+		if _, err := h.inner.ReadAt(rec.preData, off); err != nil {
+			return err
+		}
+	}
+	h.undo = append(h.undo, rec)
+	return nil
+}
+
+// --- vfs.FS ---
+
+// OpenFile opens name through the inner filesystem, recording creations
+// so they can be undone if never synced.
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	created := false
+	if flag&os.O_CREATE != 0 {
+		if probe, err := f.inner.OpenFile(name, flag&^(os.O_CREATE|os.O_TRUNC|os.O_EXCL), perm); err == nil {
+			probe.Close()
+		} else {
+			created = true
+		}
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	h := &file{fs: f, inner: inner, name: name}
+	f.handles = append(f.handles, h)
+	if created {
+		f.pending = append(f.pending, renameRec{dir: parentDir(name), newname: name})
+	}
+	return h, nil
+}
+
+// Rename renames through the inner filesystem; the rename is undone at
+// crash time unless a SyncDir of its directory (or a Sync of the renamed
+// file) has made it durable.
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashNow, err := f.stepLocked()
+	if err != nil {
+		return err
+	}
+	if crashNow {
+		// A crashing rename either happened or it did not; model the
+		// adversarial case: it did not, and neither did anything unsynced.
+		f.rollbackLocked()
+		f.finishCrashLocked()
+		return ErrCrashed
+	}
+	if err := f.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	f.pending = append(f.pending, renameRec{dir: parentDir(oldname), oldname: oldname, newname: newname})
+	return nil
+}
+
+// Remove deletes through the inner filesystem. Removals are not undone:
+// the only removals in the stack are temp-file cleanups, and a temp file
+// resurrected by a crash is harmless.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner.Remove(name)
+}
+
+// MkdirAll passes through (directory creation happens once at setup).
+func (f *FS) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// SyncDir makes the directory's renames and creations durable.
+func (f *FS) SyncDir(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashNow, err := f.stepLocked()
+	if err != nil {
+		return err
+	}
+	if crashNow {
+		f.rollbackLocked()
+		f.finishCrashLocked()
+		return ErrCrashed
+	}
+	if err := f.inner.SyncDir(path); err != nil {
+		return err
+	}
+	kept := f.pending[:0]
+	for _, r := range f.pending {
+		if r.dir != path {
+			kept = append(kept, r)
+		}
+	}
+	f.pending = kept
+	return nil
+}
+
+// --- vfs.File ---
+
+func (h *file) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	return h.inner.ReadAt(p, off)
+}
+
+func (h *file) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	crashNow, err := h.fs.stepLocked()
+	if err != nil {
+		return 0, err
+	}
+	if crashNow {
+		frags := survivingFragments(p, off, h.fs.policy)
+		h.fs.rollbackLocked()
+		for _, fr := range frags {
+			h.inner.WriteAt(fr.data, fr.off)
+		}
+		h.fs.finishCrashLocked()
+		return 0, ErrCrashed
+	}
+	if err := h.journal(off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	return h.inner.WriteAt(p, off)
+}
+
+// fragment is one surviving piece of the crashing write.
+type fragment struct {
+	off  int64
+	data []byte
+}
+
+// survivingFragments applies the crash policy to the crashing write.
+// Regions between fragments keep their pre-crash (rolled-back) bytes.
+func survivingFragments(p []byte, off int64, policy Policy) []fragment {
+	switch policy {
+	case CutShort:
+		if len(p) == 0 {
+			return nil
+		}
+		return []fragment{{off: off, data: p[:len(p)/2]}}
+	case TearSectors:
+		if len(p) <= sectorBytes {
+			return []fragment{{off: off, data: p[:len(p)/2]}}
+		}
+		// Even sectors land, odd sectors are lost — the classic torn
+		// multi-sector write.
+		var out []fragment
+		for lo := 0; lo < len(p); lo += 2 * sectorBytes {
+			hi := lo + sectorBytes
+			if hi > len(p) {
+				hi = len(p)
+			}
+			out = append(out, fragment{off: off + int64(lo), data: p[lo:hi]})
+		}
+		return out
+	case FlipBit:
+		if len(p) == 0 {
+			return nil
+		}
+		d := append([]byte(nil), p...)
+		d[len(d)/2] ^= 0x10
+		return []fragment{{off: off, data: d}}
+	default: // CutClean
+		return nil
+	}
+}
+
+func (h *file) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	crashNow, err := h.fs.stepLocked()
+	if err != nil {
+		return err
+	}
+	if crashNow {
+		// Crash mid-fsync: the first half of this file's unsynced writes
+		// reach the disk, the rest (and everything else unsynced) do not.
+		h.undo = h.undo[len(h.undo)/2:]
+		h.fs.rollbackLocked()
+		h.fs.finishCrashLocked()
+		return ErrCrashed
+	}
+	if err := h.inner.Sync(); err != nil {
+		return err
+	}
+	h.undo = nil
+	// Per ext4 semantics, fsync of a freshly created file also persists
+	// its directory entry.
+	kept := h.fs.pending[:0]
+	for _, r := range h.fs.pending {
+		if r.oldname == "" && r.newname == h.name {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	h.fs.pending = kept
+	return nil
+}
+
+func (h *file) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	crashNow, err := h.fs.stepLocked()
+	if err != nil {
+		return err
+	}
+	if crashNow {
+		h.fs.rollbackLocked()
+		h.fs.finishCrashLocked()
+		return ErrCrashed
+	}
+	preSize, err := h.inner.Size()
+	if err != nil {
+		return err
+	}
+	if size < preSize {
+		if err := h.journal(size, preSize-size); err != nil {
+			return err
+		}
+	}
+	return h.inner.Truncate(size)
+}
+
+func (h *file) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	return h.inner.Size()
+}
+
+// Close marks the handle closed but retains the inner handle: unsynced
+// writes can still be lost (the OS page cache outlives a file
+// descriptor), so the journal must stay replayable until crash time.
+func (h *file) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+func parentDir(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[:i]
+		}
+	}
+	return "."
+}

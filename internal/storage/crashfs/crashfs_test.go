@@ -1,0 +1,360 @@
+package crashfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mssg/internal/storage/vfs"
+)
+
+func openRW(t *testing.T, fsys vfs.FS, path string) vfs.File {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustWrite(t *testing.T, f vfs.File, p []byte, off int64) {
+	t.Helper()
+	if _, err := f.WriteAt(p, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readDisk(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestOpCountingAndDisarmed(t *testing.T) {
+	dir := t.TempDir()
+	cf := New(nil)
+	defer cf.Shutdown()
+	p := filepath.Join(dir, "a")
+	f := openRW(t, cf, p) // open is not a durability op
+	if cf.Ops() != 0 {
+		t.Fatalf("ops after open = %d", cf.Ops())
+	}
+	mustWrite(t, f, []byte("xy"), 0) // 1
+	if err := f.Sync(); err != nil { // 2
+		t.Fatal(err)
+	}
+	if err := f.Truncate(1); err != nil { // 3
+		t.Fatal(err)
+	}
+	if err := cf.SyncDir(dir); err != nil { // 4
+		t.Fatal(err)
+	}
+	if err := cf.Rename(p, p+"2"); err != nil { // 5
+		t.Fatal(err)
+	}
+	if got := cf.Ops(); got != 5 {
+		t.Fatalf("ops = %d, want 5", got)
+	}
+	if cf.Crashed() {
+		t.Fatal("disarmed fs crashed")
+	}
+}
+
+func TestUnsyncedWritesRollBack(t *testing.T) {
+	dir := t.TempDir()
+	cf := New(nil)
+	p := filepath.Join(dir, "a")
+	f := openRW(t, cf, p)
+	mustWrite(t, f, []byte("SYNCED--"), 0) // op 1
+	if err := f.Sync(); err != nil {       // op 2
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("dirty"), 8)      // op 3: unsynced, must vanish
+	cf.SetCrashPoint(4, CutClean)            //
+	_, err := f.WriteAt([]byte("boom"), 100) // op 4: crash, CutClean drops it
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write err = %v", err)
+	}
+	if !cf.Crashed() {
+		t.Fatal("not crashed")
+	}
+	got := readDisk(t, p)
+	if string(got) != "SYNCED--" {
+		t.Fatalf("disk after crash = %q, want synced prefix only", got)
+	}
+}
+
+func TestUnsyncedCreateVanishes(t *testing.T) {
+	dir := t.TempDir()
+	cf := New(nil)
+	p := filepath.Join(dir, "a")
+	f := openRW(t, cf, p) // created, never synced
+	cf.SetCrashPoint(1, CutShort)
+	if _, err := f.WriteAt([]byte("abcdefgh"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p); err == nil {
+		t.Fatal("unsynced created file survived crash")
+	}
+}
+
+func TestCutShortOnExistingFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a")
+	if err := os.WriteFile(p, []byte("________"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf := New(nil)
+	f := openRW(t, cf, p)
+	cf.SetCrashPoint(1, CutShort)
+	_, err := f.WriteAt([]byte("abcdefgh"), 0)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	if got := string(readDisk(t, p)); got != "abcd____" {
+		t.Fatalf("disk = %q, want half-applied write", got)
+	}
+}
+
+func TestTearSectors(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a")
+	pre := make([]byte, 4*sectorBytes)
+	for i := range pre {
+		pre[i] = '_'
+	}
+	if err := os.WriteFile(p, pre, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf := New(nil)
+	f := openRW(t, cf, p)
+	cf.SetCrashPoint(1, TearSectors)
+	w := make([]byte, 3*sectorBytes+10)
+	for i := range w {
+		w[i] = 'N'
+	}
+	if _, err := f.WriteAt(w, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	got := readDisk(t, p)
+	check := func(off int, want byte) {
+		t.Helper()
+		if got[off] != want {
+			t.Fatalf("byte %d = %c, want %c", off, got[off], want)
+		}
+	}
+	// survivingFragments keeps one sector from every 2*sector stride of
+	// the write: [0,512) and [1024,1536) land; [512,1024) and the tail
+	// [1536,1546) are lost (pre-crash bytes remain).
+	check(0, 'N')
+	check(511, 'N')
+	check(512, '_')
+	check(1023, '_')
+	check(1024, 'N')
+	check(1535, 'N')
+	check(1536, '_')
+	check(2000, '_')
+}
+
+func TestFlipBit(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a")
+	if err := os.WriteFile(p, make([]byte, 8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf := New(nil)
+	f := openRW(t, cf, p)
+	cf.SetCrashPoint(1, FlipBit)
+	if _, err := f.WriteAt(make([]byte, 8), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	got := readDisk(t, p)
+	if got[4] != 0x10 {
+		t.Fatalf("middle byte = %#x, want flipped bit 0x10", got[4])
+	}
+	for i, b := range got {
+		if i != 4 && b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestRenameUndoneWithoutSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	oldp := filepath.Join(dir, "old")
+	newp := filepath.Join(dir, "new")
+	if err := os.WriteFile(oldp, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf := New(nil)
+	if err := cf.Rename(oldp, newp); err != nil { // op 1
+		t.Fatal(err)
+	}
+	cf.SetCrashPoint(2, CutClean)
+	f := openRW(t, cf, newp)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) { // op 2
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(newp); err == nil {
+		t.Fatal("unsynced rename survived crash")
+	}
+	if got := string(readDisk(t, oldp)); got != "v1" {
+		t.Fatalf("old file = %q", got)
+	}
+}
+
+func TestRenameDurableAfterSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	oldp := filepath.Join(dir, "old")
+	newp := filepath.Join(dir, "new")
+	if err := os.WriteFile(oldp, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf := New(nil)
+	if err := cf.Rename(oldp, newp); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := cf.SyncDir(dir); err != nil { // op 2
+		t.Fatal(err)
+	}
+	cf.SetCrashPoint(3, CutClean)
+	f := openRW(t, cf, newp)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) { // op 3
+		t.Fatal(err)
+	}
+	if got := string(readDisk(t, newp)); got != "v1" {
+		t.Fatalf("renamed file lost after SyncDir: %q", got)
+	}
+	if _, err := os.Stat(oldp); err == nil {
+		t.Fatal("old name resurrected after durable rename")
+	}
+}
+
+func TestCreateDurableAfterFileSync(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a")
+	cf := New(nil)
+	f := openRW(t, cf, p)
+	mustWrite(t, f, []byte("keep"), 0) // op 1
+	if err := f.Sync(); err != nil {   // op 2 — persists data AND dir entry
+		t.Fatal(err)
+	}
+	g := openRW(t, cf, filepath.Join(dir, "b"))
+	cf.SetCrashPoint(3, CutClean)
+	if _, err := g.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) { // op 3
+		t.Fatal(err)
+	}
+	if got := string(readDisk(t, p)); got != "keep" {
+		t.Fatalf("synced created file lost: %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b")); err == nil {
+		t.Fatal("unsynced created file survived")
+	}
+}
+
+func TestCrashDuringSyncKeepsHalfJournal(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a")
+	if err := os.WriteFile(p, []byte("________"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf := New(nil)
+	f := openRW(t, cf, p)
+	mustWrite(t, f, []byte("AA"), 0) // op 1 (journal[0])
+	mustWrite(t, f, []byte("BB"), 2) // op 2 (journal[1])
+	cf.SetCrashPoint(3, CutClean)
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) { // op 3: crash mid-fsync
+		t.Fatal(err)
+	}
+	// First half of the journal (write "AA") reached disk; "BB" did not.
+	if got := string(readDisk(t, p)); got != "AA______" {
+		t.Fatalf("disk = %q, want first journal half applied", got)
+	}
+}
+
+func TestTruncateRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a")
+	if err := os.WriteFile(p, []byte("longcontent"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cf := New(nil)
+	f := openRW(t, cf, p)
+	if err := f.Truncate(4); err != nil { // op 1: unsynced shrink
+		t.Fatal(err)
+	}
+	cf.SetCrashPoint(2, CutClean)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) { // op 2
+		t.Fatal(err)
+	}
+	if got := string(readDisk(t, p)); got != "longcontent" {
+		t.Fatalf("disk = %q, want truncate rolled back", got)
+	}
+}
+
+func TestEverythingFailsAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	cf := New(nil)
+	p := filepath.Join(dir, "a")
+	f := openRW(t, cf, p)
+	cf.SetCrashPoint(1, CutClean)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync: %v", err)
+	}
+	if _, err := f.Size(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Size: %v", err)
+	}
+	if _, err := cf.OpenFile(p, os.O_RDWR, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if err := cf.Rename(p, p+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := cf.SyncDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := cf.Remove(p); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestSyncedDataAlwaysSurvives(t *testing.T) {
+	// Property sweep: write+sync a known prefix, then do more unsynced
+	// work and crash at every op; the synced prefix must always be intact.
+	for crashAt := int64(3); crashAt <= 6; crashAt++ {
+		for _, pol := range []Policy{CutClean, CutShort, TearSectors, FlipBit} {
+			dir := t.TempDir()
+			p := filepath.Join(dir, "a")
+			cf := New(nil)
+			f := openRW(t, cf, p)
+			mustWrite(t, f, []byte("STABLE"), 0) // op 1
+			if err := f.Sync(); err != nil {     // op 2
+				t.Fatal(err)
+			}
+			cf.SetCrashPoint(crashAt, pol)
+			// ops 3..6: unsynced writes beyond the stable prefix
+			for off := int64(6); ; off += 2 {
+				if _, err := f.WriteAt([]byte("zz"), off); err != nil {
+					if !errors.Is(err, ErrCrashed) {
+						t.Fatal(err)
+					}
+					break
+				}
+			}
+			got := readDisk(t, p)
+			if len(got) < 6 || string(got[:6]) != "STABLE" {
+				t.Fatalf("crashAt=%d policy=%v: synced prefix lost: %q", crashAt, pol, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package fsutil provides the small durable-filesystem idioms every
+// storage component needs and none should hand-roll: atomic file
+// replacement (temp file + fsync + rename + directory fsync) and whole
+// file reads through a vfs.FS. The grDB, relational, and B-tree backends
+// all commit their manifests through WriteFileAtomic, so a crash can
+// leave either the old manifest or the new one — never a torn mix.
+package fsutil
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"mssg/internal/storage/vfs"
+)
+
+// WriteFileAtomic durably replaces path with data: the bytes are written
+// to a temporary sibling, fsynced, renamed over path, and the parent
+// directory is fsynced so the rename itself survives a crash. On any
+// error the temporary file is removed and path is untouched.
+func WriteFileAtomic(fsys vfs.FS, path string, data []byte, perm fs.FileMode) error {
+	fsys = vfs.Or(fsys)
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("fsutil: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads the whole file at path through fsys. A missing file
+// yields (nil, err) with err wrapping fs.ErrNotExist, like os.ReadFile.
+func ReadFile(fsys vfs.FS, path string) ([]byte, error) {
+	fsys = vfs.Or(fsys)
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, size)
+	if size == 0 {
+		return data, nil
+	}
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

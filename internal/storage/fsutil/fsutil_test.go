@@ -1,0 +1,41 @@
+package fsutil
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest")
+	if err := WriteFileAtomic(nil, path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "v1" {
+		t.Fatalf("read %q, want v1", b)
+	}
+	// Replacement leaves no temp file behind.
+	if err := WriteFileAtomic(nil, path, []byte("version-two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ = ReadFile(nil, path); string(b) != "version-two" {
+		t.Fatalf("read %q, want version-two", b)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(nil, filepath.Join(t.TempDir(), "absent"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}

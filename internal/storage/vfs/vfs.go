@@ -1,0 +1,92 @@
+// Package vfs defines the narrow filesystem interface the storage layer
+// performs its durable I/O through. Production code uses OS (the real
+// filesystem); the crash-injection filesystem (package crashfs) wraps it
+// to simulate a process killed at any write, sync, or rename — so every
+// syncpoint in the storage stack is reachable by the crash suite without
+// actually killing the test process.
+//
+// Only operations that matter to durability are in the interface: opening
+// files, positional reads/writes, fsync, truncate, rename, remove, and
+// directory fsync. Anything else (stat-walks, globbing) stays on package
+// os in the callers.
+package vfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is an open file handle. Positional I/O only: the storage layer
+// never relies on a shared file offset.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+	Size() (int64, error)
+}
+
+// FS is the filesystem the storage layer runs on.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory path.
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory, making renames and creations in it
+	// durable.
+	SyncDir(path string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+// Or returns fsys if non-nil and the real filesystem otherwise, so
+// callers can plumb an optional FS without nil checks at every use.
+func Or(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}
+
+type osFS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	// Some platforms cannot fsync a directory; a sync error there is not
+	// actionable, so only close errors surface.
+	_ = d.Sync()
+	return d.Close()
+}

@@ -1,0 +1,43 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// frame builds one valid record for seeding.
+func frame(seq uint64, payload []byte) []byte {
+	b := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(b[8:16], seq)
+	copy(b[headerBytes:], payload)
+	h := crc32.New(castagnoli)
+	h.Write(b[4:])
+	binary.LittleEndian.PutUint32(b[0:4], h.Sum32())
+	return b
+}
+
+// FuzzRecordScan feeds arbitrary bytes to the record scanner: corrupt or
+// truncated input must yield a (possibly empty) valid prefix, never a
+// panic, and never a record that fails re-validation.
+func FuzzRecordScan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(frame(1, []byte("hello")))
+	f.Add(append(frame(1, []byte("a")), frame(2, []byte("bb"))...))
+	f.Add(append(frame(1, []byte("a")), 0xde, 0xad)) // torn tail
+	two := append(frame(1, nil), frame(2, []byte("x"))...)
+	two[len(two)-1] ^= 0x01 // corrupt last payload byte
+	f.Add(two)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs := ScanBytes(data)
+		for i, r := range recs {
+			if r.Seq != uint64(i+1) {
+				t.Fatalf("record %d has seq %d", i, r.Seq)
+			}
+			if len(r.Payload) > MaxRecordBytes {
+				t.Fatalf("record %d payload %d bytes", i, len(r.Payload))
+			}
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func replayAll(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	err := l.Replay(func(r Record) error {
+		p := append([]byte(nil), r.Payload...)
+		out = append(out, Record{Seq: r.Seq, Payload: p})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendSyncReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf("record-%02d", i))
+		want = append(want, p)
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Group commit: nothing is durable before Sync.
+	if l.Size() != 0 {
+		t.Fatalf("durable size %d before Sync", l.Size())
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := replayAll(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) || !bytes.Equal(r.Payload, want[i]) {
+			t.Fatalf("record %d: seq %d payload %q", i, r.Seq, r.Payload)
+		}
+	}
+	// Appends continue the sequence.
+	if seq, _ := l.Append([]byte("more")); seq != 11 {
+		t.Fatalf("next seq %d, want 11", seq)
+	}
+}
+
+func TestUnsyncedRecordsAreDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("durable"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("staged-only"))
+	if err := l.Close(); err != nil { // Close does not commit
+		t.Fatal(err)
+	}
+	l, err = Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := replayAll(t, l)
+	if len(got) != 1 || string(got[0].Payload) != "durable" {
+		t.Fatalf("replayed %v", got)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("one"))
+	l.Append([]byte("two"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	size := l.Size()
+	l.Append([]byte("three"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Tear the last record: cut the file mid-payload.
+	if err := os.Truncate(path, size+headerBytes+2); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := replayAll(t, l)
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+	if l.Size() != size {
+		t.Fatalf("size %d after truncation, want %d", l.Size(), size)
+	}
+}
+
+func TestCorruptRecordEndsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("good"))
+	l.Append([]byte("bad"))
+	l.Append([]byte("unreachable"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Flip a bit in the second record's payload.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerBytes+len("good")+headerBytes] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := replayAll(t, l)
+	if len(got) != 1 || string(got[0].Payload) != "good" {
+		t.Fatalf("replayed %v, want only the first record", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("gone"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Empty() || l.Seq() != 0 {
+		t.Fatalf("log not empty after Reset: size %d seq %d", l.Size(), l.Seq())
+	}
+	if seq, _ := l.Append([]byte("fresh")); seq != 1 {
+		t.Fatalf("seq after reset %d, want 1", seq)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l, err = Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := replayAll(t, l)
+	if len(got) != 1 || string(got[0].Payload) != "fresh" {
+		t.Fatalf("replayed %v", got)
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	l, err := Open(nil, filepath.Join(t.TempDir(), "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after Close: %v", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after Close: %v", err)
+	}
+	if err := l.Replay(nil); err != ErrClosed {
+		t.Fatalf("Replay after Close: %v", err)
+	}
+	if err := l.Reset(); err != ErrClosed {
+		t.Fatalf("Reset after Close: %v", err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(nil)
+	l.Append([]byte{})
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l, err = Open(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := replayAll(t, l); len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+}
