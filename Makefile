@@ -32,7 +32,7 @@ chaos:
 # the oracle (DESIGN.md "Durability & crash recovery"). Set
 # MSSG_CRASH_STRIDE=N to subsample the sweep.
 crash:
-	$(GO) test -race -count=1 -run 'TestKillAtEverySyncpoint|TestCrashDuringRecovery|TestTornBlockNeverReadsValid' ./internal/crash
+	$(GO) test -race -count=1 -run 'TestKillAtEverySyncpoint|TestCrashDuringRecovery|TestTorn' ./internal/crash
 	$(GO) test -race -count=1 -run 'TestIngestCrashResumeSweep' ./internal/ingest
 
 # Offline checksum scrub of every node database under DIR (quarantines

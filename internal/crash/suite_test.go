@@ -9,6 +9,7 @@ import (
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
 	"mssg/internal/graphdb/grdb"
+	"mssg/internal/graphdb/reldb"
 	"mssg/internal/storage/crashfs"
 	"mssg/internal/storage/vfs"
 )
@@ -35,7 +36,17 @@ var policies = []crashfs.Policy{
 	crashfs.CutClean, crashfs.CutShort, crashfs.TearSectors, crashfs.FlipBit,
 }
 
-func crashOpts(dir string, fsys vfs.FS) graphdb.Options {
+// backend is one durable graphdb implementation under sweep. Both
+// backends run the same workload and the same oracle verification; scrub
+// is optional (reldb has no block scrubber — its checksummed reads fail
+// loudly instead, which the adjacency pass exercises).
+type backend struct {
+	name  string
+	open  func(dir string, fsys vfs.FS, verify bool) (graphdb.Graph, error)
+	scrub func(g graphdb.Graph) (corrupt int64, err error)
+}
+
+func grdbOpts(dir string, fsys vfs.FS) graphdb.Options {
 	return graphdb.Options{
 		Dir:          dir,
 		MaxFileBytes: 4096,
@@ -48,6 +59,39 @@ func crashOpts(dir string, fsys vfs.FS) graphdb.Options {
 		Durability: graphdb.DurabilityFull,
 		FS:         fsys,
 	}
+}
+
+var backends = []backend{
+	{
+		name: "grdb",
+		open: func(dir string, fsys vfs.FS, verify bool) (graphdb.Graph, error) {
+			opts := grdbOpts(dir, fsys)
+			opts.VerifyOnOpen = verify
+			return grdb.Open(opts)
+		},
+		scrub: func(g graphdb.Graph) (int64, error) {
+			rep, err := g.(*grdb.DB).Scrub()
+			if err != nil {
+				return 0, err
+			}
+			return int64(rep.CorruptBlocks), nil
+		},
+	},
+	{
+		name: "reldb",
+		open: func(dir string, fsys vfs.FS, verify bool) (graphdb.Graph, error) {
+			return reldb.Open(graphdb.Options{
+				Dir:          dir,
+				MaxFileBytes: 64 << 10,
+				// Zero cache budget: every release wants to write back, so
+				// the sweep maximally exercises the no-steal policy that
+				// keeps dirty pages off disk until their WAL images commit.
+				CacheBytes: -1,
+				Durability: graphdb.DurabilityFull,
+				FS:         fsys,
+			})
+		},
+	},
 }
 
 // batchEdges is the oracle: batch i stores a deterministic adjacency for
@@ -68,7 +112,7 @@ const workloadBatches = 6
 // runWorkload stores batches each followed by a Flush and returns how
 // many Flushes succeeded. Errors after the crash point are expected; the
 // caller learns about them through the committed count.
-func runWorkload(d *grdb.DB) (committed int) {
+func runWorkload(d graphdb.Graph) (committed int) {
 	for i := 0; i < workloadBatches; i++ {
 		if err := d.StoreEdges(batchEdges(i)); err != nil {
 			return committed
@@ -86,21 +130,21 @@ func runWorkload(d *grdb.DB) (committed int) {
 // present (at least every acked one, at most one more — the batch whose
 // commit was in flight), every present batch is byte-exact with no
 // duplicates, and no torn block reads as valid anywhere.
-func verifyRecovered(t *testing.T, dir string, committed int, ctx string) {
+func verifyRecovered(t *testing.T, b backend, dir string, committed int, ctx string) {
 	t.Helper()
-	opts := crashOpts(dir, nil)
-	opts.VerifyOnOpen = true
-	d, err := grdb.Open(opts)
+	d, err := b.open(dir, nil, true)
 	if err != nil {
 		t.Fatalf("%s: recovery open: %v", ctx, err)
 	}
 	defer d.Close()
-	rep, err := d.Scrub()
-	if err != nil {
-		t.Fatalf("%s: scrub: %v", ctx, err)
-	}
-	if rep.CorruptBlocks != 0 {
-		t.Fatalf("%s: %d torn blocks survived recovery", ctx, rep.CorruptBlocks)
+	if b.scrub != nil {
+		corrupt, err := b.scrub(d)
+		if err != nil {
+			t.Fatalf("%s: scrub: %v", ctx, err)
+		}
+		if corrupt != 0 {
+			t.Fatalf("%s: %d torn blocks survived recovery", ctx, corrupt)
+		}
 	}
 	recovered := -1
 	for i := 0; i < workloadBatches; i++ {
@@ -148,45 +192,64 @@ func verifyRecovered(t *testing.T, dir string, committed int, ctx string) {
 // TestKillAtEverySyncpoint is the tentpole sweep: count the filesystem
 // operations a clean workload performs, then re-run it once per
 // operation with a crash injected there, and verify recovery after each.
+// Odd crash points additionally arm the opportunistic-writeback model
+// (crashfs.SetRetainUnsynced), in which a pseudo-random per-file prefix
+// of unsynced writes survives the crash instead of all being lost — the
+// model that catches steal/no-undo protocol bugs the clean-rollback
+// model cannot (a dirty page written back before its WAL images were
+// synced passes clean rollback, because rollback politely erases the
+// evidence).
 func TestKillAtEverySyncpoint(t *testing.T) {
-	// Dry run: measure the op budget.
-	dryDir := t.TempDir()
-	cfs := crashfs.New(vfs.OS)
-	d, err := grdb.Open(crashOpts(dryDir, cfs))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := runWorkload(d); got != workloadBatches {
-		t.Fatalf("dry run committed %d/%d batches", got, workloadBatches)
-	}
-	if err := d.Close(); err != nil {
-		t.Fatal(err)
-	}
-	total := cfs.Ops()
-	if total < 50 {
-		t.Fatalf("suspiciously few filesystem ops in dry run: %d", total)
-	}
-	t.Logf("sweeping %d crash points, stride %d", total, stride(t))
+	for _, b := range backends {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			// Dry run: measure the op budget.
+			dryDir := t.TempDir()
+			cfs := crashfs.New(vfs.OS)
+			d, err := b.open(dryDir, cfs, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runWorkload(d); got != workloadBatches {
+				t.Fatalf("dry run committed %d/%d batches", got, workloadBatches)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			total := cfs.Ops()
+			if total < 50 {
+				t.Fatalf("suspiciously few filesystem ops in dry run: %d", total)
+			}
+			t.Logf("sweeping %d crash points, stride %d", total, stride(t))
 
-	for k := int64(1); k <= total; k += stride(t) {
-		policy := policies[int(k)%len(policies)]
-		dir := t.TempDir()
-		cfs := crashfs.New(vfs.OS)
-		cfs.SetCrashPoint(k, policy)
-		committed := 0
-		d, err := grdb.Open(crashOpts(dir, cfs))
-		if err == nil {
-			committed = runWorkload(d)
-		}
-		cfs.Shutdown()
-		if !cfs.Crashed() {
-			// The workload finished before reaching op k (Close performs
-			// fewer ops than the dry run's accounting reserved); nothing
-			// left to sweep.
-			continue
-		}
-		ctx := "crash@" + strconv.FormatInt(k, 10) + "/" + policy.String()
-		verifyRecovered(t, dir, committed, ctx)
+			for k := int64(1); k <= total; k += stride(t) {
+				policy := policies[int(k)%len(policies)]
+				dir := t.TempDir()
+				cfs := crashfs.New(vfs.OS)
+				cfs.SetCrashPoint(k, policy)
+				retained := k%2 == 1
+				if retained {
+					cfs.SetRetainUnsynced(uint64(k))
+				}
+				committed := 0
+				d, err := b.open(dir, cfs, false)
+				if err == nil {
+					committed = runWorkload(d)
+				}
+				cfs.Shutdown()
+				if !cfs.Crashed() {
+					// The workload finished before reaching op k (Close performs
+					// fewer ops than the dry run's accounting reserved); nothing
+					// left to sweep.
+					continue
+				}
+				ctx := "crash@" + strconv.FormatInt(k, 10) + "/" + policy.String()
+				if retained {
+					ctx += "/retain"
+				}
+				verifyRecovered(t, b, dir, committed, ctx)
+			}
+		})
 	}
 }
 
@@ -195,46 +258,52 @@ func TestKillAtEverySyncpoint(t *testing.T) {
 // prefix. Recovery must itself be crash-safe (it replays, flushes, and
 // resets the log through the same syncpoints).
 func TestCrashDuringRecovery(t *testing.T) {
-	// Build a database whose WAL holds a committed but unfinished
-	// checkpoint: crash right after the workload's last commit fsync.
-	// Rather than guess the op index, crash partway through a workload,
-	// then sweep crash points over the recovery itself.
-	seedDir := t.TempDir()
-	seed := crashfs.New(vfs.OS)
-	d, err := grdb.Open(crashOpts(seedDir, seed))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := runWorkload(d); got != workloadBatches {
-		t.Fatalf("seed run committed %d", got)
-	}
-	if err := d.Close(); err != nil {
-		t.Fatal(err)
-	}
-	mid := seed.Ops() / 2
+	for _, b := range backends {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			// Build a database whose WAL holds a committed but unfinished
+			// checkpoint: crash right after the workload's last commit fsync.
+			// Rather than guess the op index, crash partway through a workload,
+			// then sweep crash points over the recovery itself.
+			seedDir := t.TempDir()
+			seed := crashfs.New(vfs.OS)
+			d, err := b.open(seedDir, seed, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runWorkload(d); got != workloadBatches {
+				t.Fatalf("seed run committed %d", got)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			mid := seed.Ops() / 2
 
-	for off := int64(0); off < 20; off += 4 {
-		dir := t.TempDir()
-		cfs := crashfs.New(vfs.OS)
-		cfs.SetCrashPoint(mid, crashfs.CutShort)
-		committed := 0
-		if d, err := grdb.Open(crashOpts(dir, cfs)); err == nil {
-			committed = runWorkload(d)
-		}
-		cfs.Shutdown()
-		if !cfs.Crashed() {
-			t.Fatalf("seed crash at %d never fired", mid)
-		}
+			for off := int64(0); off < 20; off += 4 {
+				dir := t.TempDir()
+				cfs := crashfs.New(vfs.OS)
+				cfs.SetCrashPoint(mid, crashfs.CutShort)
+				cfs.SetRetainUnsynced(uint64(off + 1))
+				committed := 0
+				if d, err := b.open(dir, cfs, false); err == nil {
+					committed = runWorkload(d)
+				}
+				cfs.Shutdown()
+				if !cfs.Crashed() {
+					t.Fatalf("seed crash at %d never fired", mid)
+				}
 
-		// Crash again, off ops into recovery.
-		rfs := crashfs.New(vfs.OS)
-		rfs.SetCrashPoint(off+1, crashfs.TearSectors)
-		if d, err := grdb.Open(crashOpts(dir, rfs)); err == nil {
-			d.Close()
-		}
-		rfs.Shutdown()
+				// Crash again, off ops into recovery.
+				rfs := crashfs.New(vfs.OS)
+				rfs.SetCrashPoint(off+1, crashfs.TearSectors)
+				if d, err := b.open(dir, rfs, false); err == nil {
+					d.Close()
+				}
+				rfs.Shutdown()
 
-		verifyRecovered(t, dir, committed, "double-crash@"+strconv.FormatInt(off+1, 10))
+				verifyRecovered(t, b, dir, committed, "double-crash@"+strconv.FormatInt(off+1, 10))
+			}
+		})
 	}
 }
 
@@ -243,7 +312,7 @@ func TestCrashDuringRecovery(t *testing.T) {
 // and Scrub quarantines-and-repairs.
 func TestTornBlockNeverReadsValid(t *testing.T) {
 	dir := t.TempDir()
-	d, err := grdb.Open(crashOpts(dir, nil))
+	d, err := grdb.Open(grdbOpts(dir, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +332,7 @@ func TestTornBlockNeverReadsValid(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	d2, err := grdb.Open(crashOpts(dir, nil))
+	d2, err := grdb.Open(grdbOpts(dir, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,5 +350,48 @@ func TestTornBlockNeverReadsValid(t *testing.T) {
 	}
 	if _, err := d2.Check(); err != nil {
 		t.Fatalf("post-scrub check: %v", err)
+	}
+}
+
+// TestTornReldbBlockNeverReadsValid is the reldb analogue: a flipped bit
+// in a synced heap file must fail the checksummed read rather than decode
+// as a valid row.
+func TestTornReldbBlockNeverReadsValid(t *testing.T) {
+	rel := backends[1]
+	dir := t.TempDir()
+	d, err := rel.open(dir, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runWorkload(d); got != workloadBatches {
+		t.Fatalf("committed %d", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/heap.0000"
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[100] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := rel.open(dir, nil, false)
+	if err != nil {
+		return // corruption already rejected at open — also acceptable
+	}
+	defer d2.Close()
+	failed := false
+	for i := 0; i < workloadBatches; i++ {
+		out := graph.NewAdjList(16)
+		if err := graphdb.Adjacency(d2, graph.VertexID(i), out); err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("flipped bit read back as valid adjacency")
 	}
 }

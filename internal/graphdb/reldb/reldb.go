@@ -103,19 +103,15 @@ func Open(opts graphdb.Options) (*DB, error) {
 	idxStore.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
 	c := cache.New(cacheBytes)
 	c.EnableMetrics(opts.Metrics, "mysql")
+	if durable {
+		// Dirty pages must not reach their data files before the WAL
+		// holding their images is synced (DESIGN.md §11): without this, an
+		// eviction under memory pressure writes half a B-tree split in
+		// place over committed pages, and the redo-only log has no undo to
+		// repair it after a power cut.
+		c.SetNoSteal(true)
+	}
 	man, err := loadManifest(fsys, filepath.Join(opts.Dir, manifestName))
-	if err != nil {
-		heapStore.Close()
-		idxStore.Close()
-		return nil, err
-	}
-	hp, err := openHeap(heapStore, c, spaceHeap, man.heapTail, man.heapPages)
-	if err != nil {
-		heapStore.Close()
-		idxStore.Close()
-		return nil, err
-	}
-	idx, err := btree.Open(btree.Config{Store: idxStore, Cache: c, Space: spaceIndex}, man.tree)
 	if err != nil {
 		heapStore.Close()
 		idxStore.Close()
@@ -123,6 +119,31 @@ func Open(opts graphdb.Options) (*DB, error) {
 	}
 	log, err := wal.Open(fsys, filepath.Join(opts.Dir, "wal.log"))
 	if err != nil {
+		heapStore.Close()
+		idxStore.Close()
+		return nil, err
+	}
+	// A committed flush may have been interrupted mid-write-back: restore
+	// its block images (and the manifest state it sealed) before the heap
+	// and tree first read through those pages.
+	man, lastState, err := recoverCheckpoint(log,
+		map[uint32]*blockio.Store{spaceHeap: heapStore, spaceIndex: idxStore}, man)
+	if err != nil {
+		log.Close()
+		heapStore.Close()
+		idxStore.Close()
+		return nil, fmt.Errorf("reldb: checkpoint recovery: %w", err)
+	}
+	hp, err := openHeap(heapStore, c, spaceHeap, man.heapTail, man.heapPages)
+	if err != nil {
+		log.Close()
+		heapStore.Close()
+		idxStore.Close()
+		return nil, err
+	}
+	idx, err := btree.Open(btree.Config{Store: idxStore, Cache: c, Space: spaceIndex}, man.tree)
+	if err != nil {
+		log.Close()
 		heapStore.Close()
 		idxStore.Close()
 		return nil, err
@@ -140,14 +161,15 @@ func Open(opts graphdb.Options) (*DB, error) {
 		durable:   durable,
 	}
 	d.stats.EnableLatency(opts.Metrics, "mysql")
-	// Redo what the last crash left in the log, then complete the
+	// Redo the row records the last crash left in the log (those not
+	// already covered by the recovered checkpoint), then complete the
 	// interrupted flush so the next crash starts from a clean slate.
-	replayed, err := d.replayWAL()
+	replayed, err := d.replayWAL(lastState)
 	if err != nil {
 		d.closeStores()
 		return nil, fmt.Errorf("reldb: WAL replay: %w", err)
 	}
-	if replayed > 0 {
+	if replayed > 0 || lastState > 0 {
 		if err := d.Flush(); err != nil {
 			d.closeStores()
 			return nil, fmt.Errorf("reldb: post-replay flush: %w", err)
@@ -162,16 +184,24 @@ type manifest struct {
 	heapPages int64
 }
 
-func loadManifest(fsys vfs.FS, path string) (manifest, error) {
-	b, err := fsutil.ReadFile(fsys, path)
-	if errors.Is(err, os.ErrNotExist) {
-		return manifest{}, nil
-	}
-	if err != nil {
-		return manifest{}, fmt.Errorf("reldb: manifest: %w", err)
-	}
-	if len(b) != 40 {
-		return manifest{}, fmt.Errorf("reldb: manifest is %d bytes, want 40", len(b))
+// manifestBytes is the fixed encoded size of a manifest (also the
+// payload of a WAL state record, minus its kind byte).
+const manifestBytes = 40
+
+// encode serializes m into b, which must be manifestBytes long.
+func (m manifest) encode(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:8], uint64(m.tree.Root))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(m.tree.NumPages))
+	binary.LittleEndian.PutUint64(b[16:24], uint64(m.tree.Count))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(m.heapTail))
+	binary.LittleEndian.PutUint64(b[32:40], uint64(m.heapPages))
+}
+
+// decodeManifest parses manifestBytes of encoded manifest. Must not
+// panic on any input (fuzzed via FuzzManifestDecode).
+func decodeManifest(b []byte) (manifest, error) {
+	if len(b) != manifestBytes {
+		return manifest{}, fmt.Errorf("reldb: manifest is %d bytes, want %d", len(b), manifestBytes)
 	}
 	return manifest{
 		tree: btree.Meta{
@@ -184,14 +214,25 @@ func loadManifest(fsys vfs.FS, path string) (manifest, error) {
 	}, nil
 }
 
+func loadManifest(fsys vfs.FS, path string) (manifest, error) {
+	b, err := fsutil.ReadFile(fsys, path)
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{}, nil
+	}
+	if err != nil {
+		return manifest{}, fmt.Errorf("reldb: manifest: %w", err)
+	}
+	return decodeManifest(b)
+}
+
+// currentManifest snapshots the live tree meta and heap allocation state.
+func (d *DB) currentManifest() manifest {
+	return manifest{tree: d.index.Meta(), heapTail: d.heap.tail, heapPages: d.heap.numPages}
+}
+
 func (d *DB) saveManifest() error {
-	m := d.index.Meta()
-	var b [40]byte
-	binary.LittleEndian.PutUint64(b[0:8], uint64(m.Root))
-	binary.LittleEndian.PutUint64(b[8:16], uint64(m.NumPages))
-	binary.LittleEndian.PutUint64(b[16:24], uint64(m.Count))
-	binary.LittleEndian.PutUint64(b[24:32], uint64(d.heap.tail))
-	binary.LittleEndian.PutUint64(b[32:40], uint64(d.heap.numPages))
+	var b [manifestBytes]byte
+	d.currentManifest().encode(b[:])
 	return fsutil.WriteFileAtomic(d.fsys, filepath.Join(d.dir, manifestName), b[:], 0o644)
 }
 
@@ -411,11 +452,33 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 // it returns, the flushed statements survive a crash (replay redoes
 // them); the write-back, data syncs, and manifest that follow retire the
 // log so the next recovery starts empty.
+//
+// In durable mode Flush is a redo-only checkpoint in the style of grdb's
+// (DESIGN.md §11): before the commit fsync it appends the image of every
+// dirty page plus one state record sealing the new tree meta and heap
+// tail. Row records alone are not enough once write-back starts — a
+// power cut midway leaves some pages at the new state and some at the
+// old, and logical re-execution against such a half-written tree can
+// descend through a half-applied split into garbage. Recovery instead
+// restores the committed images wholesale (recoverCheckpoint), which
+// never reads the damaged tree at all.
 func (d *DB) Flush() error {
 	if d.closed {
 		return graphdb.ErrClosed
 	}
-	if err := d.log.Sync(); err != nil {
+	if d.durable {
+		err := d.cache.Dirty(func(space uint32, block int64, data []byte) error {
+			_, err := d.log.Append(encodeImageRecord(space, block, data))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := d.log.Append(encodeStateRecord(d.currentManifest())); err != nil {
+			return err
+		}
+	}
+	if err := d.log.Sync(); err != nil { // commit point
 		return err
 	}
 	if err := d.cache.Flush(); err != nil {

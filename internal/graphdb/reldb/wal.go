@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mssg/internal/graph"
+	"mssg/internal/storage/blockio"
 	"mssg/internal/storage/btree"
 	"mssg/internal/storage/wal"
 )
@@ -12,46 +13,161 @@ import (
 // reldb logs through the shared CRC-framed write-ahead log
 // (storage/wal), replacing its original ad-hoc log — which had no
 // checksums, no replay, and a "recovery" that set the LSN to the file
-// size. Record payloads are
+// size. Every payload starts with a kind byte:
 //
-//	vertex  uint64
-//	chunk   uint32
-//	blob    [rest]
+//	'R'  logical row:   vertex uint64 | chunk uint32 | blob
+//	'I'  block image:   space uint32 | block uint64 | data [blockSize]
+//	'S'  flush state:   the 40 manifest bytes (tree meta + heap tail)
 //
-// Chunk 0 is not a row: it carries the vertex's head record
+// Row records are appended per statement and group-committed by the
+// next log Sync; they are replayable only against data files that hold
+// exactly the last completed flush — which the no-steal cache
+// guarantees between flushes. During a flush's write-back that guarantee
+// lapses (pages land one at a time), so a durable Flush first appends an
+// image of every dirty page plus one state record: recovery restores the
+// images wholesale instead of re-running statements against a
+// half-written tree (see the checkpoint protocol comment in reldb.go).
+//
+// A row's chunk 0 is not a row: it carries the vertex's head record
 // ({tailChunk uint32, tailCount uint32} as the blob), logged after the
 // row inserts it summarizes so replay restores heads in order.
 
-const walRecordHeader = 8 + 4
+// WAL record kinds (first payload byte).
+const (
+	recRow   = 'R'
+	recImage = 'I'
+	recState = 'S'
+)
+
+const walRowHeader = 1 + 8 + 4
 
 func encodeWALRecord(vertex int64, chunk uint32, blob []byte) []byte {
-	b := make([]byte, walRecordHeader+len(blob))
-	binary.LittleEndian.PutUint64(b[0:8], uint64(vertex))
-	binary.LittleEndian.PutUint32(b[8:12], chunk)
-	copy(b[walRecordHeader:], blob)
+	b := make([]byte, walRowHeader+len(blob))
+	b[0] = recRow
+	binary.LittleEndian.PutUint64(b[1:9], uint64(vertex))
+	binary.LittleEndian.PutUint32(b[9:13], chunk)
+	copy(b[walRowHeader:], blob)
 	return b
 }
 
-// decodeWALRecord splits a payload; blob aliases p. Must not panic on
-// any input (fuzzed via FuzzWALRecordDecode).
+// decodeWALRecord splits a row payload; blob aliases p. Must not panic
+// on any input (fuzzed via FuzzWALRecordDecode).
 func decodeWALRecord(p []byte) (vertex int64, chunk uint32, blob []byte, err error) {
-	if len(p) < walRecordHeader {
-		return 0, 0, nil, fmt.Errorf("reldb: WAL record of %d bytes is shorter than its header", len(p))
+	if len(p) < walRowHeader || p[0] != recRow {
+		return 0, 0, nil, fmt.Errorf("reldb: malformed WAL row record (%d bytes)", len(p))
 	}
-	return int64(binary.LittleEndian.Uint64(p[0:8])),
-		binary.LittleEndian.Uint32(p[8:12]),
-		p[walRecordHeader:], nil
+	return int64(binary.LittleEndian.Uint64(p[1:9])),
+		binary.LittleEndian.Uint32(p[9:13]),
+		p[walRowHeader:], nil
 }
 
-// replayWAL re-executes every durable log record against the heap and
-// index: row records re-insert (a fresh heap row version; the index
-// repoint makes the replay idempotent — re-replaying can waste heap
-// space but never duplicates an edge in query results), head records
-// rewrite the head. Because a crash can lose the head update that
-// followed an insert, replay also tracks each vertex's highest replayed
-// chunk and self-heals heads that lag it. Returns the number of records
-// applied.
-func (d *DB) replayWAL() (int, error) {
+const walImageHeader = 1 + 4 + 8
+
+func encodeImageRecord(space uint32, block int64, data []byte) []byte {
+	b := make([]byte, walImageHeader+len(data))
+	b[0] = recImage
+	binary.LittleEndian.PutUint32(b[1:5], space)
+	binary.LittleEndian.PutUint64(b[5:13], uint64(block))
+	copy(b[walImageHeader:], data)
+	return b
+}
+
+// decodeImageRecord splits an image payload; data aliases p. Must not
+// panic on any input.
+func decodeImageRecord(p []byte) (space uint32, block int64, data []byte, err error) {
+	if len(p) < walImageHeader || p[0] != recImage {
+		return 0, 0, nil, fmt.Errorf("reldb: malformed WAL image record (%d bytes)", len(p))
+	}
+	return binary.LittleEndian.Uint32(p[1:5]),
+		int64(binary.LittleEndian.Uint64(p[5:13])),
+		p[walImageHeader:], nil
+}
+
+func encodeStateRecord(m manifest) []byte {
+	b := make([]byte, 1+manifestBytes)
+	b[0] = recState
+	m.encode(b[1:])
+	return b
+}
+
+// decodeStateRecord parses a state payload. Must not panic on any input.
+func decodeStateRecord(p []byte) (manifest, error) {
+	if len(p) != 1+manifestBytes || p[0] != recState {
+		return manifest{}, fmt.Errorf("reldb: malformed WAL state record (%d bytes)", len(p))
+	}
+	return decodeManifest(p[1:])
+}
+
+// recoverCheckpoint scans the log for the last committed flush (the
+// last state record in the valid prefix) and, when one exists, applies
+// every block image up to it and returns the manifest state it sealed.
+// Images after the last state record — or with no state record at all —
+// belong to a flush whose commit fsync never finished; the no-steal
+// cache guarantees none of their blocks were written back, so they are
+// ignored wholesale. Called before the heap and index are opened, so the
+// restored blocks are what the tree reads.
+func recoverCheckpoint(log *wal.Log, stores map[uint32]*blockio.Store, man manifest) (manifest, uint64, error) {
+	var lastState uint64
+	err := log.Replay(func(r wal.Record) error {
+		if len(r.Payload) > 0 && r.Payload[0] == recState {
+			lastState = r.Seq
+		}
+		return nil
+	})
+	if err != nil {
+		return man, 0, err
+	}
+	if lastState == 0 {
+		return man, 0, nil
+	}
+	err = log.Replay(func(r wal.Record) error {
+		if r.Seq > lastState || len(r.Payload) == 0 {
+			return nil
+		}
+		switch r.Payload[0] {
+		case recImage:
+			space, block, data, err := decodeImageRecord(r.Payload)
+			if err != nil {
+				return err
+			}
+			store, ok := stores[space]
+			if !ok {
+				return fmt.Errorf("reldb: WAL image for unknown space %d", space)
+			}
+			if len(data) != store.BlockSize() {
+				return fmt.Errorf("reldb: WAL image for space %d is %d bytes, want %d",
+					space, len(data), store.BlockSize())
+			}
+			if block < 0 {
+				return fmt.Errorf("reldb: WAL image for negative block %d", block)
+			}
+			return store.WriteBlock(block, data)
+		case recState:
+			if r.Seq != lastState {
+				return nil // superseded by a later flush in the same log
+			}
+			m, err := decodeStateRecord(r.Payload)
+			if err != nil {
+				return err
+			}
+			man = m
+		}
+		return nil
+	})
+	return man, lastState, err
+}
+
+// replayWAL re-executes every durable row record after afterSeq against
+// the heap and index: row records re-insert (a fresh heap row version;
+// the index repoint makes the replay idempotent — re-replaying can waste
+// heap space but never duplicates an edge in query results), head
+// records rewrite the head. Because a crash can lose the head update
+// that followed an insert, replay also tracks each vertex's highest
+// replayed chunk and self-heals heads that lag it. Image and state
+// records in that range belong to an uncommitted flush and are skipped
+// (recoverCheckpoint already consumed the committed ones). Returns the
+// number of records applied.
+func (d *DB) replayWAL(afterSeq uint64) (int, error) {
 	type tailSeen struct {
 		chunk uint32
 		count uint32
@@ -59,6 +175,12 @@ func (d *DB) replayWAL() (int, error) {
 	fixes := make(map[int64]tailSeen)
 	n := 0
 	err := d.log.Replay(func(r wal.Record) error {
+		if r.Seq <= afterSeq {
+			return nil
+		}
+		if len(r.Payload) > 0 && (r.Payload[0] == recImage || r.Payload[0] == recState) {
+			return nil
+		}
 		vertex, chunk, blob, err := decodeWALRecord(r.Payload)
 		if err != nil {
 			return err

@@ -8,6 +8,7 @@ import (
 
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
+	"mssg/internal/storage/btree"
 )
 
 func openAt(t *testing.T, dir string) *DB {
@@ -194,6 +195,137 @@ func FuzzWALRecordDecode(f *testing.F) {
 		// Valid decodes must survive a re-encode round trip.
 		if !bytes.Equal(encodeWALRecord(v, c, blob), b) {
 			t.Fatalf("round trip mismatch for %x", b)
+		}
+	})
+}
+
+func TestRecoverCommittedCheckpointMidWriteback(t *testing.T) {
+	// A durable Flush whose commit fsync finished but whose write-back,
+	// store syncs, manifest, and log reset did not: recovery must restore
+	// the checkpoint from its WAL images and sealed state, not re-run
+	// statements against whatever the interrupted write-back left behind.
+	dir := t.TempDir()
+	d := openAt(t, dir)
+	if err := d.StoreEdges([]graph.Edge{{Src: 1, Dst: 10}, {Src: 1, Dst: 11}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StoreEdges([]graph.Edge{{Src: 2, Dst: 20}, {Src: 2, Dst: 21}}); err != nil {
+		t.Fatal(err)
+	}
+	// The first half of Flush, stopping right after the commit point: the
+	// manifest on disk still describes the first batch only.
+	err := d.cache.Dirty(func(space uint32, block int64, data []byte) error {
+		_, err := d.log.Append(encodeImageRecord(space, block, data))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.log.Append(encodeStateRecord(d.currentManifest())); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// No write-back, no manifest — abandon at the worst moment.
+
+	d2 := openAt(t, dir)
+	defer d2.Close()
+	if got := sortedNeighbors(t, d2, 1); len(got) != 2 {
+		t.Fatalf("first batch lost: %v", got)
+	}
+	if got := sortedNeighbors(t, d2, 2); len(got) != 2 || got[0] != 20 || got[1] != 21 {
+		t.Fatalf("committed checkpoint not recovered: %v", got)
+	}
+	if !d2.log.Empty() {
+		t.Fatal("WAL not retired after checkpoint recovery")
+	}
+}
+
+func TestUncommittedCheckpointImagesIgnored(t *testing.T) {
+	// Images staged for a flush whose state record never landed must not
+	// be applied: the rows replay logically instead (the data files still
+	// hold the previous flush exactly, thanks to the no-steal cache).
+	dir := t.TempDir()
+	d := openAt(t, dir)
+	if err := d.StoreEdges([]graph.Edge{{Src: 5, Dst: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	err := d.cache.Dirty(func(space uint32, block int64, data []byte) error {
+		_, err := d.log.Append(encodeImageRecord(space, block, data))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sync rows + images but no state record, then abandon.
+	if err := d.log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := openAt(t, dir)
+	defer d2.Close()
+	if got := sortedNeighbors(t, d2, 5); len(got) != 1 || got[0] != 50 {
+		t.Fatalf("synced rows lost: %v", got)
+	}
+}
+
+func TestCheckpointRecordRoundTrip(t *testing.T) {
+	img := encodeImageRecord(1, 42, []byte{9, 8, 7})
+	space, block, data, err := decodeImageRecord(img)
+	if err != nil || space != 1 || block != 42 || !bytes.Equal(data, []byte{9, 8, 7}) {
+		t.Fatalf("image round trip = %d %d %v %v", space, block, data, err)
+	}
+	if _, _, _, err := decodeImageRecord([]byte{recImage}); err == nil {
+		t.Fatal("short image record accepted")
+	}
+	m := manifest{tree: btree.Meta{Root: 3, NumPages: 7, Count: 11}, heapTail: 5, heapPages: 6}
+	got, err := decodeStateRecord(encodeStateRecord(m))
+	if err != nil || got != m {
+		t.Fatalf("state round trip = %+v %v", got, err)
+	}
+	if _, err := decodeStateRecord([]byte{recState, 0}); err == nil {
+		t.Fatal("short state record accepted")
+	}
+}
+
+func FuzzCheckpointRecordDecode(f *testing.F) {
+	f.Add(encodeImageRecord(0, 1, []byte("page")))
+	f.Add(encodeStateRecord(manifest{heapTail: 1, heapPages: 2}))
+	f.Add([]byte{recImage})
+	f.Add([]byte{recState})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if space, block, data, err := decodeImageRecord(b); err == nil {
+			if !bytes.Equal(encodeImageRecord(space, block, data), b) {
+				t.Fatalf("image round trip mismatch for %x", b)
+			}
+		}
+		if m, err := decodeStateRecord(b); err == nil {
+			if !bytes.Equal(encodeStateRecord(m), b) {
+				t.Fatalf("state round trip mismatch for %x", b)
+			}
+		}
+	})
+}
+
+func FuzzManifestDecode(f *testing.F) {
+	var seed [manifestBytes]byte
+	manifest{tree: btree.Meta{Root: 1, NumPages: 2, Count: 3}, heapTail: 4, heapPages: 5}.encode(seed[:])
+	f.Add(seed[:])
+	f.Add([]byte{})
+	f.Add(seed[:39])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := decodeManifest(b)
+		if err != nil {
+			return
+		}
+		var out [manifestBytes]byte
+		m.encode(out[:])
+		if !bytes.Equal(out[:], b) {
+			t.Fatalf("manifest round trip mismatch for %x", b)
 		}
 	})
 }

@@ -376,8 +376,8 @@ func (s *Store) WriteBlock(idx int64, buf []byte) error {
 	}
 	bi := idx % s.blocksPerFile
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
 		return ErrClosed
 	}
 	for int64(len(f.entries)) <= bi {
@@ -385,7 +385,9 @@ func (s *Store) WriteBlock(idx int64, buf []byte) error {
 	}
 	e := sumEntry{crc: crc32.Checksum(buf, castagnoli), written: true, gen: f.entries[bi].gen + 1}
 	f.entries[bi] = e
-	s.mu.Unlock()
+	// The sidecar write stays under s.mu so two concurrent WriteBlocks to
+	// the same block cannot persist the loser's entry while memory holds
+	// the winner's (the write is a page-cache store, not a disk wait).
 	var eb [sumEntryBytes]byte
 	e.encode(eb[:])
 	if _, err := f.sum.WriteAt(eb[:], bi*sumEntryBytes); err != nil {

@@ -12,7 +12,12 @@
 //
 //   - all writes since each file's last successful Sync are rolled back
 //     (simulating dirty OS pages lost by the kill), restoring the file's
-//     last-synced content;
+//     last-synced content — unless SetRetainUnsynced is armed, in which
+//     case each file keeps a pseudo-random prefix of its unsynced writes
+//     (real kernels write dirty pages back opportunistically, so an
+//     unsynced write surviving while a later one is lost is a legal and
+//     common outcome; protocols that depend on unsynced writes *not*
+//     persisting — steal without undo — fail only under this mode);
 //   - renames not yet made durable by a SyncDir of their directory are
 //     undone, and files created but never synced are removed;
 //   - the crashing operation itself is applied per the configured Policy:
@@ -95,6 +100,10 @@ type FS struct {
 	crashAt int64
 	policy  Policy
 	crashed bool
+	// retainSeed, when non-zero, enables the opportunistic-writeback
+	// model: at crash time each file keeps a pseudo-random prefix of its
+	// unsynced write journal instead of losing all of it.
+	retainSeed uint64
 
 	handles []*file     // every handle ever opened (inner kept for rollback)
 	pending []renameRec // unsynced renames/creates
@@ -122,6 +131,21 @@ func (f *FS) SetCrashPoint(op int64, policy Policy) {
 	defer f.mu.Unlock()
 	f.crashAt = op
 	f.policy = policy
+}
+
+// SetRetainUnsynced arms the opportunistic-writeback crash model: at
+// crash time each open file retains a pseudo-random prefix (derived
+// deterministically from seed and the file's identity) of the writes
+// performed since its last Sync, as if the kernel had flushed that much
+// of the file's dirty data on its own before the kill. A zero seed
+// restores the default model in which every unsynced write is lost.
+// Prefixes are independent per file, so cross-file write ordering is
+// still not preserved — one file can survive in full while another loses
+// everything.
+func (f *FS) SetRetainUnsynced(seed uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.retainSeed = seed
 }
 
 // Ops returns the number of durability operations observed so far.
@@ -169,14 +193,22 @@ func (f *FS) stepLocked() (crashNow bool, err error) {
 }
 
 // rollbackLocked undoes all unsynced state: per-file write journals
-// (newest first), then unsynced renames and creates. Inner handles stay
-// open so the caller can apply the crashing op's surviving fragment
-// post-rollback before finishCrashLocked closes everything. Caller
-// holds f.mu.
+// (newest first), then unsynced renames and creates. Under the
+// retain-unsynced model each file first keeps a pseudo-random prefix of
+// its journal — a prefix, not an arbitrary subset, because overlapping
+// writes share dirty pages and the kernel writes a file's dirty data
+// back in order, so "writes up to some instant landed" is the legal
+// per-file outcome. Inner handles stay open so the caller can apply the
+// crashing op's surviving fragment post-rollback before
+// finishCrashLocked closes everything. Caller holds f.mu.
 func (f *FS) rollbackLocked() {
 	// Undo unsynced writes, newest first, per file.
-	for _, h := range f.handles {
-		for i := len(h.undo) - 1; i >= 0; i-- {
+	for hi, h := range f.handles {
+		keep := 0
+		if f.retainSeed != 0 && len(h.undo) > 0 {
+			keep = int(mix(f.retainSeed, h.name, hi) % uint64(len(h.undo)+1))
+		}
+		for i := len(h.undo) - 1; i >= keep; i-- {
 			u := h.undo[i]
 			h.inner.Truncate(u.preSize)
 			if len(u.preData) > 0 {
@@ -195,6 +227,22 @@ func (f *FS) rollbackLocked() {
 		}
 	}
 	f.pending = nil
+}
+
+// mix derives a deterministic per-file value from the retain seed, the
+// file name, and the handle index (two handles to one name journal
+// independently), via FNV-1a into a splitmix64 finalizer.
+func mix(seed uint64, name string, handle int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	z := seed ^ h ^ (uint64(handle) << 32)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 func (f *FS) finishCrashLocked() {

@@ -358,3 +358,77 @@ func TestSyncedDataAlwaysSurvives(t *testing.T) {
 		}
 	}
 }
+
+func TestRetainUnsyncedKeepsPerFilePrefix(t *testing.T) {
+	// Under the opportunistic-writeback model, each file keeps some
+	// pseudo-random prefix of its unsynced writes. The invariants: the
+	// synced prefix always survives, and whatever unsynced data survives
+	// is a prefix — a later unsynced write never persists after an
+	// earlier one was lost within the same file.
+	sawRetained := false
+	for seed := uint64(1); seed <= 32; seed++ {
+		dir := t.TempDir()
+		p := filepath.Join(dir, "a")
+		cf := New(nil)
+		cf.SetRetainUnsynced(seed)
+		f := openRW(t, cf, p)
+		mustWrite(t, f, []byte("STABLE"), 0) // op 1
+		if err := f.Sync(); err != nil {     // op 2
+			t.Fatal(err)
+		}
+		// Unsynced writes 'A', 'B', 'C' at offsets 6, 7, 8, then a
+		// crashing op that itself leaves nothing (CutClean rename).
+		mustWrite(t, f, []byte("A"), 6) // op 3
+		mustWrite(t, f, []byte("B"), 7) // op 4
+		mustWrite(t, f, []byte("C"), 8) // op 5
+		cf.SetCrashPoint(6, CutClean)
+		if err := cf.Rename(p, p+"2"); !errors.Is(err, ErrCrashed) { // op 6
+			t.Fatal(err)
+		}
+		got := readDisk(t, p)
+		if len(got) < 6 || string(got[:6]) != "STABLE" {
+			t.Fatalf("seed=%d: synced prefix lost: %q", seed, got)
+		}
+		switch tail := string(got[6:]); tail {
+		case "", "A", "AB", "ABC":
+			if tail != "" {
+				sawRetained = true
+			}
+		default:
+			t.Fatalf("seed=%d: surviving unsynced data %q is not a prefix", seed, tail)
+		}
+	}
+	if !sawRetained {
+		t.Fatal("no seed retained any unsynced write; retain mode is inert")
+	}
+}
+
+func TestRetainUnsyncedIndependentPerFile(t *testing.T) {
+	// Two files with identical unsynced histories must get independent
+	// cuts for at least one seed: cross-file ordering is not preserved.
+	for seed := uint64(1); seed <= 64; seed++ {
+		dir := t.TempDir()
+		cf := New(nil)
+		cf.SetRetainUnsynced(seed)
+		fa := openRW(t, cf, filepath.Join(dir, "a"))
+		fb := openRW(t, cf, filepath.Join(dir, "b"))
+		if err := fa.Sync(); err != nil { // persist the creates: only the
+			t.Fatal(err) //                 data writes below are unsynced
+		}
+		if err := fb.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 4; i++ {
+			mustWrite(t, fa, []byte("x"), i)
+			mustWrite(t, fb, []byte("x"), i)
+		}
+		cf.SetCrashPoint(11, CutClean)
+		if err := cf.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "c")); !errors.Is(err, ErrCrashed) {
+			t.Fatal(err)
+		}
+		if len(readDisk(t, filepath.Join(dir, "a"))) != len(readDisk(t, filepath.Join(dir, "b"))) {
+			return // found a seed with differing per-file cuts
+		}
+	}
+	t.Fatal("per-file retention cuts never differed across 64 seeds")
+}

@@ -12,8 +12,10 @@
 package vfs
 
 import (
+	"errors"
 	"io/fs"
 	"os"
+	"syscall"
 )
 
 // File is an open file handle. Positional I/O only: the storage layer
@@ -85,8 +87,14 @@ func (osFS) SyncDir(path string) error {
 	if err != nil {
 		return err
 	}
-	// Some platforms cannot fsync a directory; a sync error there is not
-	// actionable, so only close errors surface.
-	_ = d.Sync()
+	// Filesystems that cannot fsync a directory report EINVAL or ENOTSUP;
+	// those mean "the rename is as durable as this platform gets" and are
+	// ignored (as in sqlite and etcd). Anything else — notably EIO — is a
+	// real failure of the atomic-commit guarantee and must surface.
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		d.Close()
+		return err
+	}
 	return d.Close()
 }
