@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz chaos crash scrub bench bench-json bench-workers clean
+.PHONY: ci vet build test race fuzz chaos crash scrub bench bench-json bench-workers bench-qps clean
 
 ci: vet build race chaos crash fuzz bench-workers
 
@@ -50,6 +50,8 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzManifestDecode -fuzztime 10s ./internal/graphdb/grdb
 	$(GO) test -run xxx -fuzz FuzzStateRecordDecode -fuzztime 10s ./internal/graphdb/grdb
 	$(GO) test -run xxx -fuzz FuzzWALRecordDecode -fuzztime 10s ./internal/graphdb/reldb
+	$(GO) test -run xxx -fuzz FuzzFringeChunkDecode -fuzztime 10s ./internal/query
+	$(GO) test -run xxx -fuzz FuzzFringeChunkRoundTrip -fuzztime 10s ./internal/query
 
 # Paper figure/table regenerations (slow; one full experiment per bench).
 bench:
@@ -65,6 +67,12 @@ bench-json:
 # Serial vs parallel fringe expansion on the shootout graph.
 bench-workers:
 	$(GO) test -run xxx -bench BenchmarkBFSWorkers -benchtime=1x .
+
+# Concurrent mixed-workload benchmark: a resident query engine serving
+# BFS + k-hop queries at several concurrency levels; QPS and latency
+# percentiles land in BENCH_<timestamp>.json.
+bench-qps:
+	$(GO) run ./cmd/mssg-bench -json auto -queries 200 -concurrency 8 qps
 
 clean:
 	$(GO) clean ./...

@@ -32,6 +32,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print progress")
 	workers := flag.Int("workers", 0,
 		"fringe-expansion goroutines per back-end node (0 = GOMAXPROCS, 1 = serial)")
+	concurrency := flag.Int("concurrency", 8,
+		"top in-flight query count for the qps experiment (sweep doubles 1 -> this)")
 	faultSeed := flag.Int64("fault-seed", 0,
 		"non-zero: run over a fault-injecting fabric (1% drops) masked by reliable delivery, seeded with this value")
 	deadline := flag.Duration("deadline", 0,
@@ -77,7 +79,8 @@ func main() {
 
 	p := &experiments.Params{
 		Scale: *scale, Queries: *queries, Dir: workDir, Workers: *workers,
-		FaultSeed: *faultSeed, Deadline: *deadline,
+		Concurrency: *concurrency,
+		FaultSeed:   *faultSeed, Deadline: *deadline,
 		// A bench that reports latency percentiles and cache hit rates
 		// needs the gated per-op metrics on.
 		Metrics: *jsonOut != "" || *metricsAddr != "",

@@ -26,6 +26,7 @@ type report struct {
 	Experiments []experimentResult `json:"experiments"`
 	Ingest      ingestSummary      `json:"ingest"`
 	BFS         bfsSummary         `json:"bfs"`
+	Engine      engineSummary      `json:"engine"`
 	Cache       cacheSummary       `json:"cache"`
 	Metrics     obs.Snapshot       `json:"metrics"`
 }
@@ -56,6 +57,22 @@ type bfsSummary struct {
 	FringeSize      obs.HistSnapshot            `json:"fringe_size"`
 	ExpandNs        obs.HistSnapshot            `json:"expand_ns"`
 	Levels          map[string]obs.HistSnapshot `json:"levels,omitempty"`
+}
+
+// engineSummary aggregates the resident query scheduler's admission
+// counters and latency: QPS here is total completed queries over total
+// submit-to-finish time actually spent in queries (concurrency already
+// folded in by the overlap), and the percentiles come straight from the
+// query.engine.query_ns histogram.
+type engineSummary struct {
+	Admitted  int64            `json:"admitted"`
+	Rejected  int64            `json:"rejected"`
+	Completed int64            `json:"completed"`
+	Cancelled int64            `json:"cancelled"`
+	Failed    int64            `json:"failed"`
+	QPS       float64          `json:"qps"`
+	QueryNs   obs.HistSnapshot `json:"query_ns"`
+	ExecNs    obs.HistSnapshot `json:"exec_ns"`
 }
 
 type cacheSummary struct {
@@ -105,6 +122,19 @@ func buildReport(p *experiments.Params, results []experimentResult, interrupted 
 		}
 	}
 
+	eng := engineSummary{
+		Admitted:  snap.Counters["query.engine.admitted"],
+		Rejected:  snap.Counters["query.engine.rejected"],
+		Completed: snap.Counters["query.engine.completed"],
+		Cancelled: snap.Counters["query.engine.cancelled"],
+		Failed:    snap.Counters["query.engine.failed"],
+		QueryNs:   snap.Histograms["query.engine.query_ns"],
+		ExecNs:    snap.Histograms["query.engine.exec_ns"],
+	}
+	if eng.ExecNs.Sum > 0 {
+		eng.QPS = float64(eng.Completed) / (float64(eng.ExecNs.Sum) / 1e9)
+	}
+
 	var ca cacheSummary
 	for name, v := range snap.Counters {
 		if strings.HasPrefix(name, "cache.") {
@@ -129,6 +159,7 @@ func buildReport(p *experiments.Params, results []experimentResult, interrupted 
 		Experiments: results,
 		Ingest:      ing,
 		BFS:         bfs,
+		Engine:      eng,
 		Cache:       ca,
 		Metrics:     snap,
 	}

@@ -7,12 +7,23 @@
 //
 //	mssg-query -dir /tmp/db -backend grdb -backends 8 -source 0 -dest 42
 //	mssg-query -dir /tmp/db -backend grdb -backends 8 -random 100 -maxvertex 15000
+//
+// With -serve it becomes a resident query service: it reads one query
+// per line from stdin, runs them concurrently through the admission-
+// controlled scheduler, and prints each result as it completes:
+//
+//	printf 'bfs 0 42\nkhop 0 3\ncomponent 7\n' |
+//	    mssg-query -dir /tmp/db -backends 8 -serve -max-inflight 4
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +56,10 @@ func main() {
 	khop := flag.Int("khop", 0, "instead of a path query, count vertices within k hops of -source")
 	component := flag.Bool("component", false, "instead of a path query, measure -source's connected component")
 	listAnalyses := flag.Bool("list-analyses", false, "list registered Query Service analyses and exit")
+	serve := flag.Bool("serve", false, "read queries from stdin and run them concurrently (one per line: 'bfs S D', 'khop S K', 'component S', or '<analysis> key=value ...')")
+	maxInflight := flag.Int("max-inflight", 4, "serve mode: concurrently executing queries")
+	queueDepth := flag.Int("queue-depth", 16, "serve mode: admitted-but-not-running queries before rejection")
+	queryTimeout := flag.Duration("query-timeout", 0, "serve mode: per-query deadline (0 = none)")
 	durability := flag.String("durability", "none",
 		"crash safety mode the database was ingested with: none or full (must match, checksum sidecars are only kept under full)")
 	verifyOnOpen := flag.Bool("verify-on-open", false,
@@ -105,6 +120,18 @@ func main() {
 	ownership := query.KnownMapping
 	if *broadcast {
 		ownership = query.BroadcastFringe
+	}
+
+	if *serve {
+		runServe(eng, query.EngineConfig{
+			MaxInFlight:     *maxInflight,
+			QueueDepth:      *queueDepth,
+			DefaultDeadline: *queryTimeout,
+		}, query.BFSConfig{
+			Pipelined: *pipelined, Threshold: *threshold, Ownership: ownership,
+			Prefetch: *prefetch, Workers: *workers,
+		})
+		return
 	}
 	var newVisited func(cluster.NodeID) (query.Visited, error)
 	if *extVisited != "" {
@@ -202,4 +229,128 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mssg-query:", err)
 	os.Exit(1)
+}
+
+// runServe is the resident mode: queries stream in on stdin, run
+// concurrently under the scheduler's admission control, and results
+// print as they complete (tagged by query id, so interleaving is fine).
+func runServe(eng *core.Engine, ecfg query.EngineConfig, base query.BFSConfig) {
+	qe, err := eng.NewQueryEngine(ecfg)
+	if err != nil {
+		fatal(err)
+	}
+	var out sync.Mutex
+	report := func(q *query.Query) {
+		res, err := q.Wait()
+		out.Lock()
+		defer out.Unlock()
+		latency := q.Finished.Sub(q.Submitted).Round(time.Microsecond)
+		switch {
+		case err != nil:
+			fmt.Printf("[%d] %s: error: %v (%s)\n", q.ID, q.Label, err, latency)
+		default:
+			fmt.Printf("[%d] %s: %s (%s)\n", q.ID, q.Label, formatResult(res), latency)
+		}
+	}
+
+	var wg sync.WaitGroup
+	submit := func(line string) {
+		q, err := parseAndSubmit(eng, qe, base, line)
+		if err != nil {
+			out.Lock()
+			fmt.Printf("? %q: %v\n", line, err)
+			out.Unlock()
+			return
+		}
+		out.Lock()
+		fmt.Printf("[%d] %s: submitted\n", q.ID, q.Label)
+		out.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			report(q)
+		}()
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		submit(line)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	wg.Wait()
+	if err := qe.Close(); err != nil {
+		fatal(err)
+	}
+	st := qe.Stats()
+	fmt.Fprintf(os.Stderr, "mssg-query: served %d queries (%d completed, %d cancelled, %d failed, %d rejected)\n",
+		st.Admitted, st.Completed, st.Cancelled, st.Failed, st.Rejected)
+}
+
+// parseAndSubmit turns one stdin line into a submitted query. Shortcut
+// forms route BFS through the engine's ownership knowledge; everything
+// else goes through the analysis registry as key=value params.
+func parseAndSubmit(eng *core.Engine, qe *query.Engine, base query.BFSConfig, line string) (*query.Query, error) {
+	fields := strings.Fields(line)
+	name, args := fields[0], fields[1:]
+	switch name {
+	case "bfs":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("usage: bfs <source> <dest>")
+		}
+		var s, d int64
+		if _, err := fmt.Sscanf(args[0]+" "+args[1], "%d %d", &s, &d); err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.Source, cfg.Dest = graph.VertexID(s), graph.VertexID(d)
+		return eng.SubmitBFS(context.Background(), qe, cfg)
+	case "khop":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("usage: khop <source> <k>")
+		}
+		return qe.Submit(context.Background(), "khop", map[string]string{
+			"source": args[0], "k": args[1],
+		})
+	case "component":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("usage: component <source>")
+		}
+		return qe.Submit(context.Background(), "component", map[string]string{
+			"source": args[0],
+		})
+	}
+	params := make(map[string]string, len(args))
+	for _, kv := range args {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad param %q (want key=value)", kv)
+		}
+		params[k] = v
+	}
+	return qe.Submit(context.Background(), name, params)
+}
+
+func formatResult(res any) string {
+	switch r := res.(type) {
+	case query.BFSResult:
+		if !r.Found {
+			return fmt.Sprintf("not connected (%d levels, %d edges traversed)", r.Levels, r.EdgesTraversed)
+		}
+		s := fmt.Sprintf("path length %d (%d edges traversed)", r.PathLength, r.EdgesTraversed)
+		if r.Path != nil {
+			s += fmt.Sprintf(" path=%v", r.Path)
+		}
+		return s
+	case query.KHopResult:
+		return fmt.Sprintf("%d vertices within %d hops (per level: %v)", r.Total, len(r.PerLevel), r.PerLevel)
+	case query.ComponentResult:
+		return fmt.Sprintf("component of %d vertices, eccentricity %d", r.Size, r.Eccentricity)
+	}
+	return fmt.Sprintf("%+v", res)
 }

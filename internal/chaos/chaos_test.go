@@ -8,6 +8,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"os"
 	"runtime"
@@ -311,7 +312,7 @@ func TestChaosBFSPartialCoverage(t *testing.T) {
 
 			done := make(chan error, 1)
 			go func() {
-				_, err := query.ParallelBFS(f, dbs, query.BFSConfig{
+				_, err := query.ParallelBFS(context.Background(), f, dbs, query.BFSConfig{
 					Source: 0, Dest: 399, MaxLevels: 500,
 				})
 				done <- err

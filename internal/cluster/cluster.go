@@ -17,6 +17,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -65,6 +66,10 @@ type Endpoint interface {
 	Broadcast(ch ChannelID, payload []byte) error
 	// Recv blocks until a message arrives on ch or the fabric closes.
 	Recv(ch ChannelID) (Message, error)
+	// RecvCtx is Recv that additionally unblocks when ctx is cancelled,
+	// returning ctx.Err(). A queued message wins over a cancellation that
+	// races with it.
+	RecvCtx(ctx context.Context, ch ChannelID) (Message, error)
 	// TryRecv returns a message if one is queued on ch; ok=false when the
 	// queue is empty. It never blocks.
 	TryRecv(ch ChannelID) (msg Message, ok bool, err error)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 )
@@ -19,6 +20,7 @@ type Collective struct {
 	ep     Endpoint
 	chUp   ChannelID
 	chDown ChannelID
+	ctx    context.Context // nil: operations block until close
 }
 
 // NewCollective binds a collective context to an endpoint. chUp and chDown
@@ -28,6 +30,23 @@ func NewCollective(ep Endpoint, chUp, chDown ChannelID) *Collective {
 		panic("cluster: collective needs two distinct channels")
 	}
 	return &Collective{ep: ep, chUp: chUp, chDown: chDown}
+}
+
+// WithContext returns a copy whose operations additionally abort with
+// ctx.Err() when ctx is cancelled. Every node of the collective must use
+// the same cancellation discipline or a round may leave peers waiting on
+// a reply that never comes.
+func (c *Collective) WithContext(ctx context.Context) *Collective {
+	cc := *c
+	cc.ctx = ctx
+	return &cc
+}
+
+func (c *Collective) recv(ch ChannelID) (Message, error) {
+	if c.ctx == nil {
+		return c.ep.Recv(ch)
+	}
+	return c.ep.RecvCtx(c.ctx, ch)
 }
 
 func encodeInt64(v int64) []byte {
@@ -53,7 +72,7 @@ func (c *Collective) reduce(v int64, f func(a, b int64) int64) (int64, error) {
 	if c.ep.ID() == 0 {
 		acc := v
 		for i := 0; i < n-1; i++ {
-			msg, err := c.ep.Recv(c.chUp)
+			msg, err := c.recv(c.chUp)
 			if err != nil {
 				return 0, err
 			}
@@ -71,7 +90,7 @@ func (c *Collective) reduce(v int64, f func(a, b int64) int64) (int64, error) {
 	if err := c.ep.Send(0, c.chUp, encodeInt64(v)); err != nil {
 		return 0, err
 	}
-	msg, err := c.ep.Recv(c.chDown)
+	msg, err := c.recv(c.chDown)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -293,6 +294,13 @@ func (e *faultyEndpoint) Recv(ch ChannelID) (Message, error) {
 		return Message{}, e.errCrashed()
 	}
 	return e.inner.Recv(ch)
+}
+
+func (e *faultyEndpoint) RecvCtx(ctx context.Context, ch ChannelID) (Message, error) {
+	if e.crashed.Load() {
+		return Message{}, e.errCrashed()
+	}
+	return e.inner.RecvCtx(ctx, ch)
 }
 
 func (e *faultyEndpoint) TryRecv(ch ChannelID) (Message, bool, error) {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -114,6 +115,39 @@ func (m *mailbox) get() (Message, error) {
 	m.queue = m.queue[1:]
 	m.cond.Broadcast()
 	return msg, nil
+}
+
+// getCtx waits for a message or for ctx to be cancelled. A queued
+// message is preferred over a cancellation that races with it.
+func (m *mailbox) getCtx(ctx context.Context) (Message, error) {
+	if ctx.Done() == nil {
+		// Uncancellable context (Background/TODO): skip the AfterFunc
+		// machinery entirely so the single-query hot path pays nothing.
+		return m.get()
+	}
+	// A cancellation must wake the cond.Wait below; AfterFunc gives us
+	// that without a polling loop.
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed && ctx.Err() == nil {
+		m.cond.Wait()
+	}
+	if len(m.queue) > 0 {
+		msg := m.queue[0]
+		m.queue = m.queue[1:]
+		m.cond.Broadcast()
+		return msg, nil
+	}
+	if m.closed {
+		return Message{}, ErrClosed
+	}
+	return Message{}, ctx.Err()
 }
 
 // getWithin waits up to d for a message. ok=false with a nil error means
@@ -235,6 +269,10 @@ func (e *inprocEndpoint) Broadcast(ch ChannelID, payload []byte) error {
 
 func (e *inprocEndpoint) Recv(ch ChannelID) (Message, error) {
 	return e.box(ch).get()
+}
+
+func (e *inprocEndpoint) RecvCtx(ctx context.Context, ch ChannelID) (Message, error) {
+	return e.box(ch).getCtx(ctx)
 }
 
 func (e *inprocEndpoint) TryRecv(ch ChannelID) (Message, bool, error) {

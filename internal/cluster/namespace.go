@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mssg/internal/obs"
+)
+
+// Per-query channel namespaces.
+//
+// The paper's Query Service executes one registered analysis at a time,
+// so its reproduction could afford fixed channel constants (0x0100 for
+// the BFS fringe, and so on). A serving system cannot: two queries on
+// the same fabric would interleave their fringe chunks and done markers.
+// A Namespace is a leased, disjoint block of ChannelIDs — the QueryID in
+// the high bits, the query's logical channels (fringe, collectives,
+// path-walk...) in the low bits — so any number of concurrent queries
+// share one fabric without their traffic ever colliding.
+//
+// Lease/release is process-local: queries are driven from one process
+// (cluster.Run spawns every node's goroutine), so the driver leases a
+// namespace before the run and releases it after, and no distributed
+// agreement is needed. IDs are recycled FIFO to keep a freshly released
+// block cold for as long as possible.
+
+// QueryID identifies one live channel-namespace lease.
+type QueryID uint32
+
+const (
+	// nsBase is the bottom of the namespace region: far above the
+	// DataCutter stream range (1<<16 + stream*copies) and below the
+	// reliable layer's reserved control region (0xFFFFFF00).
+	nsBase ChannelID = 1 << 30
+	// NamespaceWidth is the number of channels in one namespace — the
+	// maximum count of logical channels a single query may use.
+	NamespaceWidth = 16
+	// nsSlots bounds concurrently leased namespaces. Admission control
+	// in the query engine keeps real concurrency far below this.
+	nsSlots = 4096
+)
+
+// ErrNamespacesExhausted is returned by Lease when every slot is out.
+var ErrNamespacesExhausted = errors.New("cluster: channel namespaces exhausted")
+
+// Namespace is one leased block of channel IDs. It is valid until
+// Release (or DrainAndRelease) is called, exactly once, by the query
+// driver after every node goroutine of the query has returned.
+type Namespace struct {
+	alloc *NamespaceAllocator
+	id    QueryID
+	base  ChannelID
+	width int
+
+	mu       sync.Mutex
+	released bool
+}
+
+// ID returns the lease's query identifier.
+func (ns *Namespace) ID() QueryID { return ns.id }
+
+// Channel maps a logical per-query channel index to its fabric-wide
+// ChannelID. off must be in [0, width) of the allocator that leased this
+// namespace (NamespaceWidth for the process-wide one).
+func (ns *Namespace) Channel(off int) ChannelID {
+	if off < 0 || off >= ns.width {
+		panic(fmt.Sprintf("cluster: namespace channel %d outside [0,%d)", off, ns.width))
+	}
+	return ns.base + ChannelID(off)
+}
+
+// Release returns the namespace to its allocator. Idempotent. The caller
+// must guarantee no goroutine still sends or receives on its channels.
+func (ns *Namespace) Release() {
+	ns.mu.Lock()
+	already := ns.released
+	ns.released = true
+	ns.mu.Unlock()
+	if already {
+		return
+	}
+	ns.alloc.release(ns.id)
+}
+
+// DrainAndRelease discards any messages still queued on the namespace's
+// channels at every endpoint of f, then releases the lease. A cancelled
+// query can leave undelivered fringe chunks behind; draining keeps them
+// from leaking into whichever future query re-leases this block. Safe
+// only after every node goroutine of the query has returned (no sends in
+// flight) — which cluster.Run guarantees once it returns.
+func (ns *Namespace) DrainAndRelease(f Fabric) {
+	for n := 0; n < f.Nodes(); n++ {
+		ep := f.Endpoint(NodeID(n))
+		for off := 0; off < ns.width; off++ {
+			ch := ns.Channel(off)
+			for {
+				_, ok, err := ep.TryRecv(ch)
+				if !ok || err != nil {
+					break
+				}
+			}
+		}
+	}
+	ns.Release()
+}
+
+// NamespaceAllocator hands out disjoint channel blocks. The zero value
+// is not usable; construct with NewNamespaceAllocator or use the
+// process-wide Namespaces allocator.
+type NamespaceAllocator struct {
+	base  ChannelID
+	width int
+
+	mu     sync.Mutex
+	free   []uint32 // FIFO recycle queue
+	leased int
+}
+
+// NewNamespaceAllocator returns an allocator of `slots` namespaces of
+// `width` channels each, starting at base.
+func NewNamespaceAllocator(base ChannelID, slots, width int) *NamespaceAllocator {
+	if slots < 1 || width < 1 {
+		panic("cluster: namespace allocator needs at least one slot and one channel")
+	}
+	a := &NamespaceAllocator{base: base, width: width, free: make([]uint32, slots)}
+	for i := range a.free {
+		a.free[i] = uint32(i)
+	}
+	return a
+}
+
+// Lease acquires one namespace, or ErrNamespacesExhausted.
+func (a *NamespaceAllocator) Lease() (*Namespace, error) {
+	a.mu.Lock()
+	if len(a.free) == 0 {
+		a.mu.Unlock()
+		nsMetrics().exhausted.Inc()
+		return nil, ErrNamespacesExhausted
+	}
+	id := a.free[0]
+	a.free = a.free[1:]
+	a.leased++
+	a.mu.Unlock()
+	m := nsMetrics()
+	m.leases.Inc()
+	m.leased.Add(1)
+	return &Namespace{
+		alloc: a,
+		id:    QueryID(id),
+		base:  a.base + ChannelID(id*uint32(a.width)),
+		width: a.width,
+	}, nil
+}
+
+// Leased reports the number of namespaces currently out.
+func (a *NamespaceAllocator) Leased() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.leased
+}
+
+func (a *NamespaceAllocator) release(id QueryID) {
+	a.mu.Lock()
+	a.free = append(a.free, uint32(id))
+	a.leased--
+	a.mu.Unlock()
+	m := nsMetrics()
+	m.releases.Inc()
+	m.leased.Add(-1)
+}
+
+var defaultNamespaces = NewNamespaceAllocator(nsBase, nsSlots, NamespaceWidth)
+
+// Namespaces returns the process-wide allocator. Channel IDs it hands
+// out are unique across the whole process, so queries on different
+// fabrics may share it (a block simply goes unused on the other fabric).
+func Namespaces() *NamespaceAllocator { return defaultNamespaces }
+
+// namespaceMetrics is the pre-resolved metric set of the allocator.
+type namespaceMetrics struct {
+	leases    *obs.Counter // cluster.namespaces.leases
+	releases  *obs.Counter // cluster.namespaces.releases
+	exhausted *obs.Counter // cluster.namespaces.exhausted
+	leased    *obs.Gauge   // cluster.namespaces.leased
+}
+
+var (
+	nsMetOnce sync.Once
+	nsMetVal  *namespaceMetrics
+)
+
+func nsMetrics() *namespaceMetrics {
+	nsMetOnce.Do(func() {
+		r := obs.Default()
+		nsMetVal = &namespaceMetrics{
+			leases:    r.Counter("cluster.namespaces.leases"),
+			releases:  r.Counter("cluster.namespaces.releases"),
+			exhausted: r.Counter("cluster.namespaces.exhausted"),
+			leased:    r.Gauge("cluster.namespaces.leased"),
+		}
+	})
+	return nsMetVal
+}

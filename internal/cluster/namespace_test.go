@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNamespaceLeaseDisjoint(t *testing.T) {
+	a := NewNamespaceAllocator(1<<20, 8, 4)
+	seen := map[ChannelID]QueryID{}
+	var leases []*Namespace
+	for i := 0; i < 8; i++ {
+		ns, err := a.Lease()
+		if err != nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		leases = append(leases, ns)
+		for off := 0; off < 4; off++ {
+			ch := ns.Channel(off)
+			if prev, dup := seen[ch]; dup {
+				t.Fatalf("channel %d leased to both query %d and %d", ch, prev, ns.ID())
+			}
+			seen[ch] = ns.ID()
+		}
+	}
+	if got := a.Leased(); got != 8 {
+		t.Fatalf("Leased() = %d, want 8", got)
+	}
+	if _, err := a.Lease(); !errors.Is(err, ErrNamespacesExhausted) {
+		t.Fatalf("exhausted lease error = %v", err)
+	}
+	for _, ns := range leases {
+		ns.Release()
+		ns.Release() // idempotent
+	}
+	if got := a.Leased(); got != 0 {
+		t.Fatalf("Leased() after release = %d, want 0", got)
+	}
+}
+
+func TestNamespaceFIFORecycle(t *testing.T) {
+	a := NewNamespaceAllocator(1<<20, 3, 2)
+	first, err := a.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := first.ID()
+	first.Release()
+	// Two slots are still colder than the just-released one; it must come
+	// back last.
+	for i := 0; i < 2; i++ {
+		ns, err := a.Lease()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ns.ID() == id {
+			t.Fatalf("slot %d re-leased while colder slots were free", id)
+		}
+	}
+	ns, err := a.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.ID() != id {
+		t.Fatalf("FIFO recycle handed out %d, want %d", ns.ID(), id)
+	}
+}
+
+func TestNamespaceChannelBounds(t *testing.T) {
+	a := NewNamespaceAllocator(1<<20, 1, 4)
+	ns, err := a.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Channel() did not panic")
+		}
+	}()
+	ns.Channel(4)
+}
+
+func TestNamespaceDrainAndRelease(t *testing.T) {
+	f := NewInProc(2, 0)
+	defer f.Close()
+	a := NewNamespaceAllocator(1<<20, 2, 4)
+	ns, err := a.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strand a message on one of the namespace's channels, as an aborted
+	// query would.
+	if err := f.Endpoint(0).Send(1, ns.Channel(2), []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	ns.DrainAndRelease(f)
+	if got := a.Leased(); got != 0 {
+		t.Fatalf("Leased() after DrainAndRelease = %d", got)
+	}
+	// The next lease of the same block must not observe the stale chunk.
+	ns2, err := a.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns2.Release()
+	if _, ok, _ := f.Endpoint(1).TryRecv(ns2.Channel(2)); ok {
+		t.Fatal("stale message leaked into the recycled namespace")
+	}
+}
+
+func TestRecvCtxDelivery(t *testing.T) {
+	for name, f := range fabrics(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			// Background context behaves exactly like Recv.
+			if err := f.Endpoint(0).Send(1, 9, []byte("a")); err != nil {
+				t.Fatal(err)
+			}
+			msg, err := f.Endpoint(1).RecvCtx(context.Background(), 9)
+			if err != nil || string(msg.Payload) != "a" {
+				t.Fatalf("RecvCtx = %v, %v", msg, err)
+			}
+		})
+	}
+}
+
+func TestRecvCtxCancelUnblocks(t *testing.T) {
+	for name, f := range fabrics(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := f.Endpoint(1).RecvCtx(ctx, 11)
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				t.Fatalf("RecvCtx returned before cancel: %v", err)
+			case <-time.After(20 * time.Millisecond):
+			}
+			cancel()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("RecvCtx after cancel = %v, want context.Canceled", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("RecvCtx still blocked after cancel")
+			}
+		})
+	}
+}
+
+func TestRecvCtxQueuedMessageBeatsCancelledCtx(t *testing.T) {
+	// Inproc only: its Send enqueues synchronously, so the message is
+	// guaranteed to be queued before the dead ctx races it. (TCP delivery
+	// is asynchronous, which would make this scenario timing-dependent.)
+	f := NewInProc(2, 0)
+	defer f.Close()
+	if err := f.Endpoint(0).Send(1, 13, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	msg, err := f.Endpoint(1).RecvCtx(ctx, 13)
+	if err != nil || string(msg.Payload) != "first" {
+		t.Fatalf("queued message lost to cancellation: %v, %v", msg, err)
+	}
+}
+
+func TestRecvCtxDeadline(t *testing.T) {
+	for name, f := range fabrics(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			_, err := f.Endpoint(0).RecvCtx(ctx, 17)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("RecvCtx past deadline = %v", err)
+			}
+		})
+	}
+}

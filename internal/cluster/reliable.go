@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -502,6 +503,40 @@ func (e *reliableEndpoint) Recv(ch ChannelID) (Message, error) {
 		}
 		if ok {
 			return msg, nil
+		}
+		if n := e.firstDown(); n >= 0 {
+			return Message{}, errDown(n)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return Message{}, fmt.Errorf("%w: recv on channel %d after %v",
+				ErrTimeout, ch, opts.RecvTimeout)
+		}
+	}
+}
+
+func (e *reliableEndpoint) RecvCtx(ctx context.Context, ch ChannelID) (Message, error) {
+	if ctx.Done() == nil {
+		return e.Recv(ch)
+	}
+	// The reliable Recv is already a poll loop (it must notice peers
+	// going down); adding a ctx check per iteration bounds cancellation
+	// latency to rlPoll.
+	opts := &e.fabric.opts
+	var deadline time.Time
+	if opts.RecvTimeout > 0 {
+		deadline = time.Now().Add(opts.RecvTimeout)
+	}
+	box := e.inbox(ch)
+	for {
+		msg, ok, err := box.getWithin(rlPoll)
+		if err != nil {
+			return Message{}, e.translate(err)
+		}
+		if ok {
+			return msg, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return Message{}, err
 		}
 		if n := e.firstDown(); n >= 0 {
 			return Message{}, errDown(n)

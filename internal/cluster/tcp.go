@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -310,6 +311,10 @@ func (e *tcpEndpoint) Broadcast(ch ChannelID, payload []byte) error {
 
 func (e *tcpEndpoint) Recv(ch ChannelID) (Message, error) {
 	return e.box(ch).get()
+}
+
+func (e *tcpEndpoint) RecvCtx(ctx context.Context, ch ChannelID) (Message, error) {
+	return e.box(ch).getCtx(ctx)
 }
 
 func (e *tcpEndpoint) TryRecv(ch ChannelID) (Message, bool, error) {

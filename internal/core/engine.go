@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -259,9 +260,21 @@ func (r *sliceReader) ReadEdge() (graph.Edge, error) {
 // directory policy supplies its vertex→node mapping, a policy without a
 // global mapping forces broadcast fringe exchange.
 func (e *Engine) BFS(cfg query.BFSConfig) (query.BFSResult, error) {
+	return e.BFSCtx(context.Background(), cfg)
+}
+
+// BFSCtx is BFS with cancellation: cancelling ctx aborts the search on
+// every node with ctx.Err().
+func (e *Engine) BFSCtx(ctx context.Context, cfg query.BFSConfig) (query.BFSResult, error) {
 	if e.closed {
 		return query.BFSResult{}, fmt.Errorf("core: engine closed")
 	}
+	return query.ParallelBFS(ctx, e.fabric, e.dbs, e.routedBFS(cfg))
+}
+
+// routedBFS applies the ingestion policy's vertex→node mapping to a BFS
+// configuration.
+func (e *Engine) routedBFS(cfg query.BFSConfig) query.BFSConfig {
 	if pf := e.cfg.Ingest.Policy; pf != nil {
 		p := pf()
 		switch {
@@ -273,7 +286,24 @@ func (e *Engine) BFS(cfg query.BFSConfig) (query.BFSResult, error) {
 			cfg.Ownership = query.BroadcastFringe
 		}
 	}
-	return query.ParallelBFS(e.fabric, e.dbs, cfg)
+	return cfg
+}
+
+// NewQueryEngine builds a resident concurrent query scheduler over this
+// engine's fabric and databases (see query.Engine). Queries submitted
+// through it run as concurrent readers; the caller closes the returned
+// engine before closing this one.
+func (e *Engine) NewQueryEngine(qcfg query.EngineConfig) (*query.Engine, error) {
+	if e.closed {
+		return nil, fmt.Errorf("core: engine closed")
+	}
+	return query.NewEngine(e.fabric, e.dbs, qcfg)
+}
+
+// SubmitBFS admits one BFS run (with policy-based fringe routing
+// applied) into a resident query engine built by NewQueryEngine.
+func (e *Engine) SubmitBFS(ctx context.Context, qe *query.Engine, cfg query.BFSConfig) (*query.Query, error) {
+	return qe.BFS(ctx, e.routedBFS(cfg))
 }
 
 func isDirectoryPolicy(p ingest.Policy) bool {
@@ -283,11 +313,16 @@ func isDirectoryPolicy(p ingest.Policy) bool {
 
 // RunAnalysis invokes a registered Query Service analysis by name.
 func (e *Engine) RunAnalysis(name string, params map[string]string) (any, error) {
+	return e.RunAnalysisCtx(context.Background(), name, params)
+}
+
+// RunAnalysisCtx is RunAnalysis with cancellation.
+func (e *Engine) RunAnalysisCtx(ctx context.Context, name string, params map[string]string) (any, error) {
 	a, ok := query.LookupAnalysis(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown analysis %q (registered: %v)", name, query.Analyses())
 	}
-	return a.Run(e.fabric, e.dbs, params)
+	return a.Run(ctx, e.fabric, e.dbs, params)
 }
 
 // ResetMetadata clears per-vertex metadata on every back-end (between

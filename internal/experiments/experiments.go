@@ -89,6 +89,10 @@ type Params struct {
 	// search experiment (0 = GOMAXPROCS, 1 = the paper's serial
 	// expansion).
 	Workers int
+	// Concurrency is the top in-flight query count for the concurrent
+	// mixed-workload (qps) experiment; the sweep doubles 1 → Concurrency.
+	// <= 0 means 8.
+	Concurrency int
 	// FaultSeed, when non-zero, runs every experiment over a
 	// fault-injecting fabric (1% drops, 0.2% duplicates, 1% delays)
 	// masked by the reliable delivery layer — a robustness soak with the
@@ -123,6 +127,13 @@ func (p *Params) queries() int {
 		return 30
 	}
 	return p.Queries
+}
+
+func (p *Params) concurrency() int {
+	if p.Concurrency <= 0 {
+		return 8
+	}
+	return p.Concurrency
 }
 
 func (p *Params) logf(format string, args ...any) {
@@ -298,6 +309,7 @@ func All() []Experiment {
 		{"fig5.7", "search edges/s, PubMed-L', varying back-ends", Fig57},
 		{"fig5.8", "search time, Syn', grDB, visited in-mem vs external", Fig58},
 		{"fig5.9", "search edges/s, Syn', grDB", Fig59},
+		{"qps", "concurrent mixed workload QPS + latency percentiles, grDB", QPS},
 	}
 }
 

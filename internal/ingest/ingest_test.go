@@ -227,6 +227,37 @@ func TestEdgePolicyDistributesAcrossBackends(t *testing.T) {
 	}
 }
 
+func TestEdgeRoundRobinSeedCopy(t *testing.T) {
+	// Copy i must open its cycle on back-end i, not 0.
+	for copy := 0; copy < 3; copy++ {
+		p := &EdgeRoundRobin{}
+		p.SeedCopy(copy)
+		if got := p.Route(graph.Edge{Src: 1, Dst: 2}, 3); got != copy {
+			t.Fatalf("copy %d first route = %d", copy, got)
+		}
+	}
+}
+
+func TestEdgePolicyBalancedAcrossFrontEnds(t *testing.T) {
+	// 3 front-ends × 4 edges each over 3 back-ends: every copy's cycle
+	// has a one-edge remainder. Unseeded, all three remainders land on
+	// back-end 0 (6/3/3); seeded by copy index they interleave (4/4/4).
+	edges := testEdges(12)
+	dbs, _ := runIngestion(t, Config{
+		FrontEnds: 3,
+		Policy:    func() Policy { return &EdgeRoundRobin{} },
+	}, edges, 3)
+	for i, db := range dbs {
+		if n := db.Stats().EdgesStored; n != 4 {
+			counts := make([]int64, len(dbs))
+			for j, d := range dbs {
+				counts[j] = d.Stats().EdgesStored
+			}
+			t.Fatalf("back-end %d stored %d edges, want 4 (distribution %v)", i, n, counts)
+		}
+	}
+}
+
 func TestBuildGraphValidation(t *testing.T) {
 	g := datacutter.NewGraph()
 	err := BuildGraph(g, Config{FrontEnds: 0, Backends: 2}, &Stats{},

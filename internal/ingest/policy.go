@@ -69,6 +69,21 @@ func (p *EdgeRoundRobin) Route(e graph.Edge, backends int) int {
 // GloballyMapped implements Policy.
 func (*EdgeRoundRobin) GloballyMapped() bool { return false }
 
+// SeedCopy implements CopySeeder: front-end copy i starts its cycle at
+// back-end i, so concurrent front-ends interleave instead of all opening
+// on back-end 0 and piling the partial-cycle surplus there.
+func (p *EdgeRoundRobin) SeedCopy(copy int) { p.next = copy }
+
+// CopySeeder is an optional Policy extension for stateful policies whose
+// starting state should vary per front-end filter copy. The ingest
+// filter calls SeedCopy once from Init, before any Route call, with its
+// copy index. Without it, every copy of a cyclic policy like
+// EdgeRoundRobin begins at destination 0 and the per-copy remainder
+// edges all land on the low-index back-ends.
+type CopySeeder interface {
+	SeedCopy(copy int)
+}
+
 // PolicyByName resolves the built-in policies.
 func PolicyByName(name string) (Policy, error) {
 	switch name {

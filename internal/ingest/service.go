@@ -212,6 +212,9 @@ func (f *ingestFilter) Init(ctx *datacutter.Context) error {
 		return fmt.Errorf("ingest: stream fanout %d != %d backends", out.Fanout(), f.cfg.Backends)
 	}
 	f.copyIdx = ctx.Instance().Copy
+	if s, ok := f.policy.(CopySeeder); ok {
+		s.SeedCopy(f.copyIdx)
+	}
 	f.windows = make([][]graph.Edge, f.cfg.Backends)
 	f.windowStart = make([]time.Time, f.cfg.Backends)
 	reg := obs.Default()

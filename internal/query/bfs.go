@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -19,14 +20,6 @@ import (
 // detect it with errors.Is and either retry on the surviving fabric or
 // surface the partial result to the user.
 var ErrPartialCoverage = errors.New("query: partial graph coverage")
-
-// Channel layout for one BFS run. The query service reserves its own
-// range, away from DataCutter's stream channels.
-const (
-	chFringe cluster.ChannelID = 0x0100 // fringe exchange (chunks + level-done markers)
-	chCollUp cluster.ChannelID = 0x0101
-	chCollDn cluster.ChannelID = 0x0102
-)
 
 // Ownership selects how the BFS routes next-level fringe vertices
 // (paper §4.2).
@@ -183,13 +176,29 @@ func decodeChunk(p []byte) ([]graph.VertexID, error) {
 // ParallelBFS runs one BFS over the fabric: node i serves partition i
 // through dbs[i]. It blocks until every node finishes and returns the
 // combined result. The dbs slice length must equal the fabric size.
-func ParallelBFS(f cluster.Fabric, dbs []graphdb.Graph, cfg BFSConfig) (BFSResult, error) {
+//
+// The run leases its own channel namespace, so any number of ParallelBFS
+// (or other query) calls may share one fabric concurrently. Cancelling
+// ctx unblocks every node's pending receive and aborts the search with
+// ctx.Err().
+func ParallelBFS(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, cfg BFSConfig) (BFSResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(dbs) != f.Nodes() {
 		return BFSResult{}, fmt.Errorf("query: %d databases for %d nodes", len(dbs), f.Nodes())
 	}
+	qc, err := leaseChannels()
+	if err != nil {
+		return BFSResult{}, err
+	}
+	// An aborted query can leave undelivered chunks queued; drain them
+	// before the namespace goes back in the pool so they cannot leak
+	// into a future query that re-leases this block.
+	defer qc.ns.DrainAndRelease(f)
 	results := make([]BFSResult, f.Nodes())
-	err := cluster.Run(f, func(ep cluster.Endpoint) error {
-		r, err := bfsNode(ep, dbs[ep.ID()], cfg)
+	err = cluster.Run(f, func(ep cluster.Endpoint) error {
+		r, err := bfsNode(ctx, ep, qc, dbs[ep.ID()], cfg)
 		if err != nil {
 			return err
 		}
@@ -235,20 +244,20 @@ func ParallelBFS(f cluster.Fabric, dbs []graphdb.Graph, cfg BFSConfig) (BFSResul
 // level-synchronous or pipelined variant. A failure caused by a dead or
 // unresponsive peer is wrapped in ErrPartialCoverage: the search did not
 // deadlock, but it also did not see the whole graph.
-func bfsNode(ep cluster.Endpoint, db graphdb.Graph, cfg BFSConfig) (BFSResult, error) {
-	visited, err := newVisited(ep.ID(), cfg, cfg.expandWorkers(db))
+func bfsNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db graphdb.Graph, cfg BFSConfig) (BFSResult, error) {
+	visited, release, err := newVisited(ep.ID(), cfg, cfg.expandWorkers(db))
 	if err != nil {
 		return BFSResult{}, err
 	}
-	defer visited.Close()
+	defer release()
 	var res BFSResult
 	if cfg.Pipelined {
 		if cfg.ReturnPath {
 			return BFSResult{}, fmt.Errorf("query: ReturnPath requires the level-synchronous BFS")
 		}
-		res, err = bfsPipelined(ep, db, visited, cfg)
+		res, err = bfsPipelined(ctx, ep, qc, db, visited, cfg)
 	} else {
-		res, err = bfsLevelSync(ep, db, visited, cfg)
+		res, err = bfsLevelSync(ctx, ep, qc, db, visited, cfg)
 	}
 	if err != nil && (errors.Is(err, cluster.ErrNodeDown) || errors.Is(err, cluster.ErrTimeout)) {
 		qm().partial.Inc()
@@ -261,34 +270,41 @@ func bfsNode(ep cluster.Endpoint, db graphdb.Graph, cfg BFSConfig) (BFSResult, e
 	return res, err
 }
 
-// newVisited builds the per-node visited structure. With parallel
-// expansion in effect it must tolerate concurrent markers: the default
-// becomes the striped-lock ShardedVisited, and caller-provided
-// structures (e.g. ExtVisited) are wrapped in a mutex unless they
-// declare themselves concurrency-safe via ConcurrentVisited.
-func newVisited(node cluster.NodeID, cfg BFSConfig, workers int) (Visited, error) {
+// newVisited builds the per-node visited structure and the release that
+// returns it when the query finishes. With parallel expansion in effect
+// it must tolerate concurrent markers: the default becomes the
+// striped-lock ShardedVisited, and caller-provided structures (e.g.
+// ExtVisited) are wrapped in a mutex unless they declare themselves
+// concurrency-safe via ConcurrentVisited. The default structures come
+// from (and go back to) the per-query scratch pools; caller-provided
+// ones are Closed instead.
+func newVisited(node cluster.NodeID, cfg BFSConfig, workers int) (Visited, func(), error) {
 	if cfg.NewVisited == nil {
+		var v Visited
 		if workers > 1 {
-			return NewShardedVisited(), nil
+			v = getShardedVisited()
+		} else {
+			v = getMemVisited()
 		}
-		return NewMemVisited(), nil
+		return v, func() { releaseVisited(v) }, nil
 	}
 	v, err := cfg.NewVisited(node)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	closer := v
 	if workers > 1 {
 		v = ensureConcurrentVisited(v)
 	}
-	return v, nil
+	return v, func() { closer.Close() }, nil
 }
 
 // bfsLevelSync is Algorithm 1: expand the whole fringe, exchange the next
 // fringe, synchronize, repeat. The termination conditions of the paper
 // ('found' message; exhausted graph) are realized with an all-reduce per
 // level, which decides found/empty at identical points on every node.
-func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BFSConfig) (BFSResult, error) {
-	coll := cluster.NewCollective(ep, chCollUp, chCollDn)
+func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db graphdb.Graph, visited Visited, cfg BFSConfig) (BFSResult, error) {
+	coll := cluster.NewCollective(ep, qc.collUp, qc.collDn).WithContext(ctx)
 	p := ep.Nodes()
 	self := ep.ID()
 
@@ -323,7 +339,8 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 	prefetcher, _ := db.(graphdb.Prefetcher)
 	filterOp, filterRef := cfg.Filter.metaOp()
 	nw := cfg.expandWorkers(db)
-	adj := graph.NewAdjList(1024)
+	adj := getAdjList()
+	defer putAdjList(adj)
 	met := qm()
 	met.runs.Inc()
 	runSpan := obs.DefaultTracer().StartSpan("bfs.levelsync", map[string]string{
@@ -332,6 +349,11 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 	defer runSpan.End()
 	var levcnt int32
 	for levcnt < cfg.maxLevels() {
+		// On a one-node fabric no receive ever blocks, so this per-level
+		// check is the only place a lone node observes cancellation.
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		levcnt++
 		levelStart := time.Now()
 		met.fringe.Observe(int64(len(fringe)))
@@ -411,7 +433,7 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 			// exchange below runs on this goroutine. Levels are sets, so
 			// the scheduling-dependent order inside localNext/outbound
 			// does not change any BFSResult field.
-			acc, err := expandParallel(ep, db, visited, &cfg, fringe, levcnt, nw, 0)
+			acc, err := expandParallel(ctx, ep, qc.fringe, db, visited, &cfg, fringe, levcnt, nw, 0)
 			if err != nil {
 				return res, err
 			}
@@ -457,16 +479,16 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 				continue
 			}
 			if len(outbound[q]) > 0 {
-				if err := ep.Send(cluster.NodeID(q), chFringe, encodeChunk(outbound[q])); err != nil {
+				if err := ep.Send(cluster.NodeID(q), qc.fringe, encodeChunk(outbound[q])); err != nil {
 					return res, err
 				}
 			}
 			if len(outboundPairs[q]) > 0 {
-				if err := ep.Send(cluster.NodeID(q), chFringe, encodeChunkPairs(outboundPairs[q])); err != nil {
+				if err := ep.Send(cluster.NodeID(q), qc.fringe, encodeChunkPairs(outboundPairs[q])); err != nil {
 					return res, err
 				}
 			}
-			if err := ep.Send(cluster.NodeID(q), chFringe, []byte{fkDone}); err != nil {
+			if err := ep.Send(cluster.NodeID(q), qc.fringe, []byte{fkDone}); err != nil {
 				return res, err
 			}
 		}
@@ -488,7 +510,7 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 			return nil
 		}
 		for done := 0; done < p-1; {
-			msg, err := ep.Recv(chFringe)
+			msg, err := ep.RecvCtx(ctx, qc.fringe)
 			if err != nil {
 				return res, err
 			}
@@ -538,7 +560,7 @@ func bfsLevelSync(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 			res.Found = true
 			res.PathLength = levcnt
 			if cfg.ReturnPath {
-				path, err := walkParents(ep, &cfg, parents, levcnt)
+				path, err := walkParents(ctx, ep, qc, &cfg, parents, levcnt)
 				if err != nil {
 					return res, err
 				}

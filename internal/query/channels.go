@@ -1,0 +1,37 @@
+package query
+
+import "mssg/internal/cluster"
+
+// queryChannels is one query's leased channel set. Earlier revisions
+// used package-level constants (chFringe = 0x0100, ...), which made two
+// concurrent queries on one fabric corrupt each other's traffic; every
+// algorithm now runs against a per-query namespace instead.
+//
+// Logical channel offsets within the namespace:
+//
+//	0  fringe exchange (chunks + level-done markers)
+//	1  collective up (gather to coordinator)
+//	2  collective down (broadcast from coordinator)
+//	3  path-walk parent-chain lookups
+type queryChannels struct {
+	ns       *cluster.Namespace
+	fringe   cluster.ChannelID
+	collUp   cluster.ChannelID
+	collDn   cluster.ChannelID
+	pathWalk cluster.ChannelID
+}
+
+// leaseChannels acquires a fresh namespace for one query run.
+func leaseChannels() (queryChannels, error) {
+	ns, err := cluster.Namespaces().Lease()
+	if err != nil {
+		return queryChannels{}, err
+	}
+	return queryChannels{
+		ns:       ns,
+		fringe:   ns.Channel(0),
+		collUp:   ns.Channel(1),
+		collDn:   ns.Channel(2),
+		pathWalk: ns.Channel(3),
+	}, nil
+}

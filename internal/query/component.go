@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"mssg/internal/cluster"
@@ -33,8 +34,8 @@ type ComponentResult struct {
 const componentMaxLevels = 1024
 
 // ParallelComponent measures the connected component containing seed.
-func ParallelComponent(f cluster.Fabric, dbs []graphdb.Graph, seed graph.VertexID, ownership Ownership) (ComponentResult, error) {
-	kh, err := ParallelKHop(f, dbs, KHopConfig{Source: seed, K: componentMaxLevels, Ownership: ownership})
+func ParallelComponent(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, seed graph.VertexID, ownership Ownership) (ComponentResult, error) {
+	kh, err := ParallelKHop(ctx, f, dbs, KHopConfig{Source: seed, K: componentMaxLevels, Ownership: ownership})
 	if err != nil {
 		return ComponentResult{}, err
 	}
@@ -59,7 +60,7 @@ func (componentAnalysis) Describe() string {
 	return "size and eccentricity of the connected component containing a vertex (params: source, broadcast)"
 }
 
-func (componentAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
+func (componentAnalysis) Run(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
 	src, err := requiredVertex(params, "source")
 	if err != nil {
 		return nil, err
@@ -68,7 +69,7 @@ func (componentAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[s
 	if params["broadcast"] == "true" {
 		ownership = BroadcastFringe
 	}
-	res, err := ParallelComponent(f, dbs, src, ownership)
+	res, err := ParallelComponent(ctx, f, dbs, src, ownership)
 	if err != nil {
 		return nil, fmt.Errorf("query: component analysis: %w", err)
 	}

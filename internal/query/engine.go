@@ -1,0 +1,315 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mssg/internal/cluster"
+	"mssg/internal/graphdb"
+	"mssg/internal/obs"
+)
+
+// Engine is the resident query scheduler: the piece that turns the
+// one-shot query functions into a serving system. It owns one fabric and
+// its per-node databases, admits queries up to a bounded queue, runs at
+// most MaxInFlight of them concurrently (all queries are pure readers
+// under the graphdb ConcurrentReaders contract, so they need no mutual
+// exclusion against each other), applies per-query deadlines through
+// context cancellation, and drains in-flight work on Close.
+//
+// Concurrency safety of a shared fabric comes from the per-query channel
+// namespaces: every ParallelBFS/ParallelKHop call leases its own block
+// of ChannelIDs, so interleaved queries never see each other's traffic.
+
+// EngineConfig tunes admission control. The zero value selects the
+// defaults noted per field.
+type EngineConfig struct {
+	// MaxInFlight bounds concurrently executing queries; <= 0 means 4.
+	MaxInFlight int
+	// QueueDepth bounds queries admitted but not yet running; once the
+	// queue is full Submit fails fast with ErrRejected. <= 0 means 16.
+	QueueDepth int
+	// DefaultDeadline bounds each query's execution unless its submit
+	// ctx carries an earlier deadline; 0 means none.
+	DefaultDeadline time.Duration
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	return c
+}
+
+// ErrRejected is returned by Submit when the admission queue is full.
+var ErrRejected = errors.New("query: engine queue full, query rejected")
+
+// ErrEngineClosed is returned by Submit after Close has begun.
+var ErrEngineClosed = errors.New("query: engine closed")
+
+// QueryStatus is a submitted query's lifecycle state.
+type QueryStatus int32
+
+const (
+	StatusQueued QueryStatus = iota
+	StatusRunning
+	StatusDone
+)
+
+func (s QueryStatus) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusDone:
+		return "done"
+	}
+	return fmt.Sprintf("QueryStatus(%d)", int32(s))
+}
+
+// Query is one admitted query's ticket. Result and Err are valid only
+// after Done() is closed (or Wait returns).
+type Query struct {
+	// ID is the engine-local admission sequence number.
+	ID uint64
+	// Label names the query for status reporting (analysis name or a
+	// caller-chosen string).
+	Label string
+
+	fn     func(ctx context.Context) (any, error)
+	ctx    context.Context
+	status atomic.Int32
+	done   chan struct{}
+
+	Result any
+	Err    error
+
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// Status reports the query's current lifecycle state.
+func (q *Query) Status() QueryStatus { return QueryStatus(q.status.Load()) }
+
+// Done is closed when the query finishes (successfully or not).
+func (q *Query) Done() <-chan struct{} { return q.done }
+
+// Wait blocks until the query finishes and returns its outcome.
+func (q *Query) Wait() (any, error) {
+	<-q.done
+	return q.Result, q.Err
+}
+
+// Engine is a long-lived concurrent query scheduler over one fabric.
+type Engine struct {
+	f   cluster.Fabric
+	dbs []graphdb.Graph
+	cfg EngineConfig
+
+	queue chan *Query
+	sem   chan struct{}
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  uint64
+	stats   EngineStats
+	dispTkn chan struct{} // closed when the dispatcher exits
+}
+
+// EngineStats is a point-in-time admission summary.
+type EngineStats struct {
+	Admitted  int64
+	Rejected  int64
+	Completed int64
+	Failed    int64
+	Cancelled int64
+}
+
+// NewEngine builds a resident engine over f and its per-node databases.
+// The engine does not own them: Close drains queries but leaves fabric
+// and databases open for the caller.
+func NewEngine(f cluster.Fabric, dbs []graphdb.Graph, cfg EngineConfig) (*Engine, error) {
+	if len(dbs) != f.Nodes() {
+		return nil, fmt.Errorf("query: %d databases for %d nodes", len(dbs), f.Nodes())
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		f: f, dbs: dbs, cfg: cfg,
+		queue:   make(chan *Query, cfg.QueueDepth),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		dispTkn: make(chan struct{}),
+	}
+	go e.dispatch()
+	return e, nil
+}
+
+// dispatch hands each admitted query a semaphore slot. The slot is
+// acquired BEFORE the query is pulled off the queue: a dequeued query is
+// always immediately runnable, so the queue's occupancy is exactly the
+// admitted-but-not-running set and capacity is precisely
+// MaxInFlight + QueueDepth (no query hidden "in the dispatcher's hand").
+func (e *Engine) dispatch() {
+	defer close(e.dispTkn)
+	for {
+		e.sem <- struct{}{}
+		q, ok := <-e.queue
+		if !ok {
+			<-e.sem
+			return
+		}
+		em().queued.Add(-1)
+		e.wg.Add(1)
+		go e.run(q)
+	}
+}
+
+func (e *Engine) run(q *Query) {
+	defer e.wg.Done()
+	defer func() { <-e.sem }()
+	met := em()
+	met.inFlight.Add(1)
+	defer met.inFlight.Add(-1)
+
+	ctx := q.ctx
+	if e.cfg.DefaultDeadline > 0 {
+		// A deadline already on the submit ctx stays if earlier;
+		// WithTimeout never extends one.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.DefaultDeadline)
+		defer cancel()
+	}
+
+	q.Started = time.Now()
+	q.status.Store(int32(StatusRunning))
+	span := obs.DefaultTracer().StartSpan("engine.query", map[string]string{
+		"label": q.Label,
+	})
+	res, err := q.fn(ctx)
+	span.End()
+
+	q.Finished = time.Now()
+	q.Result, q.Err = res, err
+	met.execNs.Observe(q.Finished.Sub(q.Started).Nanoseconds())
+	met.queryNs.Observe(q.Finished.Sub(q.Submitted).Nanoseconds())
+	e.mu.Lock()
+	switch {
+	case err == nil:
+		e.stats.Completed++
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.stats.Cancelled++
+	default:
+		e.stats.Failed++
+	}
+	e.mu.Unlock()
+	switch {
+	case err == nil:
+		met.completed.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		met.cancelled.Inc()
+	default:
+		met.failed.Inc()
+	}
+	q.status.Store(int32(StatusDone))
+	close(q.done)
+}
+
+// SubmitFunc admits an arbitrary query function under the engine's
+// admission control. The function receives a context that is cancelled
+// by the engine's deadline policy or the caller's ctx; it must return
+// promptly once that context is done.
+func (e *Engine) SubmitFunc(ctx context.Context, label string, fn func(ctx context.Context) (any, error)) (*Query, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q := &Query{
+		Label:     label,
+		fn:        fn,
+		ctx:       ctx,
+		done:      make(chan struct{}),
+		Submitted: time.Now(),
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	// Reserve the queue slot under the lock so Close cannot close the
+	// queue channel between the check above and the send below.
+	select {
+	case e.queue <- q:
+		e.nextID++
+		q.ID = e.nextID
+		e.stats.Admitted++
+		e.mu.Unlock()
+		em().admitted.Inc()
+		em().queued.Add(1)
+		return q, nil
+	default:
+		e.stats.Rejected++
+		e.mu.Unlock()
+		em().rejected.Inc()
+		return nil, ErrRejected
+	}
+}
+
+// Submit admits one registered analysis by name. The params map is
+// analysis-specific (see Analysis.Run).
+func (e *Engine) Submit(ctx context.Context, analysis string, params map[string]string) (*Query, error) {
+	a, ok := LookupAnalysis(analysis)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown analysis %q (have %v)", analysis, Analyses())
+	}
+	return e.SubmitFunc(ctx, analysis, func(ctx context.Context) (any, error) {
+		return a.Run(ctx, e.f, e.dbs, params)
+	})
+}
+
+// BFS admits one ParallelBFS run under admission control.
+func (e *Engine) BFS(ctx context.Context, cfg BFSConfig) (*Query, error) {
+	return e.SubmitFunc(ctx, "bfs", func(ctx context.Context) (any, error) {
+		return ParallelBFS(ctx, e.f, e.dbs, cfg)
+	})
+}
+
+// KHop admits one ParallelKHop run under admission control.
+func (e *Engine) KHop(ctx context.Context, cfg KHopConfig) (*Query, error) {
+	return e.SubmitFunc(ctx, "khop", func(ctx context.Context) (any, error) {
+		return ParallelKHop(ctx, e.f, e.dbs, cfg)
+	})
+}
+
+// Stats returns a snapshot of the admission counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Close stops admission and drains: queued queries still run, in-flight
+// queries finish (or hit their deadlines), and Close returns once the
+// last one is done. The fabric and databases stay open. Idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		<-e.dispTkn
+		e.wg.Wait()
+		return nil
+	}
+	e.closed = true
+	close(e.queue)
+	e.mu.Unlock()
+	<-e.dispTkn
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,320 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mssg/internal/cluster"
+	"mssg/internal/gen"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+// engineGraph builds a shared fabric + partitioned synthetic graph and a
+// resident engine over them.
+func engineGraph(t *testing.T, nodes int, cfg EngineConfig) (*Engine, cluster.Fabric, []graphdb.Graph, []graph.Edge) {
+	t.Helper()
+	edges, err := gen.Generate(gen.Config{Name: "engine-test", Vertices: 400, M: 4, Seed: 11})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	f := cluster.NewInProc(nodes, 0)
+	t.Cleanup(func() { f.Close() })
+	dbs := partition(t, edges, nodes)
+	e, err := NewEngine(f, dbs, cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, f, dbs, edges
+}
+
+// TestEngineConcurrentMatchesSerial is the headline race test: many
+// BFS + k-hop queries in flight at once on ONE shared fabric must return
+// exactly what the same queries return serially. Run under -race (make
+// race / make ci) this also proves the namespace isolation: any channel
+// collision between interleaved queries would corrupt distances.
+func TestEngineConcurrentMatchesSerial(t *testing.T) {
+	e, f, dbs, edges := engineGraph(t, 4, EngineConfig{MaxInFlight: 8, QueueDepth: 64})
+
+	dist := refDist(edges, 3)
+	type bfsCase struct {
+		dest graph.VertexID
+		want int32 // -1 = unreachable
+	}
+	var cases []bfsCase
+	for d := graph.VertexID(0); d < 40; d++ {
+		want := int32(-1)
+		if lv, ok := dist[d]; ok {
+			want = lv
+		}
+		cases = append(cases, bfsCase{dest: d, want: want})
+	}
+
+	// Serial k-hop reference on the quiet fabric.
+	khSerial, err := ParallelKHop(context.Background(), f, dbs, KHopConfig{Source: 3, K: 3})
+	if err != nil {
+		t.Fatalf("serial k-hop: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cases)+8)
+	for _, c := range cases {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q, err := e.BFS(context.Background(), BFSConfig{Source: 3, Dest: c.dest, Pipelined: c.dest%2 == 0})
+			if err != nil {
+				errs <- fmt.Errorf("submit bfs ->%d: %w", c.dest, err)
+				return
+			}
+			res, err := q.Wait()
+			if err != nil {
+				errs <- fmt.Errorf("bfs ->%d: %w", c.dest, err)
+				return
+			}
+			r := res.(BFSResult)
+			if c.want < 0 && r.Found {
+				errs <- fmt.Errorf("bfs ->%d found unreachable vertex at distance %d", c.dest, r.PathLength)
+			} else if c.want >= 0 && (!r.Found || r.PathLength != c.want) {
+				errs <- fmt.Errorf("bfs ->%d = (%v,%d), serial says %d", c.dest, r.Found, r.PathLength, c.want)
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q, err := e.KHop(context.Background(), KHopConfig{Source: 3, K: 3})
+			if err != nil {
+				errs <- fmt.Errorf("submit khop: %w", err)
+				return
+			}
+			res, err := q.Wait()
+			if err != nil {
+				errs <- fmt.Errorf("khop: %w", err)
+				return
+			}
+			kh := res.(KHopResult)
+			if kh.Total != khSerial.Total {
+				errs <- fmt.Errorf("concurrent khop total %d != serial %d", kh.Total, khSerial.Total)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := e.Stats()
+	if st.Failed != 0 || st.Cancelled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if want := int64(len(cases) + 8); st.Completed != want {
+		t.Fatalf("completed %d queries, want %d", st.Completed, want)
+	}
+}
+
+// TestEngineCancellation is the cancellation-conformance test: a
+// cancelled query must (1) return an error satisfying
+// errors.Is(err, context.Canceled), (2) release its channel namespace,
+// and (3) leave the engine fully usable for the next query.
+func TestEngineCancellation(t *testing.T) {
+	e, _, _, _ := engineGraph(t, 2, EngineConfig{})
+	before := cluster.Namespaces().Leased()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the query body first checks ctx
+	q, err := e.BFS(ctx, BFSConfig{Source: 3, Dest: 200})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := q.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query returned %v, want context.Canceled", err)
+	}
+	if q.Status() != StatusDone {
+		t.Fatalf("status after cancel = %v", q.Status())
+	}
+	if got := cluster.Namespaces().Leased(); got != before {
+		t.Fatalf("cancelled query leaked a namespace: leased %d -> %d", before, got)
+	}
+	if st := e.Stats(); st.Cancelled != 1 {
+		t.Fatalf("stats = %+v, want Cancelled=1", st)
+	}
+
+	// The engine must still serve fresh queries on the same fabric.
+	q2, err := e.BFS(context.Background(), BFSConfig{Source: 3, Dest: 3})
+	if err != nil {
+		t.Fatalf("submit after cancel: %v", err)
+	}
+	res, err := q2.Wait()
+	if err != nil {
+		t.Fatalf("query after cancel: %v", err)
+	}
+	if r := res.(BFSResult); !r.Found || r.PathLength != 0 {
+		t.Fatalf("query after cancel = %+v", r)
+	}
+	if got := cluster.Namespaces().Leased(); got != before {
+		t.Fatalf("namespace leak after recovery query: %d -> %d", before, got)
+	}
+}
+
+// TestEngineDeadline: DefaultDeadline must surface as DeadlineExceeded
+// and count as cancelled, with the namespace released.
+func TestEngineDeadline(t *testing.T) {
+	e, _, _, _ := engineGraph(t, 2, EngineConfig{DefaultDeadline: time.Nanosecond})
+	before := cluster.Namespaces().Leased()
+	q, err := e.SubmitFunc(context.Background(), "sleeper", func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := q.Wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline query returned %v, want context.DeadlineExceeded", err)
+	}
+	if st := e.Stats(); st.Cancelled != 1 {
+		t.Fatalf("stats = %+v, want Cancelled=1", st)
+	}
+	if got := cluster.Namespaces().Leased(); got != before {
+		t.Fatalf("deadline query leaked a namespace: %d -> %d", before, got)
+	}
+}
+
+// TestEngineAdmissionControl: with one slot and a queue of one, a third
+// concurrent submission must be rejected fast with ErrRejected, and the
+// engine must recover once the blocker finishes.
+func TestEngineAdmissionControl(t *testing.T) {
+	e, _, _, _ := engineGraph(t, 2, EngineConfig{MaxInFlight: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker := func(ctx context.Context) (any, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return "ok", nil
+	}
+	q1, err := e.SubmitFunc(context.Background(), "blocker", blocker)
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-started // blocker occupies the only slot
+	q2, err := e.SubmitFunc(context.Background(), "queued", blocker)
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	// Slot busy + queue full: the third submission must bounce.
+	if _, err := e.SubmitFunc(context.Background(), "overflow", blocker); !errors.Is(err, ErrRejected) {
+		t.Fatalf("overflow submit = %v, want ErrRejected", err)
+	}
+	if st := e.Stats(); st.Rejected != 1 || st.Admitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	close(release)
+	if _, err := q1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity is back.
+	q4, err := e.SubmitFunc(context.Background(), "after", func(ctx context.Context) (any, error) { return 7, nil })
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	if res, err := q4.Wait(); err != nil || res.(int) != 7 {
+		t.Fatalf("after-drain query = %v, %v", res, err)
+	}
+}
+
+// TestEngineCloseDrains: Close must reject new work, run what was
+// already admitted to completion, and be idempotent.
+func TestEngineCloseDrains(t *testing.T) {
+	e, _, _, _ := engineGraph(t, 2, EngineConfig{MaxInFlight: 2, QueueDepth: 8})
+	var qs []*Query
+	for i := 0; i < 6; i++ {
+		q, err := e.BFS(context.Background(), BFSConfig{Source: 3, Dest: graph.VertexID(i)})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		qs = append(qs, q)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		select {
+		case <-q.Done():
+		default:
+			t.Fatalf("query %d not finished after Close", i)
+		}
+		if q.Err != nil {
+			t.Fatalf("drained query %d: %v", i, q.Err)
+		}
+	}
+	if _, err := e.SubmitFunc(context.Background(), "late", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("submit after Close = %v, want ErrEngineClosed", err)
+	}
+	if err := e.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestEngineSubmitByName drives a registered analysis through the
+// params-map front door.
+func TestEngineSubmitByName(t *testing.T) {
+	e, _, _, _ := engineGraph(t, 2, EngineConfig{})
+	q, err := e.Submit(context.Background(), "khop", map[string]string{"source": "3", "k": "2"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	res, err := q.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kh := res.(KHopResult); kh.Total <= 0 {
+		t.Fatalf("khop by name = %+v", kh)
+	}
+	if _, err := e.Submit(context.Background(), "no-such-analysis", nil); err == nil {
+		t.Fatal("unknown analysis accepted")
+	}
+}
+
+// TestParallelQueriesWithoutEngine: the namespace layer alone must make
+// bare ParallelBFS calls safe to interleave on one fabric.
+func TestParallelQueriesWithoutEngine(t *testing.T) {
+	edges := chainEdges(30)
+	f := cluster.NewInProc(3, 0)
+	defer f.Close()
+	dbs := partition(t, edges, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for d := 1; d <= 20; d++ {
+		d := d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 0, Dest: graph.VertexID(d)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !res.Found || res.PathLength != int32(d) {
+				errs <- fmt.Errorf("concurrent BFS 0->%d = (%v,%d)", d, res.Found, res.PathLength)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+
+	"mssg/internal/graph"
+)
+
+// FuzzFringeChunkDecode: the fringe chunk decoders must never panic on
+// arbitrary frames, and every frame they accept must survive an
+// encode(decode(p)) round trip back to the original bytes — the fringe
+// exchange deduplicates nothing at the codec layer, so a lossy decode
+// would silently corrupt a search.
+func FuzzFringeChunkDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{fkChunk})
+	f.Add([]byte{fkDone})
+	f.Add(encodeChunk([]graph.VertexID{0, 1, graph.MaxVertexID}))
+	f.Add(encodeChunkPairs([]graph.Edge{{Src: 7, Dst: 3}}))
+	f.Add(encodePathMsg(pkLookup, 42))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		if ids, err := decodeChunk(p); err == nil {
+			re := encodeChunk(ids)
+			// decodeChunk ignores the kind byte; normalize it before
+			// comparing the round trip.
+			want := append([]byte{fkChunk}, p[1:]...)
+			if !bytes.Equal(re, want) {
+				t.Fatalf("chunk round trip: %x -> %v -> %x", p, ids, re)
+			}
+		}
+		if pairs, err := decodeChunkPairs(p); err == nil {
+			re := encodeChunkPairs(pairs)
+			want := append([]byte{fkChunkP}, p[1:]...)
+			if !bytes.Equal(re, want) {
+				t.Fatalf("pair round trip: %x -> %v -> %x", p, pairs, re)
+			}
+		}
+		if kind, v, err := decodePathMsg(p); err == nil {
+			if re := encodePathMsg(kind, v); !bytes.Equal(re, p) {
+				t.Fatalf("path-msg round trip: %x -> (%d,%d) -> %x", p, kind, v, re)
+			}
+		}
+	})
+}
+
+// FuzzFringeChunkRoundTrip drives the encoders from fuzzed id material:
+// whatever ids we encode must decode back exactly.
+func FuzzFringeChunkRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ids := make([]graph.VertexID, 0, len(raw)/8)
+		for i := 0; i+8 <= len(raw); i += 8 {
+			var v uint64
+			for j := 0; j < 8; j++ {
+				v |= uint64(raw[i+j]) << (8 * j)
+			}
+			ids = append(ids, graph.VertexID(v))
+		}
+		got, err := decodeChunk(encodeChunk(ids))
+		if err != nil {
+			t.Fatalf("decodeChunk(encodeChunk(%v)): %v", ids, err)
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("round trip length %d != %d", len(got), len(ids))
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("round trip ids[%d] = %d, want %d", i, got[i], ids[i])
+			}
+		}
+
+		pairs := make([]graph.Edge, 0, len(ids)/2)
+		for i := 0; i+1 < len(ids); i += 2 {
+			pairs = append(pairs, graph.Edge{Src: ids[i], Dst: ids[i+1]})
+		}
+		gotP, err := decodeChunkPairs(encodeChunkPairs(pairs))
+		if err != nil {
+			t.Fatalf("decodeChunkPairs(encodeChunkPairs(%v)): %v", pairs, err)
+		}
+		if len(gotP) != len(pairs) {
+			t.Fatalf("pair round trip length %d != %d", len(gotP), len(pairs))
+		}
+		for i := range pairs {
+			if gotP[i] != pairs[i] {
+				t.Fatalf("pair round trip [%d] = %v, want %v", i, gotP[i], pairs[i])
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -36,17 +37,26 @@ type KHopResult struct {
 	EdgesTraversed int64
 }
 
-// ParallelKHop runs the analysis across the fabric.
-func ParallelKHop(f cluster.Fabric, dbs []graphdb.Graph, cfg KHopConfig) (KHopResult, error) {
+// ParallelKHop runs the analysis across the fabric under its own leased
+// channel namespace; ctx cancellation aborts all nodes.
+func ParallelKHop(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, cfg KHopConfig) (KHopResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(dbs) != f.Nodes() {
 		return KHopResult{}, fmt.Errorf("query: %d databases for %d nodes", len(dbs), f.Nodes())
 	}
 	if cfg.K < 1 {
 		return KHopResult{}, fmt.Errorf("query: k-hop needs K >= 1, got %d", cfg.K)
 	}
+	qc, err := leaseChannels()
+	if err != nil {
+		return KHopResult{}, err
+	}
+	defer qc.ns.DrainAndRelease(f)
 	results := make([]KHopResult, f.Nodes())
-	err := cluster.Run(f, func(ep cluster.Endpoint) error {
-		r, err := khopNode(ep, dbs[ep.ID()], cfg)
+	err = cluster.Run(f, func(ep cluster.Endpoint) error {
+		r, err := khopNode(ctx, ep, qc, dbs[ep.ID()], cfg)
 		if err != nil {
 			return err
 		}
@@ -82,14 +92,14 @@ func ParallelKHop(f cluster.Fabric, dbs []graphdb.Graph, cfg KHopConfig) (KHopRe
 // bounded at K levels. Per-level counts are each node's newly marked
 // vertices; under known-mapping ownership each vertex is counted exactly
 // once (by its owner receiving it, or locally).
-func khopNode(ep cluster.Endpoint, db graphdb.Graph, cfg KHopConfig) (KHopResult, error) {
-	coll := cluster.NewCollective(ep, chCollUp, chCollDn)
+func khopNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db graphdb.Graph, cfg KHopConfig) (KHopResult, error) {
+	coll := cluster.NewCollective(ep, qc.collUp, qc.collDn).WithContext(ctx)
 	p := ep.Nodes()
 	self := ep.ID()
 	res := KHopResult{}
 
-	visited := NewMemVisited()
-	defer visited.Close()
+	visited := getMemVisited()
+	defer releaseVisited(visited)
 
 	var fringe []graph.VertexID
 	seedHere := cfg.Ownership == BroadcastFringe || cluster.Owner(int64(cfg.Source), p) == self
@@ -100,8 +110,12 @@ func khopNode(ep cluster.Endpoint, db graphdb.Graph, cfg KHopConfig) (KHopResult
 		fringe = append(fringe, cfg.Source)
 	}
 
-	adj := graph.NewAdjList(1024)
+	adj := getAdjList()
+	defer putAdjList(adj)
 	for levcnt := int32(1); levcnt <= int32(cfg.K); levcnt++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		adj.Reset()
 		if err := graphdb.AdjacencyBatch(db, fringe, adj, 0, graphdb.MetaIgnore); err != nil {
 			return res, err
@@ -142,17 +156,17 @@ func khopNode(ep cluster.Endpoint, db graphdb.Graph, cfg KHopConfig) (KHopResult
 				continue
 			}
 			if len(outbound[q]) > 0 {
-				if err := ep.Send(cluster.NodeID(q), chFringe, encodeChunk(outbound[q])); err != nil {
+				if err := ep.Send(cluster.NodeID(q), qc.fringe, encodeChunk(outbound[q])); err != nil {
 					return res, err
 				}
 			}
-			if err := ep.Send(cluster.NodeID(q), chFringe, []byte{fkDone}); err != nil {
+			if err := ep.Send(cluster.NodeID(q), qc.fringe, []byte{fkDone}); err != nil {
 				return res, err
 			}
 		}
 		next := localNext
 		for done := 0; done < p-1; {
-			msg, err := ep.Recv(chFringe)
+			msg, err := ep.RecvCtx(ctx, qc.fringe)
 			if err != nil {
 				return res, err
 			}
@@ -217,7 +231,7 @@ func (khopAnalysis) Describe() string {
 	return "count vertices within k hops of a source (params: source, k, broadcast)"
 }
 
-func (khopAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
+func (khopAnalysis) Run(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
 	src, err := requiredVertex(params, "source")
 	if err != nil {
 		return nil, err
@@ -234,7 +248,7 @@ func (khopAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string
 	if params["broadcast"] == "true" {
 		cfg.Ownership = BroadcastFringe
 	}
-	return ParallelKHop(f, dbs, cfg)
+	return ParallelKHop(ctx, f, dbs, cfg)
 }
 
 // statsAnalysis reports aggregate GraphDB work counters per node — the
@@ -253,7 +267,7 @@ type DBStats struct {
 	Total   graphdb.Stats
 }
 
-func (statsAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
+func (statsAnalysis) Run(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
 	out := DBStats{PerNode: make([]graphdb.Stats, len(dbs))}
 	for i, db := range dbs {
 		s := db.Stats()

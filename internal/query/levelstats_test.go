@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"testing"
 
 	"mssg/internal/cluster"
@@ -20,7 +21,7 @@ func TestBFSLevelStats(t *testing.T) {
 			f := cluster.NewInProc(2, 0)
 			defer f.Close()
 			dbs := partition(t, edges, 2)
-			res, err := ParallelBFS(f, dbs, BFSConfig{Source: 0, Dest: 9, Pipelined: pipelined})
+			res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 0, Dest: 9, Pipelined: pipelined})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -50,6 +50,44 @@ func qm() *queryMetrics {
 	return qmVal
 }
 
+// engineMetrics is the pre-resolved metric set of the resident query
+// engine: admission counters, live occupancy gauges, and end-to-end vs
+// execution-only latency.
+type engineMetrics struct {
+	admitted  *obs.Counter   // query.engine.admitted
+	rejected  *obs.Counter   // query.engine.rejected
+	cancelled *obs.Counter   // query.engine.cancelled
+	completed *obs.Counter   // query.engine.completed
+	failed    *obs.Counter   // query.engine.failed
+	inFlight  *obs.Gauge     // query.engine.in_flight
+	queued    *obs.Gauge     // query.engine.queued
+	queryNs   *obs.Histogram // query.engine.query_ns (submit → finish)
+	execNs    *obs.Histogram // query.engine.exec_ns (start → finish)
+}
+
+var (
+	emOnce sync.Once
+	emVal  *engineMetrics
+)
+
+func em() *engineMetrics {
+	emOnce.Do(func() {
+		r := obs.Default()
+		emVal = &engineMetrics{
+			admitted:  r.Counter("query.engine.admitted"),
+			rejected:  r.Counter("query.engine.rejected"),
+			cancelled: r.Counter("query.engine.cancelled"),
+			completed: r.Counter("query.engine.completed"),
+			failed:    r.Counter("query.engine.failed"),
+			inFlight:  r.Gauge("query.engine.in_flight"),
+			queued:    r.Gauge("query.engine.queued"),
+			queryNs:   r.Histogram("query.engine.query_ns"),
+			execNs:    r.Histogram("query.engine.exec_ns"),
+		}
+	})
+	return emVal
+}
+
 // levelHist returns the expansion-latency histogram for BFS level lev
 // (1-based), folding deep levels into the last slot.
 func (m *queryMetrics) levelHist(lev int32) *obs.Histogram {

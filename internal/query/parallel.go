@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,7 +71,8 @@ type levelAcc struct {
 // sub-threshold leftovers in the returned accumulator. With
 // sendThreshold == 0 nothing is sent and the caller flushes all
 // buckets itself.
-func expandParallel(ep cluster.Endpoint, db graphdb.Graph, visited Visited,
+func expandParallel(ctx context.Context, ep cluster.Endpoint, chFringe cluster.ChannelID,
+	db graphdb.Graph, visited Visited,
 	cfg *BFSConfig, fringe []graph.VertexID, levcnt int32,
 	nworkers, sendThreshold int) (levelAcc, error) {
 
@@ -92,8 +94,16 @@ func expandParallel(ep cluster.Endpoint, db graphdb.Graph, visited Visited,
 		go func(acc *levelAcc) {
 			defer wg.Done()
 			acc.outbound = make([][]graph.VertexID, p)
-			adj := graph.NewAdjList(256)
+			adj := getAdjList()
+			defer putAdjList(adj)
 			for firstErr.Load() == nil {
+				// One ctx check per claimed chunk: at most expandChunk
+				// adjacency reads of cancellation latency, and far off
+				// the per-vertex hot path.
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				start := cursor.Add(expandChunk) - expandChunk
 				if start >= int64(len(fringe)) {
 					return

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -50,13 +51,13 @@ func TestParallelMatchesSerialBFS(t *testing.T) {
 				}
 				serial := base
 				serial.Workers = 1
-				want, err := ParallelBFS(f, dbs, serial)
+				want, err := ParallelBFS(context.Background(), f, dbs, serial)
 				if err != nil {
 					t.Fatalf("serial BFS 0->%d: %v", dest, err)
 				}
 				par := base
 				par.Workers = 4
-				got, err := ParallelBFS(f, dbs, par)
+				got, err := ParallelBFS(context.Background(), f, dbs, par)
 				if err != nil {
 					t.Fatalf("parallel BFS 0->%d: %v", dest, err)
 				}
@@ -93,7 +94,7 @@ func TestParallelReturnPathFallsBackToSerial(t *testing.T) {
 	f := cluster.NewInProc(3, 0)
 	defer f.Close()
 	dbs := partition(t, edges, 3)
-	res, err := ParallelBFS(f, dbs, BFSConfig{Source: 0, Dest: 12, ReturnPath: true, Workers: 4})
+	res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 0, Dest: 12, ReturnPath: true, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

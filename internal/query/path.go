@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -16,9 +17,6 @@ import (
 // owner learns who discovered its vertices) and, once the destination is
 // found, node 0 walks the distributed parent chain backwards with
 // point-to-point lookups.
-
-// chPathWalk carries the post-search parent-chain lookups.
-const chPathWalk cluster.ChannelID = 0x0103
 
 // Path-walk wire format: kind byte + one or two vertex ids.
 const (
@@ -73,15 +71,16 @@ func decodeChunkPairs(p []byte) ([]graph.Edge, error) {
 // walkParents reconstructs source←dest from the distributed parent maps.
 // Node 0 drives; every other node services lookups until pkDone. Returns
 // the path source..dest on node 0, nil elsewhere.
-func walkParents(ep cluster.Endpoint, cfg *BFSConfig, parents map[graph.VertexID]graph.VertexID,
-	pathLen int32) ([]graph.VertexID, error) {
+func walkParents(ctx context.Context, ep cluster.Endpoint, qc queryChannels, cfg *BFSConfig,
+	parents map[graph.VertexID]graph.VertexID, pathLen int32) ([]graph.VertexID, error) {
 	p := ep.Nodes()
 	self := ep.ID()
+	chPathWalk := qc.pathWalk
 
 	if self != 0 {
 		// Serve lookups until the driver finishes.
 		for {
-			msg, err := ep.Recv(chPathWalk)
+			msg, err := ep.RecvCtx(ctx, chPathWalk)
 			if err != nil {
 				return nil, err
 			}
@@ -135,7 +134,7 @@ func walkParents(ep cluster.Endpoint, cfg *BFSConfig, parents map[graph.VertexID
 			if err := ep.Send(owner, chPathWalk, encodePathMsg(pkLookup, v)); err != nil {
 				return finish(nil, err)
 			}
-			msg, err := ep.Recv(chPathWalk)
+			msg, err := ep.RecvCtx(ctx, chPathWalk)
 			if err != nil {
 				return finish(nil, err)
 			}

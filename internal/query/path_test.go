@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestReturnPathChain(t *testing.T) {
 	defer f.Close()
 	dbs := partition(t, edges, 4)
 	for d := 1; d <= 12; d++ {
-		res, err := ParallelBFS(f, dbs, BFSConfig{
+		res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{
 			Source: 0, Dest: graph.VertexID(d), ReturnPath: true,
 		})
 		if err != nil {
@@ -66,7 +67,7 @@ func TestReturnPathRandomGraph(t *testing.T) {
 	dbs := partition(t, edges, 5)
 	for dest := graph.VertexID(3); dest < 600; dest += 53 {
 		want, reachable := dist[dest]
-		res, err := ParallelBFS(f, dbs, BFSConfig{Source: 2, Dest: dest, ReturnPath: true})
+		res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 2, Dest: dest, ReturnPath: true})
 		if err != nil {
 			t.Fatalf("BFS 2->%d: %v", dest, err)
 		}
@@ -96,7 +97,7 @@ func TestReturnPathBroadcastMode(t *testing.T) {
 	defer f.Close()
 	dbs := scatter(t, edges, 3)
 	for _, dest := range []graph.VertexID{50, 120, 199} {
-		res, err := ParallelBFS(f, dbs, BFSConfig{
+		res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{
 			Source: 0, Dest: dest, ReturnPath: true, Ownership: BroadcastFringe,
 		})
 		if err != nil {
@@ -113,7 +114,7 @@ func TestReturnPathSelf(t *testing.T) {
 	f := cluster.NewInProc(2, 0)
 	defer f.Close()
 	dbs := partition(t, chainEdges(3), 2)
-	res, err := ParallelBFS(f, dbs, BFSConfig{Source: 1, Dest: 1, ReturnPath: true})
+	res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 1, Dest: 1, ReturnPath: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestReturnPathRejectedForPipelined(t *testing.T) {
 	f := cluster.NewInProc(2, 0)
 	defer f.Close()
 	dbs := partition(t, chainEdges(3), 2)
-	if _, err := ParallelBFS(f, dbs, BFSConfig{
+	if _, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{
 		Source: 0, Dest: 3, ReturnPath: true, Pipelined: true,
 	}); err == nil {
 		t.Fatal("ReturnPath with Pipelined accepted")

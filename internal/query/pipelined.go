@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -18,8 +19,8 @@ import (
 // adjacency reads. Because sends are asynchronous (the fabric buffers
 // them), the expansion loop keeps processing local fringe vertices while
 // the communication subsystem moves the chunks, as §4.2 describes.
-func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BFSConfig) (BFSResult, error) {
-	coll := cluster.NewCollective(ep, chCollUp, chCollDn)
+func bfsPipelined(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db graphdb.Graph, visited Visited, cfg BFSConfig) (BFSResult, error) {
+	coll := cluster.NewCollective(ep, qc.collUp, qc.collDn).WithContext(ctx)
 	p := ep.Nodes()
 	self := ep.ID()
 	threshold := cfg.threshold()
@@ -43,7 +44,8 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 	prefetcher, _ := db.(graphdb.Prefetcher)
 	filterOp, filterRef := cfg.Filter.metaOp()
 	nw := cfg.expandWorkers(db)
-	adj := graph.NewAdjList(1024)
+	adj := getAdjList()
+	defer putAdjList(adj)
 	met := qm()
 	met.runs.Inc()
 	runSpan := obs.DefaultTracer().StartSpan("bfs.pipelined", map[string]string{
@@ -52,6 +54,9 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 	defer runSpan.End()
 	var levcnt int32
 	for levcnt < cfg.maxLevels() {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		levcnt++
 		levelStart := time.Now()
 		met.fringe.Observe(int64(len(fringe)))
@@ -92,7 +97,7 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 		// poll drains whatever has already arrived, without blocking.
 		poll := func() error {
 			for {
-				msg, ok, err := ep.TryRecv(chFringe)
+				msg, ok, err := ep.TryRecv(qc.fringe)
 				if err != nil {
 					return err
 				}
@@ -116,7 +121,7 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 			if len(buckets[q]) == 0 {
 				return nil
 			}
-			if err := ep.Send(cluster.NodeID(q), chFringe, encodeChunk(buckets[q])); err != nil {
+			if err := ep.Send(cluster.NodeID(q), qc.fringe, encodeChunk(buckets[q])); err != nil {
 				return err
 			}
 			buckets[q] = buckets[q][:0]
@@ -127,7 +132,12 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 		// (Algorithm 2 lines 9-22), pipelining chunk sends and draining
 		// arrivals between vertices.
 		expandSerial := func() error {
-			for _, v := range fringe {
+			for i, v := range fringe {
+				if i%64 == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
 				adj.Reset()
 				if err := db.AdjacencyUsingMetadata(v, adj, filterRef, filterOp); err != nil {
 					return err
@@ -194,7 +204,7 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 			}
 			ch := make(chan expandOutcome, 1)
 			go func(levcnt int32) {
-				acc, err := expandParallel(ep, db, visited, &cfg, fringe, levcnt, nw, threshold)
+				acc, err := expandParallel(ctx, ep, qc.fringe, db, visited, &cfg, fringe, levcnt, nw, threshold)
 				ch <- expandOutcome{acc, err}
 			}(levcnt)
 			var acc levelAcc
@@ -208,6 +218,13 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 					acc = out.acc
 					break expand
 				default:
+					if err := ctx.Err(); err != nil {
+						// Let the workers notice the cancellation (they
+						// check per chunk) and drain their outcome so no
+						// goroutine leaks past this return.
+						<-ch
+						return res, err
+					}
 					if err := poll(); err != nil {
 						return res, err
 					}
@@ -247,12 +264,12 @@ func bfsPipelined(ep cluster.Endpoint, db graphdb.Graph, visited Visited, cfg BF
 			if err := sendBucket(q); err != nil {
 				return res, err
 			}
-			if err := ep.Send(cluster.NodeID(q), chFringe, []byte{fkDone}); err != nil {
+			if err := ep.Send(cluster.NodeID(q), qc.fringe, []byte{fkDone}); err != nil {
 				return res, err
 			}
 		}
 		for doneSeen < p-1 {
-			msg, err := ep.Recv(chFringe)
+			msg, err := ep.RecvCtx(ctx, qc.fringe)
 			if err != nil {
 				return res, err
 			}

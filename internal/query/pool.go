@@ -1,0 +1,60 @@
+package query
+
+import (
+	"sync"
+
+	"mssg/internal/graph"
+)
+
+// Per-query scratch pooling. A resident engine runs queries back to
+// back; re-allocating the visited maps and adjacency buffers for every
+// one of them turns the allocator into the serving bottleneck. The pools
+// below recycle the default (in-memory) structures across queries.
+// Caller-provided NewVisited structures are not pooled — the engine
+// cannot know how to reset them.
+
+var adjPool = sync.Pool{
+	New: func() any { return graph.NewAdjList(1024) },
+}
+
+// getAdjList returns a reset adjacency buffer from the pool.
+func getAdjList() *graph.AdjList {
+	a := adjPool.Get().(*graph.AdjList)
+	a.Reset()
+	return a
+}
+
+func putAdjList(a *graph.AdjList) { adjPool.Put(a) }
+
+var memVisitedPool = sync.Pool{
+	New: func() any { return NewMemVisited() },
+}
+
+var shardedVisitedPool = sync.Pool{
+	New: func() any { return NewShardedVisited() },
+}
+
+// getMemVisited returns an empty pooled MemVisited; hand it back with
+// releaseVisited.
+func getMemVisited() *MemVisited {
+	return memVisitedPool.Get().(*MemVisited)
+}
+
+// getShardedVisited returns an empty pooled ShardedVisited; hand it back
+// with releaseVisited.
+func getShardedVisited() *ShardedVisited {
+	return shardedVisitedPool.Get().(*ShardedVisited)
+}
+
+// releaseVisited resets v and returns it to its pool. Only the two
+// built-in in-memory structures are recycled.
+func releaseVisited(v Visited) {
+	switch t := v.(type) {
+	case *MemVisited:
+		t.Reset()
+		memVisitedPool.Put(t)
+	case *ShardedVisited:
+		t.Reset()
+		shardedVisitedPool.Put(t)
+	}
+}

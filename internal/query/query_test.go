@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestBFSChainExactDistances(t *testing.T) {
 		f := cluster.NewInProc(4, 0)
 		dbs := partition(t, edges, 4)
 		for d := 1; d <= 20; d++ {
-			res, err := ParallelBFS(f, dbs, BFSConfig{
+			res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{
 				Source: 0, Dest: graph.VertexID(d), Pipelined: pipelined, Threshold: 2,
 			})
 			if err != nil {
@@ -107,7 +108,7 @@ func TestBFSSourceEqualsDest(t *testing.T) {
 	f := cluster.NewInProc(2, 0)
 	defer f.Close()
 	dbs := partition(t, chainEdges(3), 2)
-	res, err := ParallelBFS(f, dbs, BFSConfig{Source: 1, Dest: 1})
+	res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 1, Dest: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestBFSUnreachable(t *testing.T) {
 	f := cluster.NewInProc(3, 0)
 	defer f.Close()
 	dbs := partition(t, edges, 3)
-	res, err := ParallelBFS(f, dbs, BFSConfig{Source: 0, Dest: 11})
+	res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 0, Dest: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestBFSUnknownSource(t *testing.T) {
 	f := cluster.NewInProc(2, 0)
 	defer f.Close()
 	dbs := partition(t, chainEdges(3), 2)
-	res, err := ParallelBFS(f, dbs, BFSConfig{Source: 77, Dest: 1})
+	res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 77, Dest: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestBroadcastModeOnScatteredStorage(t *testing.T) {
 		f := cluster.NewInProc(4, 0)
 		dbs := scatter(t, edges, 4)
 		for _, dest := range []graph.VertexID{10, 100, 299} {
-			res, err := ParallelBFS(f, dbs, BFSConfig{
+			res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{
 				Source: 5, Dest: dest,
 				Ownership: BroadcastFringe, Pipelined: pipelined, Threshold: 4,
 			})
@@ -182,7 +183,7 @@ func TestBFSRandomGraphAllDistancesBothAlgorithms(t *testing.T) {
 	for dest := graph.VertexID(1); dest < 500; dest += 37 {
 		want, ok := dist[dest]
 		for _, pipelined := range []bool{false, true} {
-			res, err := ParallelBFS(f, dbs, BFSConfig{Source: 0, Dest: dest, Pipelined: pipelined})
+			res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 0, Dest: dest, Pipelined: pipelined})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -204,7 +205,7 @@ func TestBFSWorkCountersPlausible(t *testing.T) {
 	f := cluster.NewInProc(4, 0)
 	defer f.Close()
 	dbs := partition(t, edges, 4)
-	res, err := ParallelBFS(f, dbs, BFSConfig{Source: 0, Dest: 399})
+	res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 0, Dest: 399})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestBFSMaxLevels(t *testing.T) {
 	f := cluster.NewInProc(2, 0)
 	defer f.Close()
 	dbs := partition(t, edges, 2)
-	_, err := ParallelBFS(f, dbs, BFSConfig{Source: 0, Dest: 30, MaxLevels: 5})
+	_, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 0, Dest: 30, MaxLevels: 5})
 	if err == nil {
 		t.Fatal("BFS beyond MaxLevels did not error")
 	}
@@ -234,7 +235,7 @@ func TestBFSMaxLevels(t *testing.T) {
 func TestBFSDBCountMismatch(t *testing.T) {
 	f := cluster.NewInProc(3, 0)
 	defer f.Close()
-	if _, err := ParallelBFS(f, make([]graphdb.Graph, 2), BFSConfig{}); err == nil {
+	if _, err := ParallelBFS(context.Background(), f, make([]graphdb.Graph, 2), BFSConfig{}); err == nil {
 		t.Fatal("db/node count mismatch accepted")
 	}
 }
@@ -338,16 +339,16 @@ func TestAnalysisRegistry(t *testing.T) {
 	f := cluster.NewInProc(2, 0)
 	defer f.Close()
 	dbs := partition(t, chainEdges(4), 2)
-	if _, err := a.Run(f, dbs, map[string]string{"source": "0"}); err == nil {
+	if _, err := a.Run(context.Background(), f, dbs, map[string]string{"source": "0"}); err == nil {
 		t.Fatal("missing dest accepted")
 	}
-	if _, err := a.Run(f, dbs, map[string]string{"source": "x", "dest": "1"}); err == nil {
+	if _, err := a.Run(context.Background(), f, dbs, map[string]string{"source": "x", "dest": "1"}); err == nil {
 		t.Fatal("bad source accepted")
 	}
-	if _, err := a.Run(f, dbs, map[string]string{"source": "0", "dest": "1", "threshold": "zz"}); err == nil {
+	if _, err := a.Run(context.Background(), f, dbs, map[string]string{"source": "0", "dest": "1", "threshold": "zz"}); err == nil {
 		t.Fatal("bad threshold accepted")
 	}
-	out, err := a.Run(f, dbs, map[string]string{
+	out, err := a.Run(context.Background(), f, dbs, map[string]string{
 		"source": "0", "dest": "3", "pipelined": "true", "threshold": "2",
 	})
 	if err != nil {
@@ -386,7 +387,7 @@ func TestKHopChain(t *testing.T) {
 		} else {
 			dbs = scatter(t, edges, 3)
 		}
-		res, err := ParallelKHop(f, dbs, KHopConfig{Source: 0, K: 4, Ownership: ownership})
+		res, err := ParallelKHop(context.Background(), f, dbs, KHopConfig{Source: 0, K: 4, Ownership: ownership})
 		if err != nil {
 			t.Fatalf("KHop: %v", err)
 		}
@@ -420,7 +421,7 @@ func TestKHopCountsMatchReferenceBFS(t *testing.T) {
 	f := cluster.NewInProc(4, 0)
 	defer f.Close()
 	dbs := partition(t, edges, 4)
-	res, err := ParallelKHop(f, dbs, KHopConfig{Source: 7, K: k})
+	res, err := ParallelKHop(context.Background(), f, dbs, KHopConfig{Source: 7, K: k})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +439,7 @@ func TestKHopValidation(t *testing.T) {
 	f := cluster.NewInProc(2, 0)
 	defer f.Close()
 	dbs := partition(t, chainEdges(3), 2)
-	if _, err := ParallelKHop(f, dbs, KHopConfig{Source: 0, K: 0}); err == nil {
+	if _, err := ParallelKHop(context.Background(), f, dbs, KHopConfig{Source: 0, K: 0}); err == nil {
 		t.Fatal("K=0 accepted")
 	}
 }
@@ -451,7 +452,7 @@ func TestKHopAnalysisRegistry(t *testing.T) {
 	f := cluster.NewInProc(2, 0)
 	defer f.Close()
 	dbs := partition(t, chainEdges(5), 2)
-	out, err := a.Run(f, dbs, map[string]string{"source": "0", "k": "2"})
+	out, err := a.Run(context.Background(), f, dbs, map[string]string{"source": "0", "k": "2"})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -459,10 +460,10 @@ func TestKHopAnalysisRegistry(t *testing.T) {
 	if res.Total != 2 {
 		t.Fatalf("khop total = %d, want 2", res.Total)
 	}
-	if _, err := a.Run(f, dbs, map[string]string{"source": "0"}); err == nil {
+	if _, err := a.Run(context.Background(), f, dbs, map[string]string{"source": "0"}); err == nil {
 		t.Fatal("missing k accepted")
 	}
-	if _, err := a.Run(f, dbs, map[string]string{"source": "0", "k": "x"}); err == nil {
+	if _, err := a.Run(context.Background(), f, dbs, map[string]string{"source": "0", "k": "x"}); err == nil {
 		t.Fatal("bad k accepted")
 	}
 }
@@ -475,7 +476,7 @@ func TestDBStatsAnalysis(t *testing.T) {
 	f := cluster.NewInProc(2, 0)
 	defer f.Close()
 	dbs := partition(t, chainEdges(5), 2)
-	out, err := a.Run(f, dbs, nil)
+	out, err := a.Run(context.Background(), f, dbs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -512,7 +513,7 @@ func TestFilteredBFS(t *testing.T) {
 		}
 	}
 	// Unfiltered: shortcut through 9 gives distance 2.
-	res, err := ParallelBFS(f, dbs, BFSConfig{Source: 0, Dest: 4})
+	res, err := ParallelBFS(context.Background(), f, dbs, BFSConfig{Source: 0, Dest: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -521,7 +522,7 @@ func TestFilteredBFS(t *testing.T) {
 	}
 	// Restricted to type A: must take the chain, distance 4.
 	for _, pipelined := range []bool{false, true} {
-		res, err = ParallelBFS(f, dbs, BFSConfig{
+		res, err = ParallelBFS(context.Background(), f, dbs, BFSConfig{
 			Source: 0, Dest: 4, Pipelined: pipelined,
 			Filter: MetaFilter{Op: FilterEqual, Ref: typeA},
 		})
@@ -533,7 +534,7 @@ func TestFilteredBFS(t *testing.T) {
 		}
 	}
 	// Restricted to type B only: 4 is unreachable (4 itself is type A).
-	res, err = ParallelBFS(f, dbs, BFSConfig{
+	res, err = ParallelBFS(context.Background(), f, dbs, BFSConfig{
 		Source: 0, Dest: 4,
 		Filter: MetaFilter{Op: FilterEqual, Ref: typeB},
 	})

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -21,8 +22,9 @@ type Analysis interface {
 	// Describe is a one-line human description.
 	Describe() string
 	// Run executes the analysis across the fabric; params are
-	// analysis-specific strings (a query-language stand-in).
-	Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error)
+	// analysis-specific strings (a query-language stand-in). Cancelling
+	// ctx aborts the analysis with ctx.Err().
+	Run(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error)
 }
 
 var (
@@ -69,7 +71,7 @@ func (bfsAnalysis) Describe() string {
 	return "parallel out-of-core breadth-first search between two vertices (params: source, dest, pipelined, broadcast, threshold, workers)"
 }
 
-func (bfsAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
+func (bfsAnalysis) Run(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, params map[string]string) (any, error) {
 	cfg := BFSConfig{}
 	src, err := requiredVertex(params, "source")
 	if err != nil {
@@ -100,7 +102,7 @@ func (bfsAnalysis) Run(f cluster.Fabric, dbs []graphdb.Graph, params map[string]
 		}
 		cfg.Workers = n
 	}
-	return ParallelBFS(f, dbs, cfg)
+	return ParallelBFS(ctx, f, dbs, cfg)
 }
 
 func requiredVertex(params map[string]string, key string) (graph.VertexID, error) {

@@ -64,6 +64,10 @@ func (m *MemVisited) Count() int64 { return int64(len(m.levels)) }
 // Close implements Visited.
 func (m *MemVisited) Close() error { return nil }
 
+// Reset empties the set for reuse by a later query (keeps the map's
+// allocated buckets).
+func (m *MemVisited) Reset() { clear(m.levels) }
+
 // ExtVisited is the external-memory visited structure: one byte per
 // vertex (level+1; 0 = unvisited) in a block file behind a small cache.
 // Level values are capped at 253, far beyond any small-world BFS depth.
@@ -220,6 +224,18 @@ func (s *ShardedVisited) Count() int64 { return s.count.Load() }
 
 // Close implements Visited.
 func (s *ShardedVisited) Close() error { return nil }
+
+// Reset empties the set for reuse by a later query. Not safe to call
+// concurrently with markers — the owning query must have finished.
+func (s *ShardedVisited) Reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		clear(sh.levels)
+		sh.mu.Unlock()
+	}
+	s.count.Store(0)
+}
 
 // ConcurrentMarkers implements ConcurrentVisited.
 func (s *ShardedVisited) ConcurrentMarkers() bool { return true }

@@ -30,6 +30,7 @@
 package mssg
 
 import (
+	"context"
 	"io"
 
 	"mssg/internal/cluster"
@@ -82,6 +83,13 @@ type (
 	KHopConfig = query.KHopConfig
 	// KHopResult is the outcome of a k-hop analysis.
 	KHopResult = query.KHopResult
+	// QueryEngineConfig tunes the resident concurrent query scheduler.
+	QueryEngineConfig = query.EngineConfig
+	// QueryEngine is the resident scheduler: admission-controlled
+	// concurrent queries over one engine's fabric and databases.
+	QueryEngine = query.Engine
+	// Query is one admitted query's ticket (status, result, latency).
+	Query = query.Query
 	// GraphStats summarizes a graph as in the paper's Table 5.1.
 	GraphStats = gen.Stats
 	// GenConfig parameterizes the synthetic scale-free generator.
@@ -123,7 +131,7 @@ const (
 
 // KHop runs the k-hop neighbourhood analysis on an engine.
 func KHop(e *Engine, cfg KHopConfig) (KHopResult, error) {
-	return query.ParallelKHop(e.Fabric(), e.Databases(), cfg)
+	return query.ParallelKHop(context.Background(), e.Fabric(), e.Databases(), cfg)
 }
 
 // ComponentResult describes a connected component (see Component).
@@ -131,7 +139,13 @@ type ComponentResult = query.ComponentResult
 
 // Component measures the connected component containing seed.
 func Component(e *Engine, seed VertexID) (ComponentResult, error) {
-	return query.ParallelComponent(e.Fabric(), e.Databases(), seed, query.KnownMapping)
+	return query.ParallelComponent(context.Background(), e.Fabric(), e.Databases(), seed, query.KnownMapping)
+}
+
+// NewQueryEngine builds a resident concurrent query scheduler over an
+// engine's fabric and databases; see core.Engine.NewQueryEngine.
+func NewQueryEngine(e *Engine, cfg QueryEngineConfig) (*QueryEngine, error) {
+	return e.NewQueryEngine(cfg)
 }
 
 // IngestPolicy is a pluggable clustering/declustering policy.
