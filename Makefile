@@ -6,8 +6,11 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz chaos crash scrub bench bench-json bench-workers bench-qps clean
+.PHONY: ci vet build test race fuzz chaos crash scrub bench bench-json bench-workers bench-qps bench-io clean
 
+# ci keeps the fuzz leg to a 5s-per-target smoke; run `make fuzz` for
+# the full exploration pass.
+ci: FUZZTIME = 5s
 ci: vet build race chaos crash fuzz bench-workers
 
 vet:
@@ -41,17 +44,21 @@ scrub:
 	$(GO) run ./cmd/mssg-bench -check $(DIR)
 
 # Short fuzz pass over the wire and storage codecs (regression corpus +
-# 10s of exploration per target).
+# FUZZTIME of exploration per target): make fuzz FUZZTIME=5s
+FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -run xxx -fuzz FuzzEdgeRoundTrip -fuzztime 10s ./internal/graph
-	$(GO) test -run xxx -fuzz FuzzEdgeDecodeNoPanic -fuzztime 10s ./internal/graph
-	$(GO) test -run xxx -fuzz FuzzTCPFrameDecode -fuzztime 10s ./internal/cluster
-	$(GO) test -run xxx -fuzz FuzzRecordScan -fuzztime 10s ./internal/storage/wal
-	$(GO) test -run xxx -fuzz FuzzManifestDecode -fuzztime 10s ./internal/graphdb/grdb
-	$(GO) test -run xxx -fuzz FuzzStateRecordDecode -fuzztime 10s ./internal/graphdb/grdb
-	$(GO) test -run xxx -fuzz FuzzWALRecordDecode -fuzztime 10s ./internal/graphdb/reldb
-	$(GO) test -run xxx -fuzz FuzzFringeChunkDecode -fuzztime 10s ./internal/query
-	$(GO) test -run xxx -fuzz FuzzFringeChunkRoundTrip -fuzztime 10s ./internal/query
+	$(GO) test -run xxx -fuzz FuzzEdgeRoundTrip -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run xxx -fuzz FuzzEdgeDecodeNoPanic -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run xxx -fuzz FuzzTCPFrameDecode -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -run xxx -fuzz FuzzRecordScan -fuzztime $(FUZZTIME) ./internal/storage/wal
+	$(GO) test -run xxx -fuzz FuzzManifestDecode -fuzztime $(FUZZTIME) ./internal/graphdb/grdb
+	$(GO) test -run xxx -fuzz FuzzStateRecordDecode -fuzztime $(FUZZTIME) ./internal/graphdb/grdb
+	$(GO) test -run xxx -fuzz FuzzWALRecordDecode -fuzztime $(FUZZTIME) ./internal/graphdb/reldb
+	$(GO) test -run xxx -fuzz FuzzFringeChunkDecode -fuzztime $(FUZZTIME) ./internal/query
+	$(GO) test -run xxx -fuzz FuzzFringeChunkRoundTrip -fuzztime $(FUZZTIME) ./internal/query
+	$(GO) test -run xxx -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/storage/compress
+	$(GO) test -run xxx -fuzz FuzzDecodeArbitrary -fuzztime $(FUZZTIME) ./internal/storage/compress
+	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime $(FUZZTIME) ./internal/storage/compress
 
 # Paper figure/table regenerations (slow; one full experiment per bench).
 bench:
@@ -73,6 +80,12 @@ bench-workers:
 # percentiles land in BENCH_<timestamp>.json.
 bench-qps:
 	$(GO) run ./cmd/mssg-bench -json auto -queries 200 -concurrency 8 qps
+
+# Semi-external I/O engine ablation (DESIGN.md §13): prefetch ×
+# compression × shared SLRU cache on grDB under the harsh disk model;
+# the table plus registry counters land in BENCH_<timestamp>.json.
+bench-io:
+	$(GO) run ./cmd/mssg-bench -json auto io
 
 clean:
 	$(GO) clean ./...

@@ -48,6 +48,8 @@ func main() {
 	defrag := flag.Bool("defrag", false, "run grDB chain defragmentation after ingestion (grdb backend only)")
 	fsck := flag.Bool("fsck", false, "verify grDB storage invariants after ingestion (grdb backend only)")
 	copyUp := flag.Bool("copyup", false, "use grDB's copy-up-on-overflow strategy instead of linking")
+	compress := flag.Bool("compress", false,
+		"store grDB blocks delta-varint compressed (query later with the same -compress flag)")
 	durability := flag.String("durability", "none",
 		"crash safety: none (page-cache only) or full (WAL + checksums + atomic checkpoints; back-ends also checkpoint their ingest position for exactly-once resume)")
 	verifyOnOpen := flag.Bool("verify-on-open", false,
@@ -81,6 +83,7 @@ func main() {
 		Fabric:    fabric,
 		DBOptions: graphdb.Options{
 			CopyUpOnOverflow: *copyUp,
+			Compress:         *compress,
 			Durability:       durLevel,
 			VerifyOnOpen:     *verifyOnOpen,
 		},

@@ -35,6 +35,7 @@ import (
 	_ "mssg/internal/graphdb/all"
 	"mssg/internal/obs"
 	"mssg/internal/query"
+	"mssg/internal/storage/cache"
 )
 
 func main() {
@@ -60,6 +61,10 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 4, "serve mode: concurrently executing queries")
 	queueDepth := flag.Int("queue-depth", 16, "serve mode: admitted-but-not-running queries before rejection")
 	queryTimeout := flag.Duration("query-timeout", 0, "serve mode: per-query deadline (0 = none)")
+	compress := flag.Bool("compress", false,
+		"the databases were ingested with delta-varint block compression (grDB; must match the ingest setting)")
+	sharedCacheMB := flag.Int64("shared-cache", 0,
+		"non-zero: share one scan-resistant SLRU block cache of this many MB across all back-end nodes (grDB, durability none)")
 	durability := flag.String("durability", "none",
 		"crash safety mode the database was ingested with: none or full (must match, checksum sidecars are only kept under full)")
 	verifyOnOpen := flag.Bool("verify-on-open", false,
@@ -86,10 +91,16 @@ func main() {
 		fatal(err)
 	}
 	cfg := core.Config{
-		Backends:  *backends,
-		Backend:   *backend,
-		Dir:       *dir,
-		DBOptions: graphdb.Options{Durability: durLevel, VerifyOnOpen: *verifyOnOpen},
+		Backends: *backends,
+		Backend:  *backend,
+		Dir:      *dir,
+		DBOptions: graphdb.Options{
+			Durability: durLevel, VerifyOnOpen: *verifyOnOpen,
+			Compress: *compress,
+		},
+	}
+	if *sharedCacheMB > 0 {
+		cfg.DBOptions.SharedCache = cache.NewWithPolicy(*sharedCacheMB<<20, cache.PolicySLRU)
 	}
 	var obsServer *obs.Server
 	if *metricsAddr != "" {

@@ -25,6 +25,7 @@ import (
 	"mssg/internal/ingest"
 	"mssg/internal/obs"
 	"mssg/internal/query"
+	"mssg/internal/storage/cache"
 )
 
 // Table is one experiment's result in printable form.
@@ -106,6 +107,17 @@ type Params struct {
 	// obs.Default(). Off by default: the per-op clock reads distort the
 	// finest-grained comparisons.
 	Metrics bool
+	// Prefetch turns on fringe prefetch in every search experiment's BFS
+	// (pipelined with expansion when the backend implements
+	// graphdb.AsyncPrefetcher, a synchronous warm-up sweep otherwise).
+	Prefetch bool
+	// Compress opens every out-of-core grDB with delta-varint block
+	// compression (DESIGN.md §13). Other backends ignore it.
+	Compress bool
+	// SharedCache replaces each grDB engine's per-node private caches
+	// with one scan-resistant SLRU cache shared by all its nodes, sized
+	// at the sum of the per-node budgets. Other backends ignore it.
+	SharedCache bool
 	// Verbose, if set, receives progress lines.
 	Verbose func(format string, args ...any)
 }
@@ -190,6 +202,18 @@ func buildEngine(p *Params, label, backend string, backends, frontends int, opts
 		Dir:       fmt.Sprintf("%s/%s", p.Dir, label),
 		DBOptions: opts,
 		Ingest:    ingest.Config{AddReverse: true},
+	}
+	if p.Compress {
+		cfg.DBOptions.Compress = true
+	}
+	if p.SharedCache {
+		budget := cfg.DBOptions.CacheBytes
+		if budget <= 0 {
+			budget = SimCacheBytes
+		}
+		// Engine copies DBOptions per node, so one cache set here is the
+		// cache every node's grDB attaches a space to.
+		cfg.DBOptions.SharedCache = cache.NewWithPolicy(budget*int64(backends), cache.PolicySLRU)
 	}
 	if p.FaultSeed != 0 {
 		cfg.Fault = &cluster.Plan{
@@ -310,6 +334,7 @@ func All() []Experiment {
 		{"fig5.8", "search time, Syn', grDB, visited in-mem vs external", Fig58},
 		{"fig5.9", "search edges/s, Syn', grDB", Fig59},
 		{"qps", "concurrent mixed workload QPS + latency percentiles, grDB", QPS},
+		{"io", "semi-external I/O engine ablation: prefetch × compression × shared SLRU, grDB", IOEngine},
 	}
 }
 

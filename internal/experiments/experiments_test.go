@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -13,7 +14,7 @@ func tinyParams(t *testing.T) *Params {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	ids := []string{"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4",
-		"fig5.5", "fig5.6", "fig5.7", "fig5.8", "fig5.9", "qps"}
+		"fig5.5", "fig5.6", "fig5.7", "fig5.8", "fig5.9", "qps", "io"}
 	all := All()
 	if len(all) != len(ids) {
 		t.Fatalf("All() has %d experiments, want %d", len(all), len(ids))
@@ -78,6 +79,36 @@ func TestFig53Smoke(t *testing.T) {
 				t.Fatalf("cell %q does not look like seconds", cell)
 			}
 		}
+	}
+}
+
+func TestIOEngineSmoke(t *testing.T) {
+	// Global lever flags must not leak into the ablation's own sweep:
+	// the baseline row of an -compress -prefetch -shared-cache run has
+	// to stay a baseline.
+	p := tinyParams(t)
+	p.Prefetch, p.Compress, p.SharedCache = true, true, true
+	tab, err := IOEngine(p)
+	if err != nil {
+		t.Fatalf("IOEngine: %v", err)
+	}
+	if len(tab.Rows) != len(ioConfigs()) {
+		t.Fatalf("io rows = %d, want %d", len(tab.Rows), len(ioConfigs()))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %v does not match header %v", row, tab.Header)
+		}
+	}
+	// Compression must show up in the byte counter: the compress row
+	// reads fewer MB than baseline at identical workload.
+	var mb = func(row []string) float64 {
+		var f float64
+		fmt.Sscanf(row[5], "%f", &f)
+		return f
+	}
+	if mb(tab.Rows[2]) >= mb(tab.Rows[0]) {
+		t.Errorf("compress read %v MB, baseline %v MB — expected fewer", mb(tab.Rows[2]), mb(tab.Rows[0]))
 	}
 }
 

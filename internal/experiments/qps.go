@@ -41,8 +41,8 @@ func QPS(p *Params) (*Table, error) {
 	}
 
 	t := &Table{
-		ID:    "qps",
-		Title: fmt.Sprintf("concurrent mixed workload (BFS + k-hop), grDB, %d nodes, %d queries per level", pubmedSNodes, len(pairs)),
+		ID:     "qps",
+		Title:  fmt.Sprintf("concurrent mixed workload (BFS + k-hop), grDB, %d nodes, %d queries per level", pubmedSNodes, len(pairs)),
 		Header: []string{"Concurrency", "Wall(s)", "QPS", "p50(ms)", "p95(ms)", "p99(ms)", "Speedup"},
 		Notes: []string{
 			"each query leases its own channel namespace on one shared fabric",
@@ -118,10 +118,10 @@ func runConcurrent(p *Params, e *core.Engine, pairs [][2]graph.VertexID, conc in
 		var q *query.Query
 		var err error
 		if i%3 == 2 {
-			q, err = qe.KHop(context.Background(), query.KHopConfig{Source: pr[0], K: 2})
+			q, err = qe.KHop(context.Background(), query.KHopConfig{Source: pr[0], K: 2, Prefetch: p.Prefetch})
 		} else {
 			q, err = e.SubmitBFS(context.Background(), qe, query.BFSConfig{
-				Source: pr[0], Dest: pr[1], Workers: workers,
+				Source: pr[0], Dest: pr[1], Workers: workers, Prefetch: p.Prefetch,
 			})
 		}
 		if err != nil {

@@ -31,6 +31,7 @@
 package graphdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -197,6 +198,34 @@ func AdjacencyBatch(g Graph, fringe []graph.VertexID, out *graph.AdjList, md int
 // of blocks touched.
 type Prefetcher interface {
 	PrefetchAdjacency(fringe []graph.VertexID) (int, error)
+}
+
+// PrefetchJob is a handle to one in-flight asynchronous prefetch (see
+// AsyncPrefetcher).
+type PrefetchJob interface {
+	// Wait blocks until the job has finished (completed, failed, or was
+	// cancelled) and every goroutine it started has exited, then returns
+	// the job's first error. A cancelled job returns the context error.
+	// Wait is idempotent.
+	Wait() error
+	// Cancel asks the job to stop early. It does not wait; call Wait to
+	// join. Safe to call more than once, and after completion.
+	Cancel()
+}
+
+// AsyncPrefetcher is an optional extension for backends that can warm
+// their caches in the background, overlapping the next BFS level's I/O
+// with the current level's expansion (the pipelined refinement of the
+// §4.2 prefetch). The returned job reads the fringe's chains with
+// offset-sorted batched block reads on worker goroutines; the caller
+// Waits before expanding that fringe, and must Wait (or Cancel then
+// Wait) before discarding the job — Wait's return guarantees no
+// goroutine is left running. Prefetching is an accelerator: a job error
+// only means the cache was not fully warmed, never that data is wrong,
+// so callers may ignore it and let expansion surface any real I/O
+// failure.
+type AsyncPrefetcher interface {
+	PrefetchAsync(ctx context.Context, fringe []graph.VertexID) PrefetchJob
 }
 
 // Checkpointer is an optional extension for backends that persist an

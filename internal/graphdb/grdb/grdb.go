@@ -33,13 +33,18 @@ package grdb
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
 	"mssg/internal/obs"
 	"mssg/internal/storage/blockio"
 	"mssg/internal/storage/cache"
+	"mssg/internal/storage/compress"
+	"mssg/internal/storage/fsutil"
 	"mssg/internal/storage/vfs"
 	"mssg/internal/storage/wal"
 )
@@ -69,6 +74,12 @@ const (
 	DefaultMaxFileBytes = 256 << 20
 
 	manifestName = "grdb.manifest"
+
+	// compressedMarkerName marks a database whose level stores hold
+	// compressed blocks (Options.Compress). The block encoding is part of
+	// the on-disk format, so Open refuses a marker/option mismatch rather
+	// than misreading every block.
+	compressedMarkerName = "grdb.compressed"
 )
 
 // DefaultLevels is the prototype's 6-level ladder (§4.1.6): d_ℓ of 2, 4,
@@ -85,12 +96,30 @@ func DefaultLevels() []graphdb.LevelSpec {
 	}
 }
 
+// levelStore is the block store a level reads and writes logical blocks
+// through: a plain *blockio.Store, or a *compress.Store wrapping one
+// when Options.Compress is set. The WAL recovery path and Scrub go
+// through the same interface, so both operate on logical block images
+// regardless of the on-disk encoding.
+type levelStore interface {
+	BlockSize() int
+	ReadBlock(idx int64, buf []byte) error
+	ReadBlockNoVerify(idx int64, buf []byte) error
+	WriteBlock(idx int64, buf []byte) error
+	Sync() error
+	Close() error
+	Counters() blockio.Counters
+}
+
 // level is one storage level at runtime.
 type level struct {
 	d        int   // sub-block neighbour capacity
 	subBytes int   // b * d
 	k        int64 // sub-blocks per block
-	store    *blockio.Store
+	store    levelStore
+	// space is this level's id in the block cache: the level index with a
+	// private cache, or an AddSpace-allocated id in a shared cache.
+	space uint32
 }
 
 // DB is a grDB instance.
@@ -141,6 +170,18 @@ type DB struct {
 	// GetCheckpoint returns). See graphdb.Checkpointer.
 	ckptStaged    []byte
 	ckptCommitted []byte
+
+	// sharedCache marks that cache belongs to the caller
+	// (Options.SharedCache): Flush/Close touch only this instance's
+	// spaces and never the co-tenants'.
+	sharedCache bool
+
+	// compressed marks that level stores encode blocks (Options.Compress).
+	compressed bool
+
+	// pf coordinates asynchronous prefetch jobs (see prefetch.go). Close
+	// drains it before releasing the stores.
+	pf prefetchEngine
 
 	// Recovery/scrub observability (nil-safe no-ops without a registry).
 	mRecoveryRuns, mRecoveryRecords, mRecoveryBlocks, mScrubCorrupt *obs.Counter
@@ -240,17 +281,32 @@ func Open(opts graphdb.Options) (*DB, error) {
 	}
 
 	d := &DB{
-		dir:       opts.Dir,
-		cache:     cache.New(cacheBytes),
-		meta:      graphdb.NewMetaMap(),
-		nextFree:  make([]int64, len(specs)),
-		maxVertex: -1,
-		tailHint:  make(map[graph.VertexID]tailPos),
-		copyUp:    opts.CopyUpOnOverflow,
-		fsys:      fsys,
-		durable:   opts.Durability >= graphdb.DurabilityFull,
+		dir:         opts.Dir,
+		meta:        graphdb.NewMetaMap(),
+		nextFree:    make([]int64, len(specs)),
+		maxVertex:   -1,
+		tailHint:    make(map[graph.VertexID]tailPos),
+		copyUp:      opts.CopyUpOnOverflow,
+		fsys:        fsys,
+		durable:     opts.Durability >= graphdb.DurabilityFull,
+		compressed:  opts.Compress,
+		sharedCache: opts.SharedCache != nil,
 	}
-	d.cache.EnableMetrics(opts.Metrics, "grdb")
+	if d.sharedCache {
+		if d.durable {
+			return nil, fmt.Errorf("grdb: a shared cache cannot be combined with DurabilityFull (the WAL's no-steal contract is per instance)")
+		}
+		d.cache = opts.SharedCache
+	} else {
+		d.cache = cache.New(cacheBytes)
+		// A shared cache belongs to the caller, who labels its metrics;
+		// private caches are mirrored here.
+		d.cache.EnableMetrics(opts.Metrics, "grdb")
+	}
+	if err := d.checkCompressedMarker(); err != nil {
+		return nil, err
+	}
+	d.pf.init(d, opts.PrefetchWorkers, opts.Metrics)
 	d.stats.EnableLatency(opts.Metrics, "grdb")
 	if reg := opts.Metrics; reg != nil {
 		d.mRecoveryRuns = reg.Counter("grdb.recovery.runs")
@@ -264,11 +320,18 @@ func Open(opts graphdb.Options) (*DB, error) {
 		d.cache.SetNoSteal(true)
 	}
 	for i, spec := range specs {
-		store, err := blockio.OpenStore(blockio.Config{
+		// Compressed levels hold physical slots a fixed slack larger than
+		// the logical block; the per-file block capacity stays the same.
+		physBytes, storeMaxFile := spec.BlockBytes, maxFile
+		if d.compressed {
+			physBytes = compress.PhysicalBlockSize(spec.BlockBytes)
+			storeMaxFile = maxFile / int64(spec.BlockBytes) * int64(physBytes)
+		}
+		inner, err := blockio.OpenStore(blockio.Config{
 			Dir:          opts.Dir,
 			Prefix:       fmt.Sprintf("level%d", i),
-			BlockSize:    spec.BlockBytes,
-			MaxFileBytes: maxFile,
+			BlockSize:    physBytes,
+			MaxFileBytes: storeMaxFile,
 			Checksums:    d.durable,
 			FS:           opts.FS,
 		})
@@ -276,8 +339,27 @@ func Open(opts graphdb.Options) (*DB, error) {
 			d.closeStores()
 			return nil, err
 		}
-		store.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
-		if err := d.cache.AttachSpace(uint32(i), store); err != nil {
+		inner.SimulateLatency(opts.SimReadLatency, opts.SimWriteLatency)
+		inner.SimulateTransfer(opts.SimTransferLatency)
+		var store levelStore = inner
+		if d.compressed {
+			cs, err := compress.Wrap(inner, spec.BlockBytes)
+			if err != nil {
+				inner.Close()
+				d.closeStores()
+				return nil, err
+			}
+			store = cs
+		}
+		space := uint32(i)
+		if d.sharedCache {
+			if space, err = d.cache.AddSpace(store); err != nil {
+				store.Close()
+				d.closeStores()
+				return nil, err
+			}
+		} else if err := d.cache.AttachSpace(space, store); err != nil {
+			store.Close()
 			d.closeStores()
 			return nil, err
 		}
@@ -286,6 +368,7 @@ func Open(opts graphdb.Options) (*DB, error) {
 			subBytes: spec.SubBlockCap * wordBytes,
 			k:        int64(spec.BlockBytes) / int64(spec.SubBlockCap*wordBytes),
 			store:    store,
+			space:    space,
 		})
 	}
 	if err := d.loadManifest(); err != nil {
@@ -307,9 +390,42 @@ func Open(opts graphdb.Options) (*DB, error) {
 	return d, nil
 }
 
+// checkCompressedMarker reconciles Options.Compress with the on-disk
+// marker file: an existing database must be reopened with the encoding
+// it was created with.
+func (d *DB) checkCompressedMarker() error {
+	marker := filepath.Join(d.dir, compressedMarkerName)
+	_, err := fsutil.ReadFile(d.fsys, marker)
+	hasMarker := err == nil
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("grdb: %w", err)
+	}
+	if hasMarker == d.compressed {
+		return nil
+	}
+	_, merr := fsutil.ReadFile(d.fsys, filepath.Join(d.dir, manifestName))
+	hasManifest := merr == nil
+	if merr != nil && !errors.Is(merr, os.ErrNotExist) {
+		return fmt.Errorf("grdb: %w", merr)
+	}
+	if hasMarker {
+		return fmt.Errorf("grdb: %s was created with compressed blocks; reopen with Compress", d.dir)
+	}
+	if hasManifest {
+		return fmt.Errorf("grdb: %s was created without compressed blocks; Compress cannot be enabled on reopen", d.dir)
+	}
+	// Fresh database opening compressed: record it.
+	return fsutil.WriteFileAtomic(d.fsys, marker, []byte("1\n"), 0o644)
+}
+
 func (d *DB) closeStores() {
 	for _, l := range d.levels {
 		if l.store != nil {
+			if d.sharedCache {
+				// Best-effort: stop leaking this instance's spaces into the
+				// caller's cache on a failed Open.
+				d.cache.RemoveSpace(l.space)
+			}
 			l.store.Close()
 		}
 	}
@@ -323,7 +439,7 @@ func (d *DB) closeStores() {
 func (d *DB) subBlock(ℓ int, s int64) (*cache.Handle, []byte, error) {
 	l := d.levels[ℓ]
 	blockIdx := s / l.k
-	h, err := d.cache.Get(uint32(ℓ), blockIdx)
+	h, err := d.cache.Get(l.space, blockIdx)
 	if err != nil {
 		return nil, nil, err
 	}

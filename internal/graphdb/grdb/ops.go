@@ -308,7 +308,7 @@ func (d *DB) Flush() error {
 	if d.durable {
 		return d.checkpoint()
 	}
-	if err := d.cache.Flush(); err != nil {
+	if err := d.flushCache(); err != nil {
 		return err
 	}
 	if err := d.saveManifest(); err != nil {
@@ -318,17 +318,44 @@ func (d *DB) Flush() error {
 	return nil
 }
 
+// flushCache writes back this instance's dirty blocks. On a shared
+// cache only this instance's spaces are flushed — co-tenants commit
+// their own writes.
+func (d *DB) flushCache() error {
+	if !d.sharedCache {
+		return d.cache.Flush()
+	}
+	for _, l := range d.levels {
+		if err := d.cache.FlushSpace(l.space); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close implements graphdb.Graph.
 func (d *DB) Close() error {
 	if d.closed {
 		return nil
 	}
+	// Cancel and join every in-flight prefetch before touching the
+	// stores: Wait()'s contract guarantees no prefetch goroutine
+	// outlives the instance.
+	d.pf.drain()
 	if err := d.Flush(); err != nil {
 		return err
 	}
 	d.closed = true
 	var first error
 	for _, l := range d.levels {
+		if d.sharedCache {
+			// Give the spaces back to the caller's cache (writes back any
+			// dirty blocks the flush raced with; there are none after a
+			// clean Flush, but the invariant costs nothing).
+			if err := d.cache.RemoveSpace(l.space); err != nil && first == nil {
+				first = err
+			}
+		}
 		if err := l.store.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -359,6 +386,19 @@ func (d *DB) IOCounters() (blockReads, blockWrites int64) {
 		blockWrites += c.BlockWrites
 	}
 	return blockReads, blockWrites
+}
+
+// IOBytes reports physical bytes moved to and from the backing stores,
+// summing all levels. With compression enabled this is smaller than
+// block-count × block-size accounting suggests — compressed payloads
+// and hinted prefix reads move only the bytes that exist.
+func (d *DB) IOBytes() (bytesRead, bytesWritten int64) {
+	for _, l := range d.levels {
+		c := l.store.Counters()
+		bytesRead += c.BytesRead
+		bytesWritten += c.BytesWritten
+	}
+	return bytesRead, bytesWritten
 }
 
 // CacheStats implements graphdb.CacheStats.

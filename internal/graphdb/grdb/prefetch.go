@@ -1,10 +1,14 @@
 package grdb
 
 import (
+	"context"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
+	"mssg/internal/obs"
 )
 
 // Prefetching (§4.2, future work): "The performance of these algorithms
@@ -20,6 +24,22 @@ import (
 type blockRef struct {
 	level int
 	block int64
+}
+
+// prefetchBudget bounds the bytes one prefetch sweep (sync or async) may
+// pull into the cache: a quarter of the cache's byte budget — the SLRU
+// probation segment's share — so a single fringe's sweep can never evict
+// the blocks the current expansion is using. An unbudgeted prefetch of a
+// fringe larger than the cache is strictly worse than no prefetch: every
+// block is read once by the sweep, evicted, and read again by the
+// expansion. With the cache disabled the budget is zero and prefetch is
+// a no-op (there is nothing to warm).
+func (d *DB) prefetchBudget() int64 { return d.cache.Capacity() / 4 }
+
+// blockBytes is the logical block size of level ℓ.
+func (d *DB) blockBytes(ℓ int) int64 {
+	l := d.levels[ℓ]
+	return l.k * int64(l.subBytes)
 }
 
 // PrefetchAdjacency warms the cache for the adjacency chains of the
@@ -38,16 +58,26 @@ func (d *DB) PrefetchAdjacency(fringe []graph.VertexID) (int, error) {
 		}
 	}
 	seen := make(map[blockRef]bool)
+	budget := d.prefetchBudget()
+	var spent int64
+	exhausted := false
 	touched := 0
 	for len(positions) > 0 {
-		// Warm this depth's blocks in offset order.
+		// Warm this depth's blocks in offset order, up to the budget.
 		var wave []blockRef
 		for _, pos := range positions {
 			ref := blockRef{level: pos.level, block: pos.sub / d.levels[pos.level].k}
-			if !seen[ref] {
-				seen[ref] = true
-				wave = append(wave, ref)
+			if seen[ref] {
+				continue
 			}
+			if bb := d.blockBytes(ref.level); spent+bb > budget {
+				exhausted = true
+				break
+			} else {
+				spent += bb
+			}
+			seen[ref] = true
+			wave = append(wave, ref)
 		}
 		sort.Slice(wave, func(i, j int) bool {
 			if wave[i].level != wave[j].level {
@@ -56,7 +86,7 @@ func (d *DB) PrefetchAdjacency(fringe []graph.VertexID) (int, error) {
 			return wave[i].block < wave[j].block
 		})
 		for _, ref := range wave {
-			h, err := d.cache.Get(uint32(ref.level), ref.block)
+			h, err := d.cache.Get(d.levels[ref.level].space, ref.block)
 			if err != nil {
 				return touched, err
 			}
@@ -64,6 +94,10 @@ func (d *DB) PrefetchAdjacency(fringe []graph.VertexID) (int, error) {
 				return touched, err
 			}
 			touched++
+		}
+		if exhausted {
+			// Deeper waves would only push past the budget further.
+			break
 		}
 		// Advance every chain one hop.
 		var next []tailPos
@@ -80,6 +114,265 @@ func (d *DB) PrefetchAdjacency(fringe []graph.VertexID) (int, error) {
 	}
 	return touched, nil
 }
+
+// defaultPrefetchWorkers bounds one async job's concurrent block reads
+// when Options.PrefetchWorkers is zero.
+const defaultPrefetchWorkers = 4
+
+// prefetchEngine coordinates asynchronous prefetch jobs for one DB: a
+// registry of live jobs (so Close can cancel and join them all) plus the
+// shared goroutine accounting.
+type prefetchEngine struct {
+	d       *DB
+	workers int
+
+	mu   sync.Mutex
+	jobs map[*prefetchJob]struct{}
+
+	// wg tracks every goroutine of every job; drain() waits on it.
+	wg sync.WaitGroup
+	// active gauges live prefetch goroutines (exposed via obs and
+	// PrefetchGoroutines for the leak assertions in the race suite).
+	active atomic.Int64
+
+	mJobs, mBlocks, mErrors *obs.Counter
+}
+
+func (p *prefetchEngine) init(d *DB, workers int, reg *obs.Registry) {
+	p.d = d
+	if workers <= 0 {
+		workers = defaultPrefetchWorkers
+	}
+	p.workers = workers
+	p.jobs = make(map[*prefetchJob]struct{})
+	if reg != nil {
+		p.mJobs = reg.Counter("grdb.prefetch.jobs")
+		p.mBlocks = reg.Counter("grdb.prefetch.blocks")
+		p.mErrors = reg.Counter("grdb.prefetch.errors")
+		reg.RegisterFunc("grdb.prefetch.active_goroutines", p.active.Load)
+	}
+}
+
+// drain cancels every live job and waits for all prefetch goroutines to
+// exit. Called by Close before the stores are released.
+func (p *prefetchEngine) drain() {
+	p.mu.Lock()
+	for j := range p.jobs {
+		j.Cancel()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// prefetchJob is one in-flight asynchronous prefetch
+// (graphdb.PrefetchJob).
+type prefetchJob struct {
+	e      *prefetchEngine
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error // written once, before done is closed
+	blocks atomic.Int64
+}
+
+// Wait implements graphdb.PrefetchJob: it blocks until the job's last
+// goroutine has exited and returns the job's first error.
+func (j *prefetchJob) Wait() error {
+	<-j.done
+	return j.err
+}
+
+// Cancel implements graphdb.PrefetchJob.
+func (j *prefetchJob) Cancel() { j.cancel() }
+
+// Blocks reports how many blocks the job has warmed so far.
+func (j *prefetchJob) Blocks() int64 { return j.blocks.Load() }
+
+// PrefetchAsync implements graphdb.AsyncPrefetcher: it starts warming
+// the cache for the fringe's adjacency chains in the background —
+// wave-by-wave as in PrefetchAdjacency, but with each wave's
+// offset-sorted reads fanned across worker goroutines — and returns
+// immediately. A read-only operation under the concurrency contract.
+func (d *DB) PrefetchAsync(ctx context.Context, fringe []graph.VertexID) graphdb.PrefetchJob {
+	p := &d.pf
+	j := &prefetchJob{e: p, done: make(chan struct{})}
+	j.ctx, j.cancel = context.WithCancel(ctx)
+	if d.closed {
+		j.err = graphdb.ErrClosed
+		j.cancel()
+		close(j.done)
+		return j
+	}
+	p.mu.Lock()
+	p.jobs[j] = struct{}{}
+	p.mu.Unlock()
+	p.mJobs.Inc()
+	p.wg.Add(1)
+	p.active.Add(1)
+	go j.run(fringe)
+	return j
+}
+
+// finish records err (first writer wins — run calls it exactly once),
+// deregisters the job, and releases Wait.
+func (j *prefetchJob) finish(err error) {
+	if err != nil {
+		j.err = err
+		j.e.mErrors.Inc()
+	}
+	j.cancel()
+	j.e.mu.Lock()
+	delete(j.e.jobs, j)
+	j.e.mu.Unlock()
+	close(j.done)
+	j.e.active.Add(-1)
+	j.e.wg.Done()
+}
+
+// run is the job coordinator: it advances all chains one depth per
+// wave, delegating each wave's block reads to readWave.
+func (j *prefetchJob) run(fringe []graph.VertexID) {
+	d := j.e.d
+	positions := make([]tailPos, 0, len(fringe))
+	for _, v := range fringe {
+		if uint64(v) <= maxStoreable {
+			positions = append(positions, tailPos{level: 0, sub: int64(v)})
+		}
+	}
+	seen := make(map[blockRef]bool)
+	budget := d.prefetchBudget()
+	var spent int64
+	exhausted := false
+	for len(positions) > 0 {
+		if err := j.ctx.Err(); err != nil {
+			j.finish(err)
+			return
+		}
+		var wave []blockRef
+		for _, pos := range positions {
+			ref := blockRef{level: pos.level, block: pos.sub / d.levels[pos.level].k}
+			if seen[ref] {
+				continue
+			}
+			if bb := d.blockBytes(ref.level); spent+bb > budget {
+				exhausted = true
+				break
+			} else {
+				spent += bb
+			}
+			seen[ref] = true
+			wave = append(wave, ref)
+		}
+		sort.Slice(wave, func(i, k int) bool {
+			if wave[i].level != wave[k].level {
+				return wave[i].level < wave[k].level
+			}
+			return wave[i].block < wave[k].block
+		})
+		if err := j.readWave(wave); err != nil {
+			j.finish(err)
+			return
+		}
+		if exhausted {
+			// The budget is spent; deeper waves would evict what the
+			// expansion is about to use.
+			j.finish(nil)
+			return
+		}
+		// Advance every chain one hop; these reads hit the blocks the
+		// wave just warmed.
+		var next []tailPos
+		for _, pos := range positions {
+			if err := j.ctx.Err(); err != nil {
+				j.finish(err)
+				return
+			}
+			np, ok, err := d.continuation(pos.level, pos.sub)
+			if err != nil {
+				j.finish(err)
+				return
+			}
+			if ok {
+				next = append(next, np)
+			}
+		}
+		positions = next
+	}
+	j.finish(nil)
+}
+
+// readWave pins and releases every block of one wave, fanning the
+// offset-sorted list across the engine's worker budget. Workers claim
+// the next sorted block atomically, so the issue order stays sorted
+// globally.
+func (j *prefetchJob) readWave(wave []blockRef) error {
+	if len(wave) == 0 {
+		return nil
+	}
+	d := j.e.d
+	workers := j.e.workers
+	if workers > len(wave) {
+		workers = len(wave)
+	}
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		j.cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		j.e.wg.Add(1)
+		j.e.active.Add(1)
+		go func() {
+			defer func() {
+				j.e.active.Add(-1)
+				j.e.wg.Done()
+				wg.Done()
+			}()
+			for {
+				if j.ctx.Err() != nil {
+					return
+				}
+				i := next.Add(1) - 1
+				if i >= int64(len(wave)) {
+					return
+				}
+				ref := wave[i]
+				h, err := d.cache.Get(d.levels[ref.level].space, ref.block)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := h.Release(); err != nil {
+					fail(err)
+					return
+				}
+				j.blocks.Add(1)
+				j.e.mBlocks.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return j.ctx.Err()
+}
+
+// PrefetchGoroutines reports the number of live prefetch goroutines —
+// zero once every job's Wait has returned. Exposed for the leak
+// assertions in the conformance suite (and as the obs gauge
+// grdb.prefetch.active_goroutines).
+func (d *DB) PrefetchGoroutines() int64 { return d.pf.active.Load() }
 
 // continuation returns the continuation pointer of sub-block (ℓ, s), if
 // any.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mssg/internal/obs"
+	"mssg/internal/storage/cache"
 	"mssg/internal/storage/vfs"
 )
 
@@ -83,6 +84,31 @@ type Options struct {
 	// machine; see blockio.Store.SimulateLatency.
 	SimReadLatency  time.Duration
 	SimWriteLatency time.Duration
+
+	// SimTransferLatency adds a simulated per-byte delay on top of the
+	// per-operation latencies, modeling device bandwidth. Compressed
+	// stores move fewer bytes and therefore pay less of it; see
+	// blockio.Store.SimulateTransfer.
+	SimTransferLatency time.Duration
+
+	// Compress enables delta-varint compression of grDB adjacency blocks
+	// (DESIGN.md §13): blocks are encoded on write and CRC-checked +
+	// decoded on read. The on-disk format changes; a database must be
+	// reopened with the same setting it was created with.
+	Compress bool
+
+	// SharedCache, when non-nil, makes the instance register its storage
+	// levels as spaces of this cache instead of creating a private one —
+	// the cross-query shared cache mode (DESIGN.md §13). The cache should
+	// use cache.PolicySLRU so one query's scan cannot evict another's
+	// working set. Incompatible with DurabilityFull (the WAL's no-steal
+	// contract cannot span instances).
+	SharedCache *cache.BlockCache
+
+	// PrefetchWorkers bounds the concurrent block reads of one async
+	// prefetch job (grDB's pipelined prefetch; see
+	// graphdb.AsyncPrefetcher). 0 selects the default.
+	PrefetchWorkers int
 
 	// Durability selects crash safety for out-of-core backends. The
 	// in-memory backends ignore it (they have no durable state at all).

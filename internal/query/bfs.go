@@ -337,6 +337,30 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 	}
 
 	prefetcher, _ := db.(graphdb.Prefetcher)
+	asyncPf, _ := db.(graphdb.AsyncPrefetcher)
+	// pending holds the async prefetch jobs issued for the fringe about
+	// to be expanded (the pipelined refinement of the §4.2 prefetch):
+	// once a level's local discoveries are known, their chains start
+	// warming in the background while this goroutine runs the exchange
+	// and the level barrier. Jobs are joined at the top of the next
+	// level; the deferred cancel guarantees no prefetch goroutine
+	// outlives the query on any exit path.
+	var pending []graphdb.PrefetchJob
+	waitPending := func() {
+		// Prefetch errors are advisory: a failed job means the cache was
+		// not fully warmed, never that data is wrong — expansion surfaces
+		// any real I/O failure.
+		for _, j := range pending {
+			_ = j.Wait()
+		}
+		pending = pending[:0]
+	}
+	defer func() {
+		for _, j := range pending {
+			j.Cancel()
+		}
+		waitPending()
+	}()
 	filterOp, filterRef := cfg.Filter.metaOp()
 	nw := cfg.expandWorkers(db)
 	adj := getAdjList()
@@ -361,9 +385,23 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 			"level":  strconv.Itoa(int(levcnt)),
 			"fringe": strconv.Itoa(len(fringe)),
 		})
-		if cfg.Prefetch && prefetcher != nil {
-			if _, err := prefetcher.PrefetchAdjacency(fringe); err != nil {
-				return res, err
+		if cfg.Prefetch {
+			switch {
+			case len(pending) > 0:
+				// The previous level already started warming this fringe;
+				// join the pipeline before expanding.
+				waitPending()
+			case asyncPf != nil:
+				// First level (or a backend that appeared mid-query):
+				// nothing is in flight yet, so issue and join immediately —
+				// the fan-out across prefetch workers still beats the
+				// serial sweep.
+				pending = append(pending, asyncPf.PrefetchAsync(ctx, fringe))
+				waitPending()
+			case prefetcher != nil:
+				if _, err := prefetcher.PrefetchAdjacency(fringe); err != nil {
+					return res, err
+				}
 			}
 		}
 
@@ -472,6 +510,13 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 		met.levelHist(levcnt).Observe(expandNs)
 		exchangeStart := time.Now()
 
+		// Pipeline: the locally discovered share of the next fringe is
+		// final, so its chains start warming now — overlapped with the
+		// sends/receives and the level barrier below.
+		if cfg.Prefetch && asyncPf != nil && len(localNext) > 0 {
+			pending = append(pending, asyncPf.PrefetchAsync(ctx, localNext))
+		}
+
 		// Exchange: send each peer its share (possibly empty), then a
 		// done marker; collect peers' chunks until all markers arrive.
 		for q := 0; q < p; q++ {
@@ -542,6 +587,11 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 			}
 		}
 		met.exchange.ObserveSince(exchangeStart)
+		// Pipeline: vertices absorbed from peers (next beyond the local
+		// prefix) warm during the level barrier.
+		if cfg.Prefetch && asyncPf != nil && len(next) > len(localNext) {
+			pending = append(pending, asyncPf.PrefetchAsync(ctx, next[len(localNext):]))
+		}
 		lvlSpan.End()
 		res.LevelStats = append(res.LevelStats, LevelStat{
 			Level:    levcnt,

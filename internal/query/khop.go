@@ -24,6 +24,11 @@ type KHopConfig struct {
 	K int
 	// Ownership selects fringe routing, as in BFSConfig.
 	Ownership Ownership
+	// Prefetch warms the storage cache for each level's fringe before
+	// expansion, as in BFSConfig — pipelined when the backend implements
+	// graphdb.AsyncPrefetcher, a synchronous offset-sorted sweep when it
+	// only implements graphdb.Prefetcher.
+	Prefetch bool
 }
 
 // KHopResult reports the neighbourhood profile.
@@ -110,11 +115,43 @@ func khopNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db gra
 		fringe = append(fringe, cfg.Source)
 	}
 
+	prefetcher, _ := db.(graphdb.Prefetcher)
+	asyncPf, _ := db.(graphdb.AsyncPrefetcher)
+	// Pipelined prefetch, as in bfsLevelSync: jobs issued for the next
+	// fringe while this level's exchange and barrier run, joined before
+	// the fringe is expanded, cancelled on every exit path.
+	var pending []graphdb.PrefetchJob
+	waitPending := func() {
+		for _, j := range pending {
+			_ = j.Wait() // advisory — expansion surfaces real failures
+		}
+		pending = pending[:0]
+	}
+	defer func() {
+		for _, j := range pending {
+			j.Cancel()
+		}
+		waitPending()
+	}()
+
 	adj := getAdjList()
 	defer putAdjList(adj)
 	for levcnt := int32(1); levcnt <= int32(cfg.K); levcnt++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
+		}
+		if cfg.Prefetch {
+			switch {
+			case len(pending) > 0:
+				waitPending()
+			case asyncPf != nil:
+				pending = append(pending, asyncPf.PrefetchAsync(ctx, fringe))
+				waitPending()
+			case prefetcher != nil:
+				if _, err := prefetcher.PrefetchAdjacency(fringe); err != nil {
+					return res, err
+				}
+			}
 		}
 		adj.Reset()
 		if err := graphdb.AdjacencyBatch(db, fringe, adj, 0, graphdb.MetaIgnore); err != nil {
@@ -150,6 +187,11 @@ func khopNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db gra
 					}
 				}
 			}
+		}
+		// The locally discovered share of the next fringe is final:
+		// start warming it while the exchange runs.
+		if cfg.Prefetch && asyncPf != nil && len(localNext) > 0 {
+			pending = append(pending, asyncPf.PrefetchAsync(ctx, localNext))
 		}
 		for q := 0; q < p; q++ {
 			if cluster.NodeID(q) == self {
@@ -195,6 +237,11 @@ func khopNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db gra
 			default:
 				return res, fmt.Errorf("query: unknown fringe frame kind %d", msg.Payload[0])
 			}
+		}
+
+		// Vertices absorbed from peers warm during the level barrier.
+		if cfg.Prefetch && asyncPf != nil && len(next) > len(localNext) {
+			pending = append(pending, asyncPf.PrefetchAsync(ctx, next[len(localNext):]))
 		}
 
 		// Under broadcast ownership every node marks every vertex; only
@@ -247,6 +294,9 @@ func (khopAnalysis) Run(ctx context.Context, f cluster.Fabric, dbs []graphdb.Gra
 	cfg := KHopConfig{Source: src, K: k}
 	if params["broadcast"] == "true" {
 		cfg.Ownership = BroadcastFringe
+	}
+	if params["prefetch"] == "true" {
+		cfg.Prefetch = true
 	}
 	return ParallelKHop(ctx, f, dbs, cfg)
 }

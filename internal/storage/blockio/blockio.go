@@ -116,6 +116,8 @@ type Store struct {
 
 	reads        atomic.Int64
 	writes       atomic.Int64
+	readBytes    atomic.Int64
+	writeBytes   atomic.Int64
 	checksumErrs atomic.Int64
 
 	// Simulated per-block latencies (see SimulateLatency). Debt is
@@ -124,7 +126,11 @@ type Store struct {
 	// node goroutines from overlapping their waits.
 	readLatency  time.Duration
 	writeLatency time.Duration
-	latencyOwed  atomic.Int64 // nanoseconds not yet slept
+	// transferLatency is charged per byte actually moved, on top of the
+	// per-operation latency — so a prefix read of a compressed payload
+	// pays for the bytes it transfers, not for the whole block slot.
+	transferLatency time.Duration
+	latencyOwed     atomic.Int64 // nanoseconds not yet slept
 }
 
 // latencyQuantum is the smallest simulated-latency debt actually slept.
@@ -142,11 +148,28 @@ func (s *Store) charge(d time.Duration) {
 	}
 }
 
-// Counters reports physical block I/O performed so far.
+// Counters reports physical block I/O performed so far. BytesRead /
+// BytesWritten count bytes actually transferred: a prefix read or write
+// accounts only its own length, so a compressed store's byte counters
+// reflect the compression win while its op counters stay comparable to
+// an uncompressed store's.
 type Counters struct {
 	BlockReads       int64
 	BlockWrites      int64
+	BytesRead        int64
+	BytesWritten     int64
 	ChecksumFailures int64
+}
+
+// Add returns the field-wise sum of two counter snapshots.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		BlockReads:       c.BlockReads + o.BlockReads,
+		BlockWrites:      c.BlockWrites + o.BlockWrites,
+		BytesRead:        c.BytesRead + o.BytesRead,
+		BytesWritten:     c.BytesWritten + o.BytesWritten,
+		ChecksumFailures: c.ChecksumFailures + o.ChecksumFailures,
+	}
 }
 
 // Open creates (or reopens) a plain block store in dir — no checksums,
@@ -193,6 +216,15 @@ func OpenStore(cfg Config) (*Store, error) {
 func (s *Store) SimulateLatency(read, write time.Duration) {
 	s.readLatency = read
 	s.writeLatency = write
+}
+
+// SimulateTransfer adds a per-byte delay on top of the per-operation
+// latency, modeling device bandwidth the way SimulateLatency models
+// seek/dispatch cost. Bytes not transferred (prefix reads of compressed
+// payloads) are not charged. Call before use; not synchronized with
+// concurrent I/O.
+func (s *Store) SimulateTransfer(perByte time.Duration) {
+	s.transferLatency = perByte
 }
 
 // BlockSize returns the fixed block size in bytes.
@@ -290,6 +322,9 @@ func allZero(b []byte) bool {
 // that does not match its recorded checksum returns an error wrapping
 // ErrCorrupt.
 func (s *Store) ReadBlock(idx int64, buf []byte) error {
+	if len(buf) != s.blockSize {
+		return fmt.Errorf("blockio: read buffer is %d bytes, want %d", len(buf), s.blockSize)
+	}
 	return s.read(idx, buf, s.checksums)
 }
 
@@ -297,13 +332,26 @@ func (s *Store) ReadBlock(idx int64, buf []byte) error {
 // scrub path uses it to capture a corrupt block's raw bytes for
 // quarantine before repairing it.
 func (s *Store) ReadBlockNoVerify(idx int64, buf []byte) error {
+	if len(buf) != s.blockSize {
+		return fmt.Errorf("blockio: read buffer is %d bytes, want %d", len(buf), s.blockSize)
+	}
+	return s.read(idx, buf, false)
+}
+
+// ReadBlockPrefix reads the first len(buf) bytes of block idx (len(buf)
+// may be any value up to the block size; the tail past EOF is implicitly
+// zero, as in ReadBlock). No checksum verification is performed — the
+// sidecar CRC covers whole blocks — so callers own payload integrity;
+// the compressed store layers its own per-payload CRC for exactly this
+// reason. Only the bytes actually requested are accounted and charged.
+func (s *Store) ReadBlockPrefix(idx int64, buf []byte) error {
+	if len(buf) > s.blockSize {
+		return fmt.Errorf("blockio: prefix read of %d bytes exceeds block size %d", len(buf), s.blockSize)
+	}
 	return s.read(idx, buf, false)
 }
 
 func (s *Store) read(idx int64, buf []byte, verify bool) error {
-	if len(buf) != s.blockSize {
-		return fmt.Errorf("blockio: read buffer is %d bytes, want %d", len(buf), s.blockSize)
-	}
 	fi, off, err := s.locate(idx)
 	if err != nil {
 		return err
@@ -313,10 +361,13 @@ func (s *Store) read(idx int64, buf []byte, verify bool) error {
 		return err
 	}
 	s.reads.Add(1)
-	s.charge(s.readLatency)
+	s.readBytes.Add(int64(len(buf)))
+	s.charge(s.readLatency + time.Duration(len(buf))*s.transferLatency)
 	n, err := f.data.ReadAt(buf, off)
-	if err == io.EOF || err == io.ErrUnexpectedEOF || n < len(buf) {
-		// Short or past-EOF read: the tail is implicitly zero.
+	if err == io.EOF || err == io.ErrUnexpectedEOF || (err == nil && n < len(buf)) {
+		// Short or past-EOF read: the tail is implicitly zero. Only
+		// EOF-class conditions qualify — a device error that happens to
+		// return a short count must surface, not read as a zero block.
 		for i := n; i < len(buf); i++ {
 			buf[i] = 0
 		}
@@ -358,6 +409,26 @@ func (s *Store) WriteBlock(idx int64, buf []byte) error {
 	if len(buf) != s.blockSize {
 		return fmt.Errorf("blockio: write buffer is %d bytes, want %d", len(buf), s.blockSize)
 	}
+	return s.write(idx, buf)
+}
+
+// WriteBlockPrefix writes the first len(buf) bytes of block idx, leaving
+// the rest of the slot untouched (whatever stale bytes it held remain —
+// the caller's on-disk format must make them unreachable, as the
+// compressed store's length-prefixed header does). Refused on
+// checksummed stores: the sidecar CRC covers the whole block and a
+// partial write would invalidate it.
+func (s *Store) WriteBlockPrefix(idx int64, buf []byte) error {
+	if s.checksums {
+		return errors.New("blockio: prefix write on checksummed store")
+	}
+	if len(buf) > s.blockSize {
+		return fmt.Errorf("blockio: prefix write of %d bytes exceeds block size %d", len(buf), s.blockSize)
+	}
+	return s.write(idx, buf)
+}
+
+func (s *Store) write(idx int64, buf []byte) error {
 	fi, off, err := s.locate(idx)
 	if err != nil {
 		return err
@@ -367,7 +438,8 @@ func (s *Store) WriteBlock(idx int64, buf []byte) error {
 		return err
 	}
 	s.writes.Add(1)
-	s.charge(s.writeLatency)
+	s.writeBytes.Add(int64(len(buf)))
+	s.charge(s.writeLatency + time.Duration(len(buf))*s.transferLatency)
 	if _, err := f.data.WriteAt(buf, off); err != nil {
 		return err
 	}
@@ -419,6 +491,8 @@ func (s *Store) Counters() Counters {
 	return Counters{
 		BlockReads:       s.reads.Load(),
 		BlockWrites:      s.writes.Load(),
+		BytesRead:        s.readBytes.Load(),
+		BytesWritten:     s.writeBytes.Load(),
 		ChecksumFailures: s.checksumErrs.Load(),
 	}
 }

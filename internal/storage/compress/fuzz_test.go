@@ -1,0 +1,56 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecRoundTrip: encode→decode must reproduce any word-aligned
+// input exactly.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encWords(1, 2, 3))
+	f.Add(encWords(^uint64(0), 0, 1<<63, 7))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := data[:len(data)/8*8] // word-align
+		payload := AppendEncoded(nil, src)
+		dst := make([]byte, len(src))
+		if err := Decode(dst, payload); err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Fatalf("round trip mismatch: src % x dst % x", src, dst)
+		}
+	})
+}
+
+// FuzzDecodeArbitrary: the decoder must never panic or over-read on
+// arbitrary payload bytes, for any destination size.
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{}, uint16(8))
+	f.Add([]byte{0x80, 0xff, 0x01}, uint16(16))
+	f.Add(AppendEncoded(nil, encWords(5, 6, 7)), uint16(24))
+	f.Fuzz(func(t *testing.T, payload []byte, dstLen uint16) {
+		dst := make([]byte, int(dstLen)%4096)
+		_ = Decode(dst, payload) // must not panic
+	})
+}
+
+// FuzzStoreDecode: feeding arbitrary bytes into a physical slot must
+// either decode cleanly or fail with ErrCorrupt — never panic — and
+// ReadBlockNoVerify must always succeed.
+func FuzzStoreDecode(f *testing.F) {
+	const logical = 64
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, PhysicalBlockSize(logical)))
+	good := AppendEncoded(make([]byte, HeaderBytes, HeaderBytes+logical), encWords(1, 2, 3, 4, 5, 6, 7, 8))
+	putHeader(good[:HeaderBytes], 0, good[HeaderBytes:])
+	f.Add([]byte(good))
+	f.Fuzz(func(t *testing.T, slot []byte) {
+		s := &Store{logical: logical, physical: PhysicalBlockSize(logical), sizes: map[int64]int{}}
+		phys := make([]byte, s.physical)
+		copy(phys, slot)
+		buf := make([]byte, logical)
+		_ = s.decode(0, phys, buf) // must not panic
+	})
+}

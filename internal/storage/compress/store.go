@@ -1,0 +1,270 @@
+package compress
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"mssg/internal/storage/blockio"
+)
+
+// On-disk layout of one physical block:
+//
+//	[0:2)   magic "mZ"
+//	[2:3)   format version (1)
+//	[3:4)   flags (bit 0: payload is stored raw, not delta-varint)
+//	[4:8)   payload length, uint32 LE
+//	[8:12)  payload CRC32-C
+//	[12:16) header CRC32-C (over bytes [0:12))
+//	[16:16+len) payload
+//
+// A never-written block is all zeroes; the all-zero header decodes as
+// the all-zero logical block, preserving grDB's "fresh storage reads as
+// empty" invariant without initializing anything.
+const (
+	// HeaderBytes is the fixed per-block header size.
+	HeaderBytes = 16
+	// SlackBytes is how much larger a physical block slot is than its
+	// logical block: the header plus margin so even a raw (incompressible)
+	// payload fits.
+	SlackBytes = 32
+
+	magic0, magic1 = 'm', 'Z'
+	version        = 1
+	flagRaw        = 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// PhysicalBlockSize returns the backing-store block size for a given
+// logical block size.
+func PhysicalBlockSize(logical int) int { return logical + SlackBytes }
+
+// Store wraps a blockio.Store holding physical (compressed) blocks and
+// presents logical (uncompressed) blocks: WriteBlock encodes, ReadBlock
+// verifies the payload CRC and decodes. It satisfies the same method set
+// grDB uses on a plain *blockio.Store, so the cache, the WAL recovery
+// path, and Scrub all operate on logical blocks without knowing the slot
+// holds a compressed image.
+//
+// On a non-checksummed inner store, reads fetch only header+payload
+// (blockio.ReadBlockPrefix) and writes store only header+payload, so
+// the byte counters and simulated transfer time reflect the compression
+// win. On a checksummed inner store (durable databases) all I/O is
+// whole-block, because the sidecar CRC covers the full physical slot.
+type Store struct {
+	inner    *blockio.Store
+	logical  int
+	physical int
+	verified bool // inner store checksums → whole-block I/O only
+
+	mu sync.Mutex
+	// sizes caches each block's current payload length so the next read
+	// can fetch an exact prefix. Missing entries (first read after open)
+	// fall back to a whole-slot read and populate the cache.
+	sizes map[int64]int
+}
+
+// Wrap layers compression over inner, which must have been opened with
+// block size PhysicalBlockSize(logical). logical must be a multiple of 8
+// (the codec is word-based; grDB blocks always are).
+func Wrap(inner *blockio.Store, logical int) (*Store, error) {
+	if logical <= 0 || logical%8 != 0 {
+		return nil, fmt.Errorf("compress: logical block size %d is not a positive multiple of 8", logical)
+	}
+	if inner.BlockSize() != PhysicalBlockSize(logical) {
+		return nil, fmt.Errorf("compress: inner block size %d, want %d for logical %d",
+			inner.BlockSize(), PhysicalBlockSize(logical), logical)
+	}
+	return &Store{
+		inner:    inner,
+		logical:  logical,
+		physical: PhysicalBlockSize(logical),
+		verified: inner.Checksums(),
+		sizes:    make(map[int64]int),
+	}, nil
+}
+
+// BlockSize returns the logical block size.
+func (s *Store) BlockSize() int { return s.logical }
+
+// Counters reports the inner store's physical I/O. Byte counts reflect
+// bytes actually transferred (compressed sizes on the prefix-I/O path).
+func (s *Store) Counters() blockio.Counters { return s.inner.Counters() }
+
+// Sync flushes the inner store.
+func (s *Store) Sync() error { return s.inner.Sync() }
+
+// Close closes the inner store.
+func (s *Store) Close() error { return s.inner.Close() }
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func putHeader(hdr []byte, flags byte, payload []byte) {
+	hdr[0], hdr[1], hdr[2], hdr[3] = magic0, magic1, version, flags
+	le.PutUint32(hdr[4:8], uint32(len(payload)))
+	le.PutUint32(hdr[8:12], crc32.Checksum(payload, castagnoli))
+	le.PutUint32(hdr[12:16], crc32.Checksum(hdr[0:12], castagnoli))
+}
+
+// WriteBlock encodes buf (one logical block) into block idx's physical
+// slot.
+func (s *Store) WriteBlock(idx int64, buf []byte) error {
+	if len(buf) != s.logical {
+		return fmt.Errorf("compress: write buffer is %d bytes, want %d", len(buf), s.logical)
+	}
+	if allZero(buf) {
+		// Zero logical ↔ zero physical: an all-zero header marks an empty
+		// block, and repair-by-zeroing in Scrub round-trips.
+		return s.writePhysical(idx, make([]byte, HeaderBytes), 0)
+	}
+	phys := AppendEncoded(make([]byte, HeaderBytes, HeaderBytes+s.logical), buf)
+	flags := byte(0)
+	if len(phys)-HeaderBytes >= s.logical {
+		// Incompressible: store the logical bytes verbatim.
+		phys = append(phys[:HeaderBytes], buf...)
+		flags = flagRaw
+	}
+	putHeader(phys[:HeaderBytes], flags, phys[HeaderBytes:])
+	return s.writePhysical(idx, phys, len(phys)-HeaderBytes)
+}
+
+func (s *Store) writePhysical(idx int64, phys []byte, payloadLen int) error {
+	if s.verified {
+		full := make([]byte, s.physical)
+		copy(full, phys)
+		if err := s.inner.WriteBlock(idx, full); err != nil {
+			return err
+		}
+	} else if err := s.inner.WriteBlockPrefix(idx, phys); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sizes[idx] = payloadLen
+	s.mu.Unlock()
+	return nil
+}
+
+// ReadBlock decodes block idx into buf (one logical block). Corruption —
+// sidecar CRC mismatch, bad header, payload CRC mismatch, or a payload
+// that does not decode to exactly one block — returns an error wrapping
+// blockio.ErrCorrupt, so Scrub's quarantine-and-repair path treats
+// compressed damage like any other torn block.
+func (s *Store) ReadBlock(idx int64, buf []byte) error {
+	if len(buf) != s.logical {
+		return fmt.Errorf("compress: read buffer is %d bytes, want %d", len(buf), s.logical)
+	}
+	phys, err := s.readPhysical(idx)
+	if err != nil {
+		return err
+	}
+	return s.decode(idx, phys, buf)
+}
+
+// readPhysical fetches block idx's slot: whole-block (verified) on
+// checksummed stores, exact header+payload prefix otherwise.
+func (s *Store) readPhysical(idx int64) ([]byte, error) {
+	if s.verified {
+		phys := make([]byte, s.physical)
+		if err := s.inner.ReadBlock(idx, phys); err != nil {
+			return nil, err
+		}
+		return phys, nil
+	}
+	s.mu.Lock()
+	hint, ok := s.sizes[idx]
+	s.mu.Unlock()
+	n := s.physical
+	if ok {
+		n = HeaderBytes + hint
+	}
+	phys := make([]byte, n)
+	if err := s.inner.ReadBlockPrefix(idx, phys); err != nil {
+		return nil, err
+	}
+	if !ok {
+		// First read since open: remember the actual payload length for
+		// exact prefix reads from now on.
+		if plen, hdrOK := payloadLen(phys); hdrOK {
+			s.mu.Lock()
+			s.sizes[idx] = plen
+			s.mu.Unlock()
+		}
+	}
+	return phys, nil
+}
+
+// payloadLen extracts the payload length from a plausible header.
+func payloadLen(phys []byte) (int, bool) {
+	if len(phys) < HeaderBytes || allZero(phys[:HeaderBytes]) {
+		return 0, len(phys) >= HeaderBytes
+	}
+	if phys[0] != magic0 || phys[1] != magic1 {
+		return 0, false
+	}
+	return int(le.Uint32(phys[4:8])), true
+}
+
+func (s *Store) corrupt(idx int64, format string, a ...any) error {
+	return fmt.Errorf("%w: compressed block %d: %s", blockio.ErrCorrupt, idx, fmt.Sprintf(format, a...))
+}
+
+// decode parses a physical image into the logical block buf.
+func (s *Store) decode(idx int64, phys, buf []byte) error {
+	hdr := phys[:HeaderBytes]
+	if allZero(hdr) {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 || hdr[2] != version {
+		return s.corrupt(idx, "bad magic/version % x", hdr[:3])
+	}
+	if got, want := crc32.Checksum(hdr[0:12], castagnoli), le.Uint32(hdr[12:16]); got != want {
+		return s.corrupt(idx, "header checksum 0x%08x, want 0x%08x", got, want)
+	}
+	plen := int(le.Uint32(hdr[4:8]))
+	if plen > s.logical || HeaderBytes+plen > len(phys) {
+		return s.corrupt(idx, "payload length %d out of range", plen)
+	}
+	payload := phys[HeaderBytes : HeaderBytes+plen]
+	if got, want := crc32.Checksum(payload, castagnoli), le.Uint32(hdr[8:12]); got != want {
+		return s.corrupt(idx, "payload checksum 0x%08x, want 0x%08x", got, want)
+	}
+	if hdr[3]&flagRaw != 0 {
+		if plen != s.logical {
+			return s.corrupt(idx, "raw payload is %d bytes, want %d", plen, s.logical)
+		}
+		copy(buf, payload)
+		return nil
+	}
+	if err := Decode(buf, payload); err != nil {
+		return s.corrupt(idx, "%v", err)
+	}
+	return nil
+}
+
+// ReadBlockNoVerify fills buf best-effort for quarantine: the decoded
+// logical block if the slot decodes, otherwise the raw physical prefix —
+// never an error for corrupt content.
+func (s *Store) ReadBlockNoVerify(idx int64, buf []byte) error {
+	if len(buf) != s.logical {
+		return fmt.Errorf("compress: read buffer is %d bytes, want %d", len(buf), s.logical)
+	}
+	phys := make([]byte, s.physical)
+	if err := s.inner.ReadBlockNoVerify(idx, phys); err != nil {
+		return err
+	}
+	if err := s.decode(idx, phys, buf); err != nil {
+		copy(buf, phys[:s.logical])
+	}
+	return nil
+}
