@@ -6,12 +6,12 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz chaos crash scrub bench bench-json bench-workers bench-qps bench-io clean
+.PHONY: ci vet build test race fuzz chaos crash failover scrub bench bench-json bench-workers bench-qps bench-io clean
 
 # ci keeps the fuzz leg to a 5s-per-target smoke; run `make fuzz` for
 # the full exploration pass.
 ci: FUZZTIME = 5s
-ci: vet build race chaos crash fuzz bench-workers
+ci: vet build race chaos crash failover fuzz bench-workers
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,7 @@ vet:
 build:
 	$(GO) build ./...
 
-test: chaos crash
+test: chaos crash failover
 	$(GO) test ./...
 
 race:
@@ -38,6 +38,12 @@ crash:
 	$(GO) test -race -count=1 -run 'TestKillAtEverySyncpoint|TestCrashDuringRecovery|TestTorn' ./internal/crash
 	$(GO) test -race -count=1 -run 'TestIngestCrashResumeSweep' ./internal/ingest
 
+# Replication/failover conformance suite: replica-reroute equality,
+# all-replicas-dead degradation, and the mid-query kill scenarios,
+# under the race detector (DESIGN.md "Replication & failover").
+failover:
+	$(GO) test -race -count=1 -run 'TestFailover|TestChaosFailover' ./internal/query ./internal/chaos
+
 # Offline checksum scrub of every node database under DIR (quarantines
 # and repairs corrupt blocks): make scrub DIR=/data/mssg
 scrub:
@@ -54,6 +60,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzManifestDecode -fuzztime $(FUZZTIME) ./internal/graphdb/grdb
 	$(GO) test -run xxx -fuzz FuzzStateRecordDecode -fuzztime $(FUZZTIME) ./internal/graphdb/grdb
 	$(GO) test -run xxx -fuzz FuzzWALRecordDecode -fuzztime $(FUZZTIME) ./internal/graphdb/reldb
+	$(GO) test -run xxx -fuzz FuzzPlacementDecode -fuzztime $(FUZZTIME) ./internal/ingest
 	$(GO) test -run xxx -fuzz FuzzFringeChunkDecode -fuzztime $(FUZZTIME) ./internal/query
 	$(GO) test -run xxx -fuzz FuzzFringeChunkRoundTrip -fuzztime $(FUZZTIME) ./internal/query
 	$(GO) test -run xxx -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/storage/compress

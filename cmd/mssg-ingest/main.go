@@ -32,7 +32,10 @@ func main() {
 	backend := flag.String("backend", "grdb", "GraphDB backend: array, hashmap, mysql, bdb, stream, grdb")
 	backends := flag.Int("backends", 8, "number of back-end storage nodes")
 	frontends := flag.Int("frontends", 1, "number of front-end ingestion filters")
-	policy := flag.String("policy", "vertex-mod", "declustering policy: vertex-mod or edge-round-robin")
+	policy := flag.String("policy", "vertex-mod", "declustering policy: vertex-mod, edge-round-robin, or rendezvous")
+	replication := flag.Int("replication", 1,
+		"replicas per ingest window: each window is shipped to this many distinct back-ends via rendezvous placement (> 1 selects the rendezvous policy; mssg-query then fails over to replicas when a back-end dies)")
+	placementSeed := flag.Uint64("placement-seed", 0, "rendezvous placement seed (recorded in the placement manifest)")
 	window := flag.Int("window", 4096, "ingestion window (edges per block)")
 	reverse := flag.Bool("reverse", true, "store both edge orientations (undirected graph)")
 	tcp := flag.Bool("tcp", false, "use the loopback-TCP fabric instead of in-process")
@@ -66,6 +69,24 @@ func main() {
 	if _, err := ingest.PolicyByName(*policy); err != nil {
 		fatal(err)
 	}
+	// Replication rides on rendezvous placement: it is the only policy
+	// with a deterministic top-k replica directory every node can derive
+	// locally, which is what query-time failover routes by. -replication
+	// upgrades the default policy; an explicitly different one is a
+	// contradiction, not something to silently override.
+	rendezvous := *policy == "rendezvous" || *policy == "hrw"
+	if *replication > 1 {
+		if !rendezvous && *policy != "vertex-mod" {
+			fatal(fmt.Errorf("-replication %d requires the rendezvous policy, not %q", *replication, *policy))
+		}
+		if *replication > *backends {
+			fatal(fmt.Errorf("-replication %d exceeds -backends %d", *replication, *backends))
+		}
+		rendezvous = true
+	}
+	if *replication < 1 {
+		fatal(fmt.Errorf("-replication must be >= 1, got %d", *replication))
+	}
 	durLevel, err := graphdb.ParseDurability(*durability)
 	if err != nil {
 		fatal(err)
@@ -88,9 +109,13 @@ func main() {
 			VerifyOnOpen:     *verifyOnOpen,
 		},
 		Ingest: ingest.Config{
-			WindowEdges: *window,
-			AddReverse:  *reverse,
+			WindowEdges:       *window,
+			AddReverse:        *reverse,
+			ReplicationFactor: *replication,
 			Policy: func() ingest.Policy {
+				if rendezvous {
+					return ingest.NewRendezvous(*backends, *replication, *placementSeed)
+				}
 				p, _ := ingest.PolicyByName(*policy)
 				return p
 			},
@@ -170,9 +195,26 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("ingested %d edges (%d stored records, %d blocks) into %d %s back-ends in %s (%.0f edges/s)\n",
+	// Record how the directory was declustered so mssg-query reconstructs
+	// the exact mapping (and the replica directory) without re-deriving
+	// flags. Written after the data so a failed ingest leaves no manifest.
+	if rendezvous {
+		pl := ingest.Placement{
+			Policy: "rendezvous", Backends: *backends,
+			Replication: *replication, Seed: *placementSeed,
+		}
+		if err := ingest.WritePlacementFile(*dir, pl); err != nil {
+			fatal(fmt.Errorf("writing placement manifest: %w", err))
+		}
+	}
+
+	replNote := ""
+	if *replication > 1 {
+		replNote = fmt.Sprintf(", %d-way replicated", *replication)
+	}
+	fmt.Printf("ingested %d edges (%d stored records, %d blocks) into %d %s back-ends%s in %s (%.0f edges/s)\n",
 		stats.EdgesIn.Load(), stats.EdgesStored.Load(), stats.Blocks.Load(),
-		*backends, *backend, elapsed.Round(time.Millisecond),
+		*backends, *backend, replNote, elapsed.Round(time.Millisecond),
 		float64(stats.EdgesIn.Load())/elapsed.Seconds())
 	if r, d := stats.Retries.Load(), stats.DupBlocks.Load(); r > 0 || d > 0 {
 		fmt.Printf("fault recovery: %d window re-ships, %d duplicate windows discarded\n", r, d)

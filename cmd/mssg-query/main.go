@@ -19,9 +19,11 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,10 +35,16 @@ import (
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
 	_ "mssg/internal/graphdb/all"
+	"mssg/internal/ingest"
 	"mssg/internal/obs"
 	"mssg/internal/query"
 	"mssg/internal/storage/cache"
 )
+
+// Exit statuses: 1 = operational error, 2 = usage, 3 = partial coverage
+// (every replica of a required shard was unreachable — the answer is
+// missing or, under -allow-partial, a lower bound).
+const exitPartial = 3
 
 func main() {
 	dir := flag.String("dir", "", "database working directory (required)")
@@ -61,6 +69,10 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 4, "serve mode: concurrently executing queries")
 	queueDepth := flag.Int("queue-depth", 16, "serve mode: admitted-but-not-running queries before rejection")
 	queryTimeout := flag.Duration("query-timeout", 0, "serve mode: per-query deadline (0 = none)")
+	deadList := flag.String("dead", "",
+		"comma-separated back-end ids to treat as crashed: their databases are never read, so queries must fail over to surviving replicas (for failover drills)")
+	allowPartial := flag.Bool("allow-partial", false,
+		"when every replica of a required shard is dead, degrade to a best-effort answer with an explicit coverage fraction instead of failing (partial results exit with status 3)")
 	compress := flag.Bool("compress", false,
 		"the databases were ingested with delta-varint block compression (grDB; must match the ingest setting)")
 	sharedCacheMB := flag.Int64("shared-cache", 0,
@@ -102,6 +114,26 @@ func main() {
 	if *sharedCacheMB > 0 {
 		cfg.DBOptions.SharedCache = cache.NewWithPolicy(*sharedCacheMB<<20, cache.PolicySLRU)
 	}
+	cfg.AllowPartial = *allowPartial
+	// A placement manifest (written by a rendezvous/replicated ingest)
+	// reconstructs the exact ingest-time mapping: queries route fringes by
+	// the recorded policy and fail over to replicas when a back-end dies.
+	if pl, ok, err := ingest.ReadPlacementFile(*dir); err != nil {
+		fatal(err)
+	} else if ok {
+		if pl.Backends != *backends {
+			fatal(fmt.Errorf("placement manifest declares %d back-ends but -backends is %d", pl.Backends, *backends))
+		}
+		pol, err := pl.NewPolicy()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Ingest.Policy = func() ingest.Policy { return pol }
+		if pl.Replication > 1 {
+			fmt.Fprintf(os.Stderr, "mssg-query: placement: %s over %d back-ends, %d-way replicated (query-time failover enabled)\n",
+				pl.Policy, pl.Backends, pl.Replication)
+		}
+	}
 	var obsServer *obs.Server
 	if *metricsAddr != "" {
 		cfg.Metrics = obs.Default()
@@ -133,6 +165,25 @@ func main() {
 		ownership = query.BroadcastFringe
 	}
 
+	var activeNodes []cluster.NodeID
+	if *deadList != "" {
+		dead := map[int]bool{}
+		for _, s := range strings.Split(*deadList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 0 || n >= *backends {
+				fatal(fmt.Errorf("-dead: bad back-end id %q", s))
+			}
+			dead[n] = true
+		}
+		for i := 0; i < *backends; i++ {
+			if !dead[i] {
+				activeNodes = append(activeNodes, cluster.NodeID(i))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mssg-query: treating %d back-end(s) as crashed, querying %v\n",
+			len(dead), activeNodes)
+	}
+
 	if *serve {
 		runServe(eng, query.EngineConfig{
 			MaxInFlight:     *maxInflight,
@@ -158,16 +209,21 @@ func main() {
 		if *source < 0 {
 			fatal(fmt.Errorf("-khop needs -source"))
 		}
-		res, err := eng.RunAnalysis("khop", map[string]string{
-			"source": fmt.Sprint(*source), "k": fmt.Sprint(*khop),
-			"broadcast": fmt.Sprint(*broadcast),
+		kh, err := eng.KHop(query.KHopConfig{
+			Source: graph.VertexID(*source), K: *khop,
+			Ownership: ownership, Prefetch: *prefetch,
+			ActiveNodes: activeNodes,
 		})
 		if err != nil {
-			fatal(err)
+			fatalQuery(err)
 		}
-		kh := res.(query.KHopResult)
 		fmt.Printf("within %d hops of %d: %d vertices (per level: %v, %d edges traversed)\n",
 			*khop, *source, kh.Total, kh.PerLevel, kh.EdgesTraversed)
+		if kh.Coverage < 1 {
+			fmt.Printf("partial: coverage %.2f (%d fringe vertices dropped; the count is a lower bound)\n",
+				kh.Coverage, kh.Dropped)
+			os.Exit(exitPartial)
+		}
 		return
 	case *component:
 		if *source < 0 {
@@ -185,13 +241,14 @@ func main() {
 		return
 	}
 
+	sawPartial := false
 	runOne := func(s, d graph.VertexID) error {
 		start := time.Now()
 		res, err := eng.BFS(query.BFSConfig{
 			Source: s, Dest: d,
 			Pipelined: *pipelined, Threshold: *threshold, Ownership: ownership,
 			Prefetch: *prefetch, NewVisited: newVisited, ReturnPath: *showPath,
-			Workers: *workers,
+			Workers: *workers, ActiveNodes: activeNodes,
 		})
 		if err != nil {
 			return err
@@ -207,6 +264,15 @@ func main() {
 		} else {
 			fmt.Printf("%d -> %d: not connected (%d levels, %d edges traversed, %s)\n",
 				s, d, res.Levels, res.EdgesTraversed, el.Round(time.Microsecond))
+		}
+		if fo := res.Failover; fo != nil && (fo.Retries > 0 || fo.ReplicaReads > 0) {
+			fmt.Printf("  failover: %d retries, %d replica reads, suspected %v\n",
+				fo.Retries, fo.ReplicaReads, fo.Suspected)
+		}
+		if res.Coverage < 1 {
+			fmt.Printf("  partial: coverage %.2f (%d fringe vertices dropped; treat the answer as a lower bound)\n",
+				res.Coverage, res.FringeDropped)
+			sawPartial = true
 		}
 		return nil
 	}
@@ -224,22 +290,38 @@ func main() {
 				continue
 			}
 			if err := runOne(s, d); err != nil {
-				fatal(err)
+				fatalQuery(err)
 			}
 		}
 	case *source >= 0 && *dest >= 0:
 		if err := runOne(graph.VertexID(*source), graph.VertexID(*dest)); err != nil {
-			fatal(err)
+			fatalQuery(err)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "mssg-query: need -source and -dest, or -random with -maxvertex")
 		os.Exit(2)
+	}
+	if sawPartial {
+		os.Exit(exitPartial)
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mssg-query:", err)
 	os.Exit(1)
+}
+
+// fatalQuery distinguishes lost data from operational failure: a
+// partial-coverage error (every replica of a shard unreachable) exits
+// with status 3 and a one-line coverage summary, so drivers can tell
+// "retry elsewhere / accept a lower bound" from "the query is broken".
+func fatalQuery(err error) {
+	if errors.Is(err, query.ErrPartialCoverage) {
+		fmt.Fprintf(os.Stderr, "mssg-query: partial coverage: %s (rerun with -allow-partial for a best-effort answer)\n",
+			strings.ReplaceAll(err.Error(), "\n", "; "))
+		os.Exit(exitPartial)
+	}
+	fatal(err)
 }
 
 // runServe is the resident mode: queries stream in on stdin, run

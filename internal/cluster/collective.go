@@ -21,6 +21,7 @@ type Collective struct {
 	chUp   ChannelID
 	chDown ChannelID
 	ctx    context.Context // nil: operations block until close
+	parts  []NodeID        // nil: every fabric node participates
 }
 
 // NewCollective binds a collective context to an endpoint. chUp and chDown
@@ -39,6 +40,18 @@ func NewCollective(ep Endpoint, chUp, chDown ChannelID) *Collective {
 func (c *Collective) WithContext(ctx context.Context) *Collective {
 	cc := *c
 	cc.ctx = ctx
+	return &cc
+}
+
+// WithParticipants returns a copy whose operations span only the given
+// nodes — the failover path's surviving subcluster. The coordinator
+// becomes the lowest-numbered participant, and replies go point-to-point
+// instead of Broadcast so dead non-participants are never addressed.
+// nodes must be sorted ascending, duplicate-free, and include the local
+// endpoint; every participant must pass the identical list.
+func (c *Collective) WithParticipants(nodes []NodeID) *Collective {
+	cc := *c
+	cc.parts = append([]NodeID(nil), nodes...)
 	return &cc
 }
 
@@ -66,10 +79,15 @@ func decodeInt64(b []byte) (int64, error) {
 // with f and returning the combined value on every node.
 func (c *Collective) reduce(v int64, f func(a, b int64) int64) (int64, error) {
 	n := c.ep.Nodes()
+	root := NodeID(0)
+	if c.parts != nil {
+		n = len(c.parts)
+		root = c.parts[0]
+	}
 	if n == 1 {
 		return v, nil
 	}
-	if c.ep.ID() == 0 {
+	if c.ep.ID() == root {
 		acc := v
 		for i := 0; i < n-1; i++ {
 			msg, err := c.recv(c.chUp)
@@ -82,12 +100,21 @@ func (c *Collective) reduce(v int64, f func(a, b int64) int64) (int64, error) {
 			}
 			acc = f(acc, x)
 		}
-		if err := c.ep.Broadcast(c.chDown, encodeInt64(acc)); err != nil {
+		if c.parts != nil {
+			for _, p := range c.parts {
+				if p == root {
+					continue
+				}
+				if err := c.ep.Send(p, c.chDown, encodeInt64(acc)); err != nil {
+					return 0, err
+				}
+			}
+		} else if err := c.ep.Broadcast(c.chDown, encodeInt64(acc)); err != nil {
 			return 0, err
 		}
 		return acc, nil
 	}
-	if err := c.ep.Send(0, c.chUp, encodeInt64(v)); err != nil {
+	if err := c.ep.Send(root, c.chUp, encodeInt64(v)); err != nil {
 		return 0, err
 	}
 	msg, err := c.recv(c.chDown)
@@ -132,10 +159,13 @@ func (c *Collective) AllReduceMin(v int64) (int64, error) {
 // pass any value; every caller receives root's.
 func (c *Collective) BcastFromRoot(root NodeID, v int64) (int64, error) {
 	n := c.ep.Nodes()
+	if c.parts != nil {
+		n = len(c.parts)
+	}
 	if n == 1 {
 		return v, nil
 	}
-	if err := Validate(root, n); err != nil {
+	if err := Validate(root, c.ep.Nodes()); err != nil {
 		return 0, err
 	}
 	// Reuse the coordinator: root's value rides the reduction, every other

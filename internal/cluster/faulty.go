@@ -158,7 +158,7 @@ func (e *faultyEndpoint) ID() NodeID { return e.inner.ID() }
 func (e *faultyEndpoint) Nodes() int { return e.inner.Nodes() }
 
 func (e *faultyEndpoint) errCrashed() error {
-	return fmt.Errorf("%w: node %d crashed by fault plan", ErrNodeDown, e.inner.ID())
+	return &NodeDownError{Node: e.inner.ID(), Reason: "crashed by fault plan"}
 }
 
 // mix is the splitmix64 finalizer — a cheap avalanche hash.

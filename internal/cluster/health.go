@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeDownError is the concrete error behind ErrNodeDown: it names the
+// peer that failed so failover machinery can exclude exactly that node
+// from the next attempt instead of guessing from message text. It
+// unwraps to ErrNodeDown, so errors.Is(err, ErrNodeDown) keeps working
+// everywhere.
+type NodeDownError struct {
+	Node   NodeID
+	Reason string
+}
+
+func (e *NodeDownError) Error() string {
+	return fmt.Sprintf("%v: node %d %s", ErrNodeDown, e.Node, e.Reason)
+}
+
+func (e *NodeDownError) Unwrap() error { return ErrNodeDown }
+
+// DownNodes walks an error tree (including errors.Join combinations and
+// fmt %w chains) and returns the distinct node IDs named by any
+// NodeDownError inside it, ascending. A nil or down-free error yields
+// nil.
+func DownNodes(err error) []NodeID {
+	seen := make(map[NodeID]struct{})
+	var walk func(error)
+	walk = func(err error) {
+		if err == nil {
+			return
+		}
+		var nd *NodeDownError
+		if errors.As(err, &nd) {
+			seen[nd.Node] = struct{}{}
+		}
+		// errors.As stops at the first match along one branch; keep
+		// walking every branch so joined multi-node failures report all
+		// of their casualties.
+		switch x := err.(type) {
+		case interface{ Unwrap() []error }:
+			for _, sub := range x.Unwrap() {
+				walk(sub)
+			}
+		case interface{ Unwrap() error }:
+			walk(x.Unwrap())
+		}
+	}
+	walk(err)
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HealthView is a point-in-time liveness oracle over the fabric's nodes.
+// Implementations must be safe for concurrent use; Alive may be called
+// on every fringe route decision.
+type HealthView interface {
+	// Alive reports whether node n is currently believed reachable.
+	Alive(n NodeID) bool
+}
+
+// HealthReporter is implemented by fabrics that maintain a liveness view
+// (the reliable fabric, from its heartbeats). Fabrics without failure
+// detection simply don't implement it and every node is presumed alive.
+type HealthReporter interface {
+	Health() HealthView
+}
+
+// LiveNodes evaluates h over nodes [0, n) and returns the ascending list
+// of nodes it considers alive. A nil view means no failure detector:
+// every node is returned.
+func LiveNodes(h HealthView, n int) []NodeID {
+	out := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if h == nil || h.Alive(NodeID(i)) {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Health returns the reliable fabric's heartbeat-fed liveness view.
+//
+// A node is declared dead when a majority of the *other* live observers
+// have exceeded their heartbeat budget for it, or when its own protocol
+// engine recorded a terminal failure (its process crashed). Majority
+// voting keeps one partitioned or flapping observer from taking a
+// healthy peer out of the query path; the self-failure check covers the
+// n=2 case where a dead peer's stale suspicions would otherwise count.
+func (f *reliableFabric) Health() HealthView { return rlHealth{f} }
+
+type rlHealth struct{ f *reliableFabric }
+
+func (h rlHealth) Alive(n NodeID) bool {
+	if int(n) < 0 || int(n) >= len(h.f.endpoints) {
+		return false
+	}
+	// The node's own engine hitting a terminal error (other than fabric
+	// close) is authoritative: it cannot serve queries.
+	if p := h.f.endpoints[n].termErr.Load(); p != nil && !errors.Is(*p, ErrClosed) {
+		return false
+	}
+	votes, voters := 0, 0
+	for i, ep := range h.f.endpoints {
+		if NodeID(i) == n {
+			continue
+		}
+		// A dead observer's monitor eventually suspects everyone; its
+		// votes would convict healthy nodes, so only live observers count.
+		if p := ep.termErr.Load(); p != nil && !errors.Is(*p, ErrClosed) {
+			continue
+		}
+		voters++
+		if ep.down[n].Load() {
+			votes++
+		}
+	}
+	return voters == 0 || votes*2 <= voters
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// muteFabric silences one node — frames to or from it vanish while muted
+// — without crashing it, modeling a flapping link or a long GC pause
+// rather than a process death.
+type muteFabric struct {
+	Fabric
+	node  NodeID
+	muted atomic.Bool
+}
+
+func (f *muteFabric) Endpoint(n NodeID) Endpoint {
+	return &muteEndpoint{Endpoint: f.Fabric.Endpoint(n), f: f}
+}
+
+type muteEndpoint struct {
+	Endpoint
+	f *muteFabric
+}
+
+func (e *muteEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
+	if e.f.muted.Load() && (to == e.f.node || e.Endpoint.ID() == e.f.node) {
+		return nil // dropped on the floor, sender none the wiser
+	}
+	return e.Endpoint.Send(to, ch, payload)
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", d, what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReliableRejoinAfterFlap is the heartbeat-flapping regression test:
+// a node that goes silent past the heartbeat budget is declared down,
+// but once it resumes answering it must rejoin the health view and carry
+// traffic again — down declarations are no longer sticky.
+func TestReliableRejoinAfterFlap(t *testing.T) {
+	inner := &muteFabric{Fabric: NewInProc(2, 0), node: 1}
+	f := NewReliable(inner, ReliableOptions{
+		RetransmitInitial: 2 * time.Millisecond,
+		RetransmitMax:     20 * time.Millisecond,
+		SendTimeout:       5 * time.Second,
+		HeartbeatEvery:    10 * time.Millisecond,
+		HeartbeatBudget:   60 * time.Millisecond,
+		RejoinGrace:       30 * time.Millisecond,
+	})
+	defer f.Close()
+	view := f.(HealthReporter).Health()
+
+	if !view.Alive(1) {
+		t.Fatal("node 1 reported dead before any fault")
+	}
+	inner.muted.Store(true)
+	waitFor(t, 5*time.Second, "node 1 declared down", func() bool { return !view.Alive(1) })
+
+	inner.muted.Store(false)
+	waitFor(t, 5*time.Second, "node 1 rejoining", func() bool { return view.Alive(1) })
+
+	// The readmitted peer must actually carry traffic again.
+	got := make(chan error, 1)
+	go func() {
+		msg, err := f.Endpoint(1).Recv(7)
+		if err == nil && string(msg.Payload) != "hello-again" {
+			err = fmt.Errorf("payload = %q", msg.Payload)
+		}
+		got <- err
+	}()
+	waitFor(t, 5*time.Second, "post-rejoin send accepted", func() bool {
+		return f.Endpoint(0).Send(1, 7, []byte("hello-again")) == nil
+	})
+	if err := <-got; err != nil {
+		t.Fatalf("recv after rejoin: %v", err)
+	}
+}
+
+// TestReliableStickyDownOptIn: RejoinGrace < 0 restores the old
+// behavior for callers that want permanence.
+func TestReliableStickyDownOptIn(t *testing.T) {
+	inner := &muteFabric{Fabric: NewInProc(2, 0), node: 1}
+	f := NewReliable(inner, ReliableOptions{
+		RetransmitInitial: 2 * time.Millisecond,
+		RetransmitMax:     20 * time.Millisecond,
+		SendTimeout:       5 * time.Second,
+		HeartbeatEvery:    10 * time.Millisecond,
+		HeartbeatBudget:   60 * time.Millisecond,
+		RejoinGrace:       -1,
+	})
+	defer f.Close()
+	view := f.(HealthReporter).Health()
+
+	inner.muted.Store(true)
+	waitFor(t, 5*time.Second, "node 1 declared down", func() bool { return !view.Alive(1) })
+	inner.muted.Store(false)
+	time.Sleep(300 * time.Millisecond) // ample time to (wrongly) rejoin
+	if view.Alive(1) {
+		t.Fatal("node 1 rejoined despite RejoinGrace < 0")
+	}
+}
+
+// TestHealthViewMajorityVote: one suspicious observer must not convict a
+// healthy peer; a real crash must.
+func TestHealthViewMajorityVote(t *testing.T) {
+	f := NewReliable(NewInProc(4, 0), fastReliable())
+	defer f.Close()
+	rf := f.(*reliableFabric)
+	view := f.(HealthReporter).Health()
+
+	// A single observer's stale suspicion of node 2 is outvoted.
+	rf.endpoints[0].down[2].Store(true)
+	if !view.Alive(2) {
+		t.Fatal("one suspicious observer convicted a healthy node")
+	}
+	// A majority of live observers convicts.
+	rf.endpoints[1].down[2].Store(true)
+	rf.endpoints[3].down[2].Store(true)
+	if view.Alive(2) {
+		t.Fatal("majority-suspected node still reported alive")
+	}
+	rf.endpoints[0].down[2].Store(false)
+	rf.endpoints[1].down[2].Store(false)
+	rf.endpoints[3].down[2].Store(false)
+
+	// A terminal local failure is authoritative regardless of votes, and
+	// strips the dead node of its own vote against others.
+	crashErr := error(&NodeDownError{Node: 1, Reason: "crashed by fault plan"})
+	rf.endpoints[1].termErr.Store(&crashErr)
+	if view.Alive(1) {
+		t.Fatal("terminally failed node reported alive")
+	}
+	rf.endpoints[1].down[0].Store(true)
+	if !view.Alive(0) {
+		t.Fatal("dead observer's vote counted against a healthy node")
+	}
+}
+
+// TestDownNodes: the helper must find every distinct casualty in a
+// joined, wrapped error tree.
+func TestDownNodes(t *testing.T) {
+	err := errors.Join(
+		fmt.Errorf("node 2: %w", &NodeDownError{Node: 2, Reason: "exceeded its heartbeat budget"}),
+		fmt.Errorf("node 0: %w", fmt.Errorf("inner: %w", &NodeDownError{Node: 0, Reason: "crashed by fault plan"})),
+		errors.New("unrelated"),
+		fmt.Errorf("node 3: %w", &NodeDownError{Node: 2, Reason: "duplicate report"}),
+	)
+	got := DownNodes(err)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("DownNodes = %v, want [0 2]", got)
+	}
+	if DownNodes(nil) != nil {
+		t.Fatal("DownNodes(nil) != nil")
+	}
+	if DownNodes(errors.New("plain")) != nil {
+		t.Fatal("DownNodes(plain) != nil")
+	}
+	if !errors.Is(errDown(1), ErrNodeDown) {
+		t.Fatal("NodeDownError does not unwrap to ErrNodeDown")
+	}
+}

@@ -55,6 +55,13 @@ type ReliableOptions struct {
 	// or heartbeat) before it is declared down. <= 0 means
 	// 10*HeartbeatEvery.
 	HeartbeatBudget time.Duration
+	// RejoinGrace governs recovery from a down declaration: once a down
+	// peer is heard from again, it must keep answering for this long
+	// before it is readmitted (guarding against a flapping link being
+	// trusted on its first packet). <= 0 means 2*HeartbeatEvery; set
+	// negative to make down declarations sticky (the pre-rejoin
+	// behavior, used by tests that assert permanence).
+	RejoinGrace time.Duration
 }
 
 func (o ReliableOptions) withDefaults() ReliableOptions {
@@ -72,6 +79,9 @@ func (o ReliableOptions) withDefaults() ReliableOptions {
 	}
 	if o.HeartbeatBudget <= 0 {
 		o.HeartbeatBudget = 10 * o.HeartbeatEvery
+	}
+	if o.RejoinGrace == 0 {
+		o.RejoinGrace = 2 * o.HeartbeatEvery
 	}
 	return o
 }
@@ -120,6 +130,7 @@ type reliableFabric struct {
 	mHbRecv       *obs.Counter
 	mCorruptDrops *obs.Counter
 	mNodeDown     *obs.Counter
+	mRejoins      *obs.Counter
 	mSendTimeouts *obs.Counter
 
 	mu     sync.Mutex
@@ -138,6 +149,7 @@ func NewReliable(inner Fabric, opts ReliableOptions) Fabric {
 		mHbRecv:       reg.Counter("cluster.reliable.heartbeats_recv"),
 		mCorruptDrops: reg.Counter("cluster.reliable.corrupt_drops"),
 		mNodeDown:     reg.Counter("cluster.reliable.node_down_declared"),
+		mRejoins:      reg.Counter("cluster.reliable.node_rejoined"),
 		mSendTimeouts: reg.Counter("cluster.reliable.send_timeouts"),
 	}
 	now := time.Now().UnixNano()
@@ -151,6 +163,7 @@ func NewReliable(inner Fabric, opts ReliableOptions) Fabric {
 			waiters:   make(map[ackKey]chan struct{}),
 			lastHeard: make([]atomic.Int64, inner.Nodes()),
 			down:      make([]atomic.Bool, inner.Nodes()),
+			reheard:   make([]atomic.Int64, inner.Nodes()),
 		}
 		for j := range ep.lastHeard {
 			ep.lastHeard[j].Store(now)
@@ -221,6 +234,7 @@ type reliableEndpoint struct {
 
 	lastHeard []atomic.Int64 // unix nanos, indexed by peer
 	down      []atomic.Bool
+	reheard   []atomic.Int64        // unix nanos a down peer resumed talking, 0 if silent
 	termErr   atomic.Pointer[error] // local terminal failure (e.g. own crash)
 }
 
@@ -289,8 +303,22 @@ func (e *reliableEndpoint) firstDown() NodeID {
 	return -1
 }
 
+// downError names every peer currently declared down (joined
+// NodeDownErrors), or nil. Receivers return it instead of just the
+// lowest casualty so failover filters that tolerate a known-dead peer
+// still see a second, unexpected death in the same error.
+func (e *reliableEndpoint) downError() error {
+	var errs []error
+	for j := range e.down {
+		if e.down[j].Load() {
+			errs = append(errs, errDown(NodeID(j)))
+		}
+	}
+	return errors.Join(errs...)
+}
+
 func errDown(n NodeID) error {
-	return fmt.Errorf("%w: node %d exceeded its heartbeat budget", ErrNodeDown, n)
+	return &NodeDownError{Node: n, Reason: "exceeded its heartbeat budget"}
 }
 
 // pump is the per-node protocol engine: it drains the reserved channel,
@@ -366,11 +394,15 @@ func (e *reliableEndpoint) pump() {
 	}
 }
 
-// monitor sends heartbeats and declares silent peers down.
+// monitor sends heartbeats, declares silent peers down, and — when a
+// down peer resumes answering — readmits it after it has stayed audible
+// for the rejoin grace window. Heartbeats keep flowing to down peers so
+// a recovered node hears us again and its own view can heal too.
 func (e *reliableEndpoint) monitor() {
 	t := time.NewTicker(e.fabric.opts.HeartbeatEvery)
 	defer t.Stop()
 	budget := e.fabric.opts.HeartbeatBudget
+	grace := e.fabric.opts.RejoinGrace
 	for {
 		select {
 		case <-e.fabric.stop:
@@ -379,15 +411,45 @@ func (e *reliableEndpoint) monitor() {
 		}
 		now := time.Now().UnixNano()
 		for j := 0; j < e.inner.Nodes(); j++ {
-			if NodeID(j) == e.inner.ID() || e.down[j].Load() {
+			if NodeID(j) == e.inner.ID() {
 				continue
 			}
 			_ = e.inner.Send(NodeID(j), rlChannel, rlEncode(rkHeartbeat, 0, 0, nil))
 			e.fabric.mHbSent.Inc()
-			if now-e.lastHeard[j].Load() > int64(budget) {
-				if !e.down[j].Swap(true) {
-					e.fabric.mNodeDown.Inc()
-					obs.DefaultTracer().Emit("cluster.node_down", map[string]string{
+			silentFor := now - e.lastHeard[j].Load()
+			if !e.down[j].Load() {
+				if silentFor > int64(budget) {
+					e.reheard[j].Store(0)
+					if !e.down[j].Swap(true) {
+						e.fabric.mNodeDown.Inc()
+						obs.DefaultTracer().Emit("cluster.node_down", map[string]string{
+							"observer": strconv.Itoa(int(e.inner.ID())),
+							"peer":     strconv.Itoa(j),
+						})
+					}
+				}
+				continue
+			}
+			if grace < 0 {
+				continue // rejoin disabled: down is sticky
+			}
+			// Down peer: a fresh heartbeat within the budget means it is
+			// talking again; readmit once it has stayed audible for the
+			// whole grace window (one packet is not proof of recovery).
+			if silentFor > int64(budget) {
+				e.reheard[j].Store(0)
+				continue
+			}
+			since := e.reheard[j].Load()
+			if since == 0 {
+				e.reheard[j].Store(now)
+				continue
+			}
+			if now-since >= int64(grace) {
+				e.reheard[j].Store(0)
+				if e.down[j].Swap(false) {
+					e.fabric.mRejoins.Inc()
+					obs.DefaultTracer().Emit("cluster.node_rejoined", map[string]string{
 						"observer": strconv.Itoa(int(e.inner.ID())),
 						"peer":     strconv.Itoa(j),
 					})
@@ -504,8 +566,8 @@ func (e *reliableEndpoint) Recv(ch ChannelID) (Message, error) {
 		if ok {
 			return msg, nil
 		}
-		if n := e.firstDown(); n >= 0 {
-			return Message{}, errDown(n)
+		if e.firstDown() >= 0 {
+			return Message{}, e.downError()
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return Message{}, fmt.Errorf("%w: recv on channel %d after %v",
@@ -538,8 +600,8 @@ func (e *reliableEndpoint) RecvCtx(ctx context.Context, ch ChannelID) (Message, 
 		if err := ctx.Err(); err != nil {
 			return Message{}, err
 		}
-		if n := e.firstDown(); n >= 0 {
-			return Message{}, errDown(n)
+		if e.firstDown() >= 0 {
+			return Message{}, e.downError()
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return Message{}, fmt.Errorf("%w: recv on channel %d after %v",
@@ -556,8 +618,8 @@ func (e *reliableEndpoint) TryRecv(ch ChannelID) (Message, bool, error) {
 	if ok {
 		return msg, true, nil
 	}
-	if n := e.firstDown(); n >= 0 {
-		return Message{}, false, errDown(n)
+	if e.firstDown() >= 0 {
+		return Message{}, false, e.downError()
 	}
 	return Message{}, false, nil
 }

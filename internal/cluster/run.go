@@ -11,25 +11,44 @@ import (
 // It returns the combined error of every failed node. A panicking node is
 // converted into an error so one bad node cannot take the harness down.
 func Run(f Fabric, fn func(ep Endpoint) error) error {
+	return RunOn(f, nil, fn)
+}
+
+// RunOn is Run restricted to a subset of the fabric's nodes — the
+// failover path runs a query on the surviving back-ends only. nil nodes
+// means all of them. Node IDs must be valid for the fabric; duplicates
+// run fn more than once and are the caller's bug.
+func RunOn(f Fabric, nodes []NodeID, fn func(ep Endpoint) error) error {
+	if nodes == nil {
+		nodes = make([]NodeID, f.Nodes())
+		for i := range nodes {
+			nodes[i] = NodeID(i)
+		}
+	}
+	for _, n := range nodes {
+		if err := Validate(n, f.Nodes()); err != nil {
+			return err
+		}
+	}
 	var wg sync.WaitGroup
-	errs := make([]error, f.Nodes())
-	for i := 0; i < f.Nodes(); i++ {
+	errs := make([]error, len(nodes))
+	for i, n := range nodes {
 		wg.Add(1)
-		go func(n NodeID) {
+		go func(slot int, n NodeID) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[n] = fmt.Errorf("cluster: node %d panicked: %v", n, r)
+					errs[slot] = fmt.Errorf("cluster: node %d panicked: %v", n, r)
 				}
 			}()
-			errs[n] = fn(f.Endpoint(n))
-		}(NodeID(i))
+			errs[slot] = fn(f.Endpoint(n))
+		}(i, n)
 	}
 	wg.Wait()
 	var failed []error
-	for n, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			failed = append(failed, fmt.Errorf("node %d: %w", n, err))
+			failed = append(failed, fmt.Errorf("node %d: %w", nodes[i], err))
 		}
 	}
 	return errors.Join(failed...)

@@ -83,6 +83,14 @@ type Config struct {
 	// node. The always-on service metrics (cluster, datacutter, ingest,
 	// query) live in obs.Default() regardless of this field.
 	Metrics *obs.Registry
+	// AllowPartial degrades queries to best-effort results with an
+	// explicit Coverage < 1 when every replica of a required shard is
+	// unreachable, instead of failing with query.ErrPartialCoverage.
+	AllowPartial bool
+	// Failover tunes the query-time retry loop used when the
+	// declustering policy replicates (ReplicationFactor > 1). The zero
+	// value selects the defaults documented on query.FailoverOptions.
+	Failover query.FailoverOptions
 }
 
 // Engine is a running MSSG instance.
@@ -264,16 +272,59 @@ func (e *Engine) BFS(cfg query.BFSConfig) (query.BFSResult, error) {
 }
 
 // BFSCtx is BFS with cancellation: cancelling ctx aborts the search on
-// every node with ctx.Err().
+// every node with ctx.Err(). On a replicated deployment the query runs
+// through the failover loop: attempts exclude back-ends the health view
+// or earlier errors convicted, fringe routing falls through to a dead
+// primary's replicas, and the result carries FailoverStats.
 func (e *Engine) BFSCtx(ctx context.Context, cfg query.BFSConfig) (query.BFSResult, error) {
 	if e.closed {
 		return query.BFSResult{}, fmt.Errorf("core: engine closed")
 	}
-	return query.ParallelBFS(ctx, e.fabric, e.dbs, e.routedBFS(cfg))
+	rcfg := e.routedBFS(cfg)
+	if rcfg.ReplicasOf != nil {
+		return query.FailoverBFS(ctx, e.fabric, e.dbs, rcfg, e.cfg.Failover)
+	}
+	return query.ParallelBFS(ctx, e.fabric, e.dbs, rcfg)
 }
 
-// routedBFS applies the ingestion policy's vertex→node mapping to a BFS
-// configuration.
+// KHop counts the vertices within cfg.K hops of cfg.Source, with the
+// same policy-based routing and (on replicated deployments) the same
+// failover behaviour as BFS.
+func (e *Engine) KHop(cfg query.KHopConfig) (query.KHopResult, error) {
+	return e.KHopCtx(context.Background(), cfg)
+}
+
+// KHopCtx is KHop with cancellation.
+func (e *Engine) KHopCtx(ctx context.Context, cfg query.KHopConfig) (query.KHopResult, error) {
+	if e.closed {
+		return query.KHopResult{}, fmt.Errorf("core: engine closed")
+	}
+	if pf := e.cfg.Ingest.Policy; pf != nil {
+		p := pf()
+		switch {
+		case cfg.OwnerOf != nil:
+			// Caller-provided directory wins.
+		case isDirectoryPolicy(p):
+			cfg.OwnerOf = p.(ingest.DirectoryPolicy).OwnerOf
+		case !p.GloballyMapped():
+			cfg.Ownership = query.BroadcastFringe
+		}
+		if cfg.ReplicasOf == nil {
+			cfg.ReplicasOf = replicasOf(p)
+		}
+	}
+	if !cfg.AllowPartial {
+		cfg.AllowPartial = e.cfg.AllowPartial
+	}
+	if cfg.ReplicasOf != nil {
+		res, _, err := query.FailoverKHop(ctx, e.fabric, e.dbs, cfg, e.cfg.Failover)
+		return res, err
+	}
+	return query.ParallelKHop(ctx, e.fabric, e.dbs, cfg)
+}
+
+// routedBFS applies the ingestion policy's vertex→node mapping (and, for
+// replicating policies, its replica directory) to a BFS configuration.
 func (e *Engine) routedBFS(cfg query.BFSConfig) query.BFSConfig {
 	if pf := e.cfg.Ingest.Policy; pf != nil {
 		p := pf()
@@ -285,8 +336,26 @@ func (e *Engine) routedBFS(cfg query.BFSConfig) query.BFSConfig {
 		case !p.GloballyMapped():
 			cfg.Ownership = query.BroadcastFringe
 		}
+		if cfg.ReplicasOf == nil {
+			cfg.ReplicasOf = replicasOf(p)
+		}
+	}
+	if !cfg.AllowPartial {
+		cfg.AllowPartial = e.cfg.AllowPartial
 	}
 	return cfg
+}
+
+// replicasOf returns p's replica directory when p actually replicates
+// (factor > 1), nil otherwise — a factor-1 policy has nothing to fail
+// over to, and nil keeps the query layer on its allocation-free
+// owner-only fast path.
+func replicasOf(p ingest.Policy) func(graph.VertexID) []cluster.NodeID {
+	rp, ok := p.(ingest.ReplicaPolicy)
+	if !ok || rp.ReplicationFactor() < 2 {
+		return nil
+	}
+	return rp.Replicas
 }
 
 // NewQueryEngine builds a resident concurrent query scheduler over this

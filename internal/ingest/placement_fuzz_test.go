@@ -1,0 +1,33 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPlacementDecode: the placement decoder faces whatever bytes happen
+// to sit in placement.mssg, so it must never panic, must reject anything
+// a valid encoder cannot produce, and — when it does accept — must
+// round-trip exactly (decode ∘ encode = id).
+func FuzzPlacementDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(placementMagic))
+	f.Add(EncodePlacement(Placement{Policy: "rendezvous", Backends: 8, Replication: 2, Seed: 1}))
+	f.Add(EncodePlacement(Placement{Policy: "vertex-mod", Backends: 1, Replication: 1, Seed: DefaultPlacementSeed}))
+	long := EncodePlacement(Placement{Policy: "rendezvous", Backends: 1 << 19, Replication: 6, Seed: ^uint64(0)})
+	f.Add(long)
+	f.Add(append(long, 0, 1, 2))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePlacement(data)
+		if err != nil {
+			return
+		}
+		if p.Backends < 1 || p.Replication < 1 || p.Replication > p.Backends || len(p.Policy) > 64 {
+			t.Fatalf("decoder accepted invalid placement %+v", p)
+		}
+		if !bytes.Equal(EncodePlacement(p), data) {
+			t.Fatalf("accepted input is not canonical: %x vs %x", data, EncodePlacement(p))
+		}
+	})
+}

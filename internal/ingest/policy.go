@@ -84,13 +84,18 @@ type CopySeeder interface {
 	SeedCopy(copy int)
 }
 
-// PolicyByName resolves the built-in policies.
+// PolicyByName resolves the built-in policies. The rendezvous policy is
+// returned unconfigured (no declared node set); callers that want its
+// global mapping and replica directory construct it with NewRendezvous
+// or Placement.NewPolicy instead.
 func PolicyByName(name string) (Policy, error) {
 	switch name {
 	case "vertex-mod", "vertex", "":
 		return VertexMod{}, nil
 	case "edge-round-robin", "edge":
 		return &EdgeRoundRobin{}, nil
+	case "rendezvous", "hrw":
+		return &Rendezvous{}, nil
 	}
 	return nil, fmt.Errorf("ingest: unknown declustering policy %q", name)
 }

@@ -1,0 +1,287 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"mssg/internal/cluster"
+	"mssg/internal/graph"
+)
+
+// ReplicaPolicy is implemented by declustering policies that place k
+// copies of every vertex's adjacency. The ingest filter ships each
+// window to all k nodes of its group; the query layer uses Replicas as
+// the failover directory (try the primary, fall back down the list).
+type ReplicaPolicy interface {
+	Policy
+	// Replicas returns vertex v's ordered replica set, primary first.
+	// Every node computes the same list from v alone, so there is no
+	// directory service to lose.
+	Replicas(v graph.VertexID) []cluster.NodeID
+	// ReplicationFactor returns k, the length of every Replicas list.
+	ReplicationFactor() int
+}
+
+// DefaultPlacementSeed is the hash seed baked into placements that don't
+// choose their own ("mssg" in ASCII).
+const DefaultPlacementSeed uint64 = 0x6d737367
+
+// Rendezvous is highest-random-weight (HRW) declustering: every node n
+// is scored by hash(seed, v, n) and vertex v's adjacency lives on the k
+// top-scoring nodes. Two properties make it the replication policy:
+// placement is derivable anywhere from v alone (a globally known
+// mapping, like GID%p), and it is minimally disruptive — removing a node
+// only moves the shards that node actually held, because the relative
+// order of all other nodes' scores is unchanged.
+type Rendezvous struct {
+	// Backends is the declared node set size [0, Backends). Zero means
+	// unconfigured: Route still works from its backends argument, but
+	// the global-mapping and replica directory features are off.
+	Backends int
+	// Factor is k, the copies per vertex; clamped to [1, Backends].
+	Factor int
+	// Seed perturbs the hash so distinct deployments shard differently.
+	// Zero means DefaultPlacementSeed.
+	Seed uint64
+}
+
+// NewRendezvous returns a configured HRW policy placing k replicas over
+// backends nodes. seed 0 selects DefaultPlacementSeed.
+func NewRendezvous(backends, k int, seed uint64) *Rendezvous {
+	if k < 1 {
+		k = 1
+	}
+	if backends > 0 && k > backends {
+		k = backends
+	}
+	return &Rendezvous{Backends: backends, Factor: k, Seed: seed}
+}
+
+// Name implements Policy.
+func (r *Rendezvous) Name() string { return "rendezvous" }
+
+func (r *Rendezvous) seed() uint64 {
+	if r.Seed == 0 {
+		return DefaultPlacementSeed
+	}
+	return r.Seed
+}
+
+// hrwMix is the splitmix64 finalizer: cheap, full-avalanche, and good
+// enough that per-node scores behave as independent uniform draws.
+func hrwMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (r *Rendezvous) score(v graph.VertexID, node int) uint64 {
+	return hrwMix(r.seed() ^ hrwMix(uint64(v)) ^ (uint64(node)+1)*0x9e3779b97f4a7c15)
+}
+
+// RankedOver returns the k top-scoring members of nodes for v,
+// descending by score (ties broken by lower node ID, which cannot favor
+// any node systematically because scores are full-width hashes). It is
+// the node-set-general core that the elasticity property tests exercise:
+// removing one member of nodes changes v's top-k only if the removed
+// node was in it.
+func (r *Rendezvous) RankedOver(v graph.VertexID, nodes []cluster.NodeID, k int) []cluster.NodeID {
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	if k <= 0 {
+		return nil
+	}
+	top := make([]cluster.NodeID, 0, k)
+	scores := make([]uint64, 0, k)
+	for _, n := range nodes {
+		s := r.score(v, int(n))
+		i := len(top)
+		for i > 0 && (scores[i-1] < s || (scores[i-1] == s && top[i-1] > n)) {
+			i--
+		}
+		if i >= k {
+			continue
+		}
+		if len(top) < k {
+			top = append(top, 0)
+			scores = append(scores, 0)
+		}
+		copy(top[i+1:], top[i:])
+		copy(scores[i+1:], scores[i:])
+		top[i] = n
+		scores[i] = s
+	}
+	return top
+}
+
+func (r *Rendezvous) rank(v graph.VertexID, backends, k int) []cluster.NodeID {
+	nodes := make([]cluster.NodeID, backends)
+	for i := range nodes {
+		nodes[i] = cluster.NodeID(i)
+	}
+	return r.RankedOver(v, nodes, k)
+}
+
+// primary is the allocation-free top-1 ranking for the per-edge and
+// per-fringe-vertex hot paths. Safe for concurrent use: Rendezvous holds
+// no mutable state.
+func (r *Rendezvous) primary(v graph.VertexID, backends int) cluster.NodeID {
+	best := cluster.NodeID(0)
+	bestScore := r.score(v, 0)
+	for n := 1; n < backends; n++ {
+		if s := r.score(v, n); s > bestScore {
+			best, bestScore = cluster.NodeID(n), s
+		}
+	}
+	return best
+}
+
+// Route implements Policy: the edge goes to its source vertex's primary
+// (top-scoring) node, keeping whole adjacency lists together exactly
+// like VertexMod does.
+func (r *Rendezvous) Route(e graph.Edge, backends int) int {
+	return int(r.primary(e.Src, backends))
+}
+
+// GloballyMapped implements Policy: true once the node set is declared,
+// since every node can then rank any vertex locally.
+func (r *Rendezvous) GloballyMapped() bool { return r.Backends > 0 }
+
+// OwnerOf implements DirectoryPolicy for a configured policy: the
+// primary replica. BFS known-mapping routing uses it exactly as it uses
+// GreedyCluster's directory.
+func (r *Rendezvous) OwnerOf(v graph.VertexID) cluster.NodeID {
+	return r.primary(v, r.Backends)
+}
+
+// Replicas implements ReplicaPolicy.
+func (r *Rendezvous) Replicas(v graph.VertexID) []cluster.NodeID {
+	return r.rank(v, r.Backends, r.ReplicationFactor())
+}
+
+// ReplicationFactor implements ReplicaPolicy.
+func (r *Rendezvous) ReplicationFactor() int {
+	k := r.Factor
+	if k < 1 {
+		k = 1
+	}
+	if r.Backends > 0 && k > r.Backends {
+		k = r.Backends
+	}
+	return k
+}
+
+// Placement is the durable record of how a database directory was
+// declustered: which policy, over how many back-ends, with how many
+// replicas, under which seed. mssg-ingest writes it next to the node
+// databases; mssg-query reads it back so query-time routing and failover
+// reconstruct the exact ingest-time mapping without re-deriving flags.
+type Placement struct {
+	Policy      string
+	Backends    int
+	Replication int
+	Seed        uint64
+}
+
+// NewPolicy constructs the declustering policy the placement describes.
+func (p Placement) NewPolicy() (Policy, error) {
+	if p.Policy == "rendezvous" {
+		return NewRendezvous(p.Backends, p.Replication, p.Seed), nil
+	}
+	return PolicyByName(p.Policy)
+}
+
+// placementMagic versions the codec; bump the suffix on layout changes.
+const placementMagic = "MSSGPL01"
+
+// PlacementFile is the placement manifest's name under the database
+// working directory.
+const PlacementFile = "placement.mssg"
+
+// EncodePlacement serializes p: magic, length-prefixed policy name,
+// backends, replication, seed, CRC32 trailer.
+func EncodePlacement(p Placement) []byte {
+	b := make([]byte, 0, len(placementMagic)+2+len(p.Policy)+4+4+8+4)
+	b = append(b, placementMagic...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Policy)))
+	b = append(b, p.Policy...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Backends))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Replication))
+	b = binary.LittleEndian.AppendUint64(b, p.Seed)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// DecodePlacement parses and validates an encoded placement. It must
+// never panic on arbitrary input (fuzzed) and rejects anything a valid
+// encoder cannot produce.
+func DecodePlacement(b []byte) (Placement, error) {
+	var p Placement
+	if len(b) < len(placementMagic)+2 {
+		return p, fmt.Errorf("ingest: placement of %d bytes is shorter than its header", len(b))
+	}
+	if string(b[:len(placementMagic)]) != placementMagic {
+		return p, fmt.Errorf("ingest: bad placement magic %q", b[:len(placementMagic)])
+	}
+	if len(b) < 4 {
+		return p, fmt.Errorf("ingest: placement too short for its checksum")
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return p, fmt.Errorf("ingest: placement checksum mismatch")
+	}
+	rest := body[len(placementMagic):]
+	nameLen := int(binary.LittleEndian.Uint16(rest))
+	rest = rest[2:]
+	const maxName = 64
+	if nameLen > maxName || len(rest) != nameLen+4+4+8 {
+		return p, fmt.Errorf("ingest: placement body of %d bytes inconsistent with name length %d", len(rest), nameLen)
+	}
+	p.Policy = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	p.Backends = int(binary.LittleEndian.Uint32(rest))
+	p.Replication = int(binary.LittleEndian.Uint32(rest[4:]))
+	p.Seed = binary.LittleEndian.Uint64(rest[8:])
+	if p.Backends < 1 || p.Backends > 1<<20 {
+		return p, fmt.Errorf("ingest: placement declares %d backends", p.Backends)
+	}
+	if p.Replication < 1 || p.Replication > p.Backends {
+		return p, fmt.Errorf("ingest: placement declares replication %d over %d backends", p.Replication, p.Backends)
+	}
+	return p, nil
+}
+
+// WritePlacementFile persists p under dir atomically (write-temp,
+// rename), so a crashed writer leaves either the old manifest or none.
+func WritePlacementFile(dir string, p Placement) error {
+	tmp := filepath.Join(dir, PlacementFile+".tmp")
+	if err := os.WriteFile(tmp, EncodePlacement(p), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, PlacementFile))
+}
+
+// ReadPlacementFile loads dir's placement manifest. ok is false when no
+// manifest exists (a pre-replication directory); a present-but-corrupt
+// manifest is an error, not a silent fallback, because guessing the
+// wrong placement silently misroutes every query.
+func ReadPlacementFile(dir string) (p Placement, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(dir, PlacementFile))
+	if os.IsNotExist(err) {
+		return Placement{}, false, nil
+	}
+	if err != nil {
+		return Placement{}, false, err
+	}
+	p, err = DecodePlacement(b)
+	if err != nil {
+		return Placement{}, false, err
+	}
+	return p, true, nil
+}

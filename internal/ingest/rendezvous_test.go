@@ -1,0 +1,290 @@
+package ingest
+
+import (
+	"reflect"
+	"testing"
+
+	"mssg/internal/cluster"
+	"mssg/internal/graph"
+	"mssg/internal/graphdb"
+)
+
+func allNodes(p int) []cluster.NodeID {
+	nodes := make([]cluster.NodeID, p)
+	for i := range nodes {
+		nodes[i] = cluster.NodeID(i)
+	}
+	return nodes
+}
+
+// TestRendezvousDeterministic: placement is a pure function of the
+// vertex — two independently constructed instances (an ingest filter on
+// one machine, a query router on another) must agree on every replica
+// list, and Route/OwnerOf/Replicas must agree with each other.
+func TestRendezvousDeterministic(t *testing.T) {
+	const p, k = 8, 3
+	a := NewRendezvous(p, k, 0)
+	b := NewRendezvous(p, k, 0)
+	for v := graph.VertexID(0); v < 500; v++ {
+		ra, rb := a.Replicas(v), b.Replicas(v)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("v=%d: instances disagree: %v vs %v", v, ra, rb)
+		}
+		if len(ra) != k {
+			t.Fatalf("v=%d: %d replicas, want %d", v, len(ra), k)
+		}
+		seen := map[cluster.NodeID]bool{}
+		for _, n := range ra {
+			if n < 0 || int(n) >= p || seen[n] {
+				t.Fatalf("v=%d: bad replica list %v", v, ra)
+			}
+			seen[n] = true
+		}
+		if got := a.Route(graph.Edge{Src: v, Dst: v + 1}, p); cluster.NodeID(got) != ra[0] {
+			t.Fatalf("v=%d: Route=%d but primary replica=%d", v, got, ra[0])
+		}
+		if got := a.OwnerOf(v); got != ra[0] {
+			t.Fatalf("v=%d: OwnerOf=%d but primary replica=%d", v, got, ra[0])
+		}
+	}
+	// A different seed must produce a different placement.
+	c := NewRendezvous(p, k, 12345)
+	diff := 0
+	for v := graph.VertexID(0); v < 500; v++ {
+		if !reflect.DeepEqual(a.Replicas(v), c.Replicas(v)) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed change did not move any placement")
+	}
+}
+
+// TestRendezvousBalance: HRW scores are uniform hashes, so primary (and
+// every replica rank) load should be near-even across nodes.
+func TestRendezvousBalance(t *testing.T) {
+	const p, k, vertices = 8, 2, 20000
+	r := NewRendezvous(p, k, 0)
+	primaries := make([]int, p)
+	replicas := make([]int, p)
+	for v := 0; v < vertices; v++ {
+		reps := r.Replicas(graph.VertexID(v))
+		primaries[reps[0]]++
+		for _, n := range reps {
+			replicas[n]++
+		}
+	}
+	checkEven := func(name string, counts []int, total int) {
+		mean := float64(total) / float64(p)
+		for n, c := range counts {
+			if f := float64(c) / mean; f < 0.85 || f > 1.15 {
+				t.Errorf("%s load on node %d is %d (%.2fx mean %f)", name, n, c, f, mean)
+			}
+		}
+	}
+	checkEven("primary", primaries, vertices)
+	checkEven("replica", replicas, vertices*k)
+}
+
+// TestRendezvousMinimalMovement is the elasticity property: removing one
+// node changes a vertex's replica set only when the removed node was in
+// it, and then by exactly one substitute — so one leave moves at most
+// the departed node's own shards (<= k per vertex, never a reshuffle).
+func TestRendezvousMinimalMovement(t *testing.T) {
+	const p, k = 8, 2
+	r := NewRendezvous(p, k, 0)
+	full := allNodes(p)
+	for leave := 0; leave < p; leave++ {
+		var survivors []cluster.NodeID
+		for _, n := range full {
+			if int(n) != leave {
+				survivors = append(survivors, n)
+			}
+		}
+		for v := graph.VertexID(0); v < 1000; v++ {
+			before := r.RankedOver(v, full, k)
+			after := r.RankedOver(v, survivors, k)
+			had := false
+			for _, n := range before {
+				if int(n) == leave {
+					had = true
+				}
+			}
+			if !had {
+				if !reflect.DeepEqual(before, after) {
+					t.Fatalf("leave=%d v=%d: uninvolved placement moved: %v -> %v", leave, v, before, after)
+				}
+				continue
+			}
+			// The survivors of the old set must all still be placed;
+			// exactly one new member backfills.
+			afterSet := map[cluster.NodeID]bool{}
+			for _, n := range after {
+				afterSet[n] = true
+			}
+			kept, moved := 0, 0
+			for _, n := range before {
+				if int(n) == leave {
+					continue
+				}
+				if afterSet[n] {
+					kept++
+				} else {
+					moved++
+				}
+			}
+			if moved != 0 || kept != k-1 {
+				t.Fatalf("leave=%d v=%d: %v -> %v moved %d surviving replicas", leave, v, before, after, moved)
+			}
+		}
+	}
+}
+
+// TestRendezvousJoinSymmetric: adding a node back is the mirror image —
+// only shards whose new top-k includes the joiner move to it.
+func TestRendezvousJoinSymmetric(t *testing.T) {
+	const p, k = 7, 2
+	r := NewRendezvous(p+1, k, 0)
+	small := allNodes(p)
+	big := allNodes(p + 1)
+	gained := 0
+	for v := graph.VertexID(0); v < 1000; v++ {
+		before := r.RankedOver(v, small, k)
+		after := r.RankedOver(v, big, k)
+		joined := false
+		for _, n := range after {
+			if int(n) == p {
+				joined = true
+			}
+		}
+		if joined {
+			gained++
+			continue
+		}
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("v=%d: join moved an unrelated placement: %v -> %v", v, before, after)
+		}
+	}
+	// The joiner should pick up roughly k/(p+1) of all shards.
+	want := 1000 * k / (p + 1)
+	if gained < want/2 || gained > want*2 {
+		t.Fatalf("joiner absorbed %d of 1000 shards, want around %d", gained, want)
+	}
+}
+
+// TestPlacementCodecRoundTrip: encode/decode is lossless and rejects
+// corruption.
+func TestPlacementCodecRoundTrip(t *testing.T) {
+	p := Placement{Policy: "rendezvous", Backends: 12, Replication: 3, Seed: 9876543210}
+	b := EncodePlacement(p)
+	got, err := DecodePlacement(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != p {
+		t.Fatalf("round trip %+v -> %+v", p, got)
+	}
+	for i := range b {
+		c := append([]byte(nil), b...)
+		c[i] ^= 0x41
+		if _, err := DecodePlacement(c); err == nil {
+			t.Fatalf("corruption at byte %d not detected", i)
+		}
+	}
+	if _, err := DecodePlacement(b[:len(b)-3]); err == nil {
+		t.Fatal("truncated placement not detected")
+	}
+	if _, err := DecodePlacement(EncodePlacement(Placement{Policy: "rendezvous", Backends: 2, Replication: 3, Seed: 1})); err == nil {
+		t.Fatal("replication > backends not rejected")
+	}
+}
+
+// TestPlacementFileRoundTrip: the manifest persists and reloads; an
+// absent manifest reads back as (ok=false, nil error).
+func TestPlacementFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadPlacementFile(dir); ok || err != nil {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	p := Placement{Policy: "rendezvous", Backends: 4, Replication: 2, Seed: DefaultPlacementSeed}
+	if err := WritePlacementFile(dir, p); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, ok, err := ReadPlacementFile(dir)
+	if err != nil || !ok || got != p {
+		t.Fatalf("read back: %+v ok=%v err=%v", got, ok, err)
+	}
+	pol, err := got.NewPolicy()
+	if err != nil {
+		t.Fatalf("NewPolicy: %v", err)
+	}
+	rp, ok := pol.(ReplicaPolicy)
+	if !ok || rp.ReplicationFactor() != 2 {
+		t.Fatalf("reconstructed policy %T is not a 2-way ReplicaPolicy", pol)
+	}
+}
+
+// TestReplicatedIngest: with ReplicationFactor=2 every edge lands on
+// exactly its two rendezvous replicas, each holding the full shard, and
+// the stats account for the secondary copies.
+func TestReplicatedIngest(t *testing.T) {
+	const p, k = 4, 2
+	rv := NewRendezvous(p, k, 0)
+	cfg := Config{
+		FrontEnds:         2,
+		WindowEdges:       16,
+		Policy:            func() Policy { return rv },
+		ReplicationFactor: k,
+	}
+	edges := testEdges(600)
+	dbs, stats := runIngestion(t, cfg, edges, p)
+
+	var stored int64
+	for _, d := range dbs {
+		stored += d.Stats().EdgesStored
+	}
+	if want := int64(len(edges) * k); stored != want {
+		t.Fatalf("stored %d records, want %d (%d edges x %d replicas)", stored, want, len(edges), k)
+	}
+	// Every vertex's full adjacency must be present on each of its
+	// replicas and absent elsewhere.
+	adjacency := map[graph.VertexID]map[graph.VertexID]int{}
+	for _, e := range edges {
+		if adjacency[e.Src] == nil {
+			adjacency[e.Src] = map[graph.VertexID]int{}
+		}
+		adjacency[e.Src][e.Dst]++
+	}
+	out := graph.NewAdjList(16)
+	for v, want := range adjacency {
+		reps := map[cluster.NodeID]bool{}
+		for _, n := range rv.Replicas(v) {
+			reps[n] = true
+		}
+		for n, d := range dbs {
+			out.Reset()
+			if err := graphdb.Adjacency(d, v, out); err != nil {
+				t.Fatalf("adjacency(%d) on node %d: %v", v, n, err)
+			}
+			if !reps[cluster.NodeID(n)] {
+				if out.Len() != 0 {
+					t.Fatalf("vertex %d leaked onto non-replica node %d", v, n)
+				}
+				continue
+			}
+			have := map[graph.VertexID]int{}
+			for _, nb := range out.IDs() {
+				have[nb]++
+			}
+			if !reflect.DeepEqual(have, want) {
+				t.Fatalf("vertex %d on replica %d: adjacency %v, want %v", v, n, have, want)
+			}
+		}
+	}
+	if stats.ReplicaBlocks.Load() == 0 || stats.ReplicaBlocks.Load() != stats.Blocks.Load() {
+		t.Fatalf("replica blocks %d, want equal to %d blocks (k=2)", stats.ReplicaBlocks.Load(), stats.Blocks.Load())
+	}
+	if stats.ReplicaWindows.Load() != stats.Blocks.Load() {
+		t.Fatalf("replica windows stored %d, want %d", stats.ReplicaWindows.Load(), stats.Blocks.Load())
+	}
+}

@@ -33,6 +33,13 @@ type Config struct {
 	AddReverse bool
 	// Policy is the declustering policy; nil means VertexMod.
 	Policy func() Policy
+	// ReplicationFactor ships every window to this many distinct
+	// back-ends (k-way replication), so queries survive k-1 node losses.
+	// <= 1 means no replication. Values > 1 require a policy
+	// implementing ReplicaPolicy (rendezvous); the back-end dedup set is
+	// per node, so each replica applies a re-shipped window exactly
+	// once. Capped at 6.
+	ReplicationFactor int
 	// ShipRetries is how many times a front-end re-ships a window after
 	// an ambiguous (cluster.ErrTimeout) send failure. The back-end
 	// deduplicates windows by id, so a re-ship of a window that actually
@@ -81,6 +88,13 @@ func (c Config) policy() Policy {
 	return c.Policy()
 }
 
+func (c Config) replicationFactor() int {
+	if c.ReplicationFactor <= 1 {
+		return 1
+	}
+	return c.ReplicationFactor
+}
+
 // Stats aggregates an ingestion run.
 type Stats struct {
 	// EdgesIn counts edges read by the front-ends (before reversal).
@@ -95,6 +109,12 @@ type Stats struct {
 	// discarded (a retried ship whose first attempt actually arrived, or
 	// a duplicate injected by a faulty fabric).
 	DupBlocks atomic.Int64
+	// ReplicaBlocks counts secondary-copy window ships: each window of a
+	// k-way replicated run adds k-1 of these on top of its Blocks entry.
+	ReplicaBlocks atomic.Int64
+	// ReplicaWindows counts windows a back-end stored as a non-primary
+	// replica (standby copies it serves only after a failover).
+	ReplicaWindows atomic.Int64
 }
 
 const edgeBytes = 16
@@ -171,6 +191,14 @@ type ingestFilter struct {
 	blockSeq uint64
 	windows  [][]graph.Edge
 
+	// Replicated mode (cfg.ReplicationFactor > 1): windows accumulate
+	// per ordered replica set rather than per single destination, since
+	// two edges sharing a primary can have different secondaries. Each
+	// group's window ships — with one id — to every member; per-node
+	// dedup keeps each copy exactly-once.
+	repl   ReplicaPolicy
+	groups map[uint64]*replicaGroup
+
 	// windowStart[d] is when window d received its first edge; the
 	// build-latency histogram measures first-append -> ship.
 	windowStart []time.Time
@@ -178,6 +206,29 @@ type ingestFilter struct {
 	mShip       *obs.Histogram
 	mWinEdges   *obs.Histogram
 	mDestEdges  []*obs.Counter
+	mReplBlocks *obs.Counter
+}
+
+// replicaGroup is one replica set's in-progress window.
+type replicaGroup struct {
+	dests []cluster.NodeID
+	edges []graph.Edge
+	start time.Time
+}
+
+// groupReplicaCap bounds ReplicationFactor so a replica set packs into a
+// 64-bit group key (10 bits per member, backends <= 1024).
+const (
+	groupReplicaCap  = 6
+	groupBackendsCap = 1024
+)
+
+func groupKey(dests []cluster.NodeID) uint64 {
+	var k uint64
+	for _, d := range dests {
+		k = k<<10 | uint64(d)&(groupBackendsCap-1)
+	}
+	return k
 }
 
 // registerSkew publishes ingest.decluster_skew_x1000: the ratio of the
@@ -215,6 +266,22 @@ func (f *ingestFilter) Init(ctx *datacutter.Context) error {
 	if s, ok := f.policy.(CopySeeder); ok {
 		s.SeedCopy(f.copyIdx)
 	}
+	if k := f.cfg.replicationFactor(); k > 1 {
+		rp, ok := f.policy.(ReplicaPolicy)
+		if !ok {
+			return fmt.Errorf("ingest: replication factor %d needs a replica-placing policy (rendezvous), got %s",
+				k, f.policy.Name())
+		}
+		if k > groupReplicaCap || f.cfg.Backends > groupBackendsCap {
+			return fmt.Errorf("ingest: replication supports at most %d replicas over %d backends, got %d/%d",
+				groupReplicaCap, groupBackendsCap, k, f.cfg.Backends)
+		}
+		if got := rp.ReplicationFactor(); got != k {
+			return fmt.Errorf("ingest: policy places %d replicas but config asks for %d", got, k)
+		}
+		f.repl = rp
+		f.groups = make(map[uint64]*replicaGroup)
+	}
 	f.windows = make([][]graph.Edge, f.cfg.Backends)
 	f.windowStart = make([]time.Time, f.cfg.Backends)
 	reg := obs.Default()
@@ -225,6 +292,7 @@ func (f *ingestFilter) Init(ctx *datacutter.Context) error {
 	for d := range f.mDestEdges {
 		f.mDestEdges[d] = reg.Counter(fmt.Sprintf("ingest.dest_%02d.edges", d))
 	}
+	f.mReplBlocks = reg.Counter("ingest.replica_blocks")
 	registerSkew(reg, f.mDestEdges)
 	return nil
 }
@@ -256,7 +324,73 @@ func (f *ingestFilter) ship(out *datacutter.StreamWriter, dest int) error {
 	return err
 }
 
+// shipGroup ships one replica group's window to every member. The same
+// payload (same window id) goes to each, so any member can serve the
+// shard; retries follow the same ambiguous-timeout rule as ship, and
+// per-node dedup makes arrivals exactly-once everywhere.
+func (f *ingestFilter) shipGroup(out *datacutter.StreamWriter, g *replicaGroup) error {
+	if len(g.edges) == 0 {
+		return nil
+	}
+	f.mWinEdges.Observe(int64(len(g.edges)))
+	f.mBuild.ObserveSince(g.start)
+	f.blockSeq++
+	payload := encodeWindow(uint32(f.copyIdx), f.blockSeq, g.edges)
+	g.edges = g.edges[:0]
+	f.stats.Blocks.Add(1)
+	shipStart := time.Now()
+	defer f.mShip.ObserveSince(shipStart)
+	for i, dest := range g.dests {
+		data := payload
+		if i > 0 {
+			// The stream owns each sent buffer; secondaries get copies.
+			data = append([]byte(nil), payload...)
+			f.stats.ReplicaBlocks.Add(1)
+			f.mReplBlocks.Inc()
+		}
+		var err error
+		for attempt := 0; attempt <= f.cfg.shipRetries(); attempt++ {
+			if attempt > 0 {
+				f.stats.Retries.Add(1)
+			}
+			err = out.WriteTo(int(dest), datacutter.Buffer{Data: data})
+			if err == nil || !errors.Is(err, cluster.ErrTimeout) {
+				break
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// routeReplicated accumulates e into its replica set's window.
+func (f *ingestFilter) routeReplicated(out *datacutter.StreamWriter, e graph.Edge) error {
+	dests := f.repl.Replicas(e.Src)
+	if len(dests) == 0 || int(dests[0]) < 0 || int(dests[0]) >= f.cfg.Backends {
+		return fmt.Errorf("ingest: policy %s placed %v of %d backends", f.policy.Name(), dests, f.cfg.Backends)
+	}
+	g := f.groups[groupKey(dests)]
+	if g == nil {
+		g = &replicaGroup{dests: dests}
+		f.groups[groupKey(dests)] = g
+	}
+	if len(g.edges) == 0 {
+		g.start = time.Now()
+	}
+	g.edges = append(g.edges, e)
+	f.mDestEdges[dests[0]].Inc() // skew tracks primary placement
+	if len(g.edges) >= f.cfg.windowEdges() {
+		return f.shipGroup(out, g)
+	}
+	return nil
+}
+
 func (f *ingestFilter) route(out *datacutter.StreamWriter, e graph.Edge) error {
+	if f.repl != nil {
+		return f.routeReplicated(out, e)
+	}
 	dest := f.policy.Route(e, f.cfg.Backends)
 	if dest < 0 || dest >= f.cfg.Backends {
 		return fmt.Errorf("ingest: policy %s routed to %d of %d", f.policy.Name(), dest, f.cfg.Backends)
@@ -300,6 +434,11 @@ func (f *ingestFilter) Process(ctx *datacutter.Context) error {
 		}
 	}
 	// Flush partial windows.
+	for _, g := range f.groups {
+		if err := f.shipGroup(out, g); err != nil {
+			return err
+		}
+	}
 	for dest := range f.windows {
 		if err := f.ship(out, dest); err != nil {
 			return err
@@ -326,9 +465,15 @@ type storeFilter struct {
 	ckpt      graphdb.Checkpointer
 	sinceCkpt int
 
-	mStore   *obs.Histogram
-	mApplied *obs.Counter
-	mDups    *obs.Counter
+	// Replicated mode: repl and self classify each stored window as a
+	// primary or standby copy for the replica-awareness stats.
+	repl ReplicaPolicy
+	self int
+
+	mStore    *obs.Histogram
+	mApplied  *obs.Counter
+	mDups     *obs.Counter
+	mReplWins *obs.Counter
 }
 
 // Init implements datacutter.Filter.
@@ -348,10 +493,17 @@ func (f *storeFilter) Init(ctx *datacutter.Context) error {
 			return err
 		}
 	}
+	if f.cfg.replicationFactor() > 1 {
+		if rp, ok := f.cfg.policy().(ReplicaPolicy); ok {
+			f.repl = rp
+			f.self = ctx.Instance().Copy
+		}
+	}
 	reg := obs.Default()
 	f.mStore = reg.Histogram("ingest.store_window_ns")
 	f.mApplied = reg.Counter("ingest.windows_applied")
 	f.mDups = reg.Counter("ingest.dup_windows")
+	f.mReplWins = reg.Counter("ingest.replica_windows_stored")
 	return nil
 }
 
@@ -385,6 +537,14 @@ func (f *storeFilter) apply(data []byte) error {
 		return nil
 	}
 	f.seen[key] = struct{}{}
+	// Every edge of a replicated window shares one replica set, so the
+	// first edge classifies the whole window as primary or standby here.
+	if f.repl != nil && len(edges) > 0 {
+		if int(f.repl.Replicas(edges[0].Src)[0]) != f.self {
+			f.stats.ReplicaWindows.Add(1)
+			f.mReplWins.Inc()
+		}
+	}
 	start := time.Now()
 	if err := f.db.StoreEdges(edges); err != nil {
 		return err

@@ -88,6 +88,24 @@ type BFSConfig struct {
 	// NewVisited constructs the per-node visited structure; nil means
 	// in-memory. It is called once per node.
 	NewVisited func(node cluster.NodeID) (Visited, error)
+	// ActiveNodes restricts the run to a subset of the fabric's nodes —
+	// the failover path's surviving back-ends. Must be ascending,
+	// duplicate-free, and identical for the whole run; nil means every
+	// node. Excluded nodes are never sent to, received from, or counted
+	// in collectives, so a query completes with dead peers on the fabric.
+	ActiveNodes []cluster.NodeID
+	// ReplicasOf returns a vertex's ordered replica list (primary first,
+	// matching ingest.ReplicaPolicy.Replicas); fringe routing walks it
+	// and reads from the first live replica. ReplicasOf[0] must agree
+	// with OwnerOf. Nil means unreplicated: a vertex whose owner is
+	// excluded is unreachable.
+	ReplicasOf func(v graph.VertexID) []cluster.NodeID
+	// AllowPartial degrades a shard with no live replica to best-effort:
+	// instead of failing with ErrNoLiveReplica, unreachable fringe
+	// vertices are dropped, counted in FringeDropped, and the result
+	// reports Coverage < 1. Found/PathLength remain exact when Found is
+	// true; a "not found" is only trusted for the covered fraction.
+	AllowPartial bool
 }
 
 func (c *BFSConfig) threshold() int {
@@ -136,6 +154,18 @@ type BFSResult struct {
 	// nodes) and expansion/total latency (max across nodes, since the
 	// level barrier makes the slowest node the level's wall-clock).
 	LevelStats []LevelStat
+	// ReplicaReads counts fringe vertices served by a non-primary
+	// replica because the primary was excluded from the run.
+	ReplicaReads int64
+	// FringeDropped counts fringe vertices with no live replica, dropped
+	// under AllowPartial (or just before the run failed without it).
+	FringeDropped int64
+	// Coverage is the explored fraction of the reachable set:
+	// visited/(visited+dropped). 1 for a complete search.
+	Coverage float64
+	// Failover is filled by FailoverBFS with its retry accounting; plain
+	// ParallelBFS leaves it nil.
+	Failover *FailoverStats
 }
 
 // LevelStat describes one BFS level. Fields marshal directly into
@@ -145,6 +175,10 @@ type LevelStat struct {
 	Fringe   int64 `json:"fringe"`
 	ExpandNs int64 `json:"expand_ns"`
 	TotalNs  int64 `json:"total_ns"`
+	// ReplicaReads and Dropped carry the per-level failover accounting;
+	// both stay zero on a healthy full-roster run.
+	ReplicaReads int64 `json:"replica_reads,omitempty"`
+	Dropped      int64 `json:"dropped,omitempty"`
 }
 
 // fringe wire format: kind byte, then count little-endian uint64 ids.
@@ -188,6 +222,10 @@ func ParallelBFS(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, cfg
 	if len(dbs) != f.Nodes() {
 		return BFSResult{}, fmt.Errorf("query: %d databases for %d nodes", len(dbs), f.Nodes())
 	}
+	rst, err := newRoster(f.Nodes(), cfg.ActiveNodes)
+	if err != nil {
+		return BFSResult{}, err
+	}
 	qc, err := leaseChannels()
 	if err != nil {
 		return BFSResult{}, err
@@ -197,29 +235,39 @@ func ParallelBFS(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, cfg
 	// into a future query that re-leases this block.
 	defer qc.ns.DrainAndRelease(f)
 	results := make([]BFSResult, f.Nodes())
-	err = cluster.Run(f, func(ep cluster.Endpoint) error {
-		r, err := bfsNode(ctx, ep, qc, dbs[ep.ID()], cfg)
-		if err != nil {
-			return err
-		}
+	err = cluster.RunOn(f, rst.runNodes(), func(ep cluster.Endpoint) error {
+		// Store even a failed node's partial result: FailoverBFS reads
+		// Levels off it to count how far a degraded attempt got.
+		r, err := bfsNode(ctx, ep, rst, qc, dbs[ep.ID()], cfg)
 		results[ep.ID()] = r
-		return nil
+		return err
 	})
 	if err != nil {
-		return BFSResult{}, err
+		partial := BFSResult{PathLength: -1}
+		for _, n := range rst.nodes {
+			if results[n].Levels > partial.Levels {
+				partial.Levels = results[n].Levels
+			}
+		}
+		return partial, err
 	}
 	// Node results agree on Found/PathLength/Levels (collectively
 	// decided); work counters are per-node sums.
-	combined := results[0]
+	combined := results[rst.first()]
 	combined.EdgesTraversed = 0
 	combined.VerticesVisited = 0
 	combined.FringeSent = 0
+	combined.ReplicaReads = 0
+	combined.FringeDropped = 0
 	combined.Path = nil
 	combined.LevelStats = nil
-	for _, r := range results {
+	for _, n := range rst.nodes {
+		r := results[n]
 		combined.EdgesTraversed += r.EdgesTraversed
 		combined.VerticesVisited += r.VerticesVisited
 		combined.FringeSent += r.FringeSent
+		combined.ReplicaReads += r.ReplicaReads
+		combined.FringeDropped += r.FringeDropped
 		if r.Path != nil {
 			combined.Path = r.Path
 		}
@@ -229,6 +277,8 @@ func ParallelBFS(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, cfg
 			}
 			c := &combined.LevelStats[i]
 			c.Fringe += ls.Fringe
+			c.ReplicaReads += ls.ReplicaReads
+			c.Dropped += ls.Dropped
 			if ls.ExpandNs > c.ExpandNs {
 				c.ExpandNs = ls.ExpandNs
 			}
@@ -237,6 +287,21 @@ func ParallelBFS(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, cfg
 			}
 		}
 	}
+	combined.Coverage = 1
+	if combined.FringeDropped > 0 {
+		combined.Coverage = float64(combined.VerticesVisited) /
+			float64(combined.VerticesVisited+combined.FringeDropped)
+		qm().foDropped.Add(combined.FringeDropped)
+		if cfg.AllowPartial {
+			qm().foPartialAllowed.Inc()
+			obs.DefaultTracer().Emit("bfs.partial_allowed", map[string]string{
+				"dropped": strconv.FormatInt(combined.FringeDropped, 10),
+			})
+		}
+	}
+	if combined.ReplicaReads > 0 {
+		qm().foReplicaReads.Add(combined.ReplicaReads)
+	}
 	return combined, nil
 }
 
@@ -244,20 +309,23 @@ func ParallelBFS(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, cfg
 // level-synchronous or pipelined variant. A failure caused by a dead or
 // unresponsive peer is wrapped in ErrPartialCoverage: the search did not
 // deadlock, but it also did not see the whole graph.
-func bfsNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db graphdb.Graph, cfg BFSConfig) (BFSResult, error) {
+func bfsNode(ctx context.Context, ep cluster.Endpoint, rst *roster, qc queryChannels, db graphdb.Graph, cfg BFSConfig) (BFSResult, error) {
 	visited, release, err := newVisited(ep.ID(), cfg, cfg.expandWorkers(db))
 	if err != nil {
 		return BFSResult{}, err
 	}
 	defer release()
+	// On a partial roster the endpoint is filtered: down-declarations for
+	// already-excluded peers no longer abort receives.
+	ep = wrapActive(ep, rst)
 	var res BFSResult
 	if cfg.Pipelined {
 		if cfg.ReturnPath {
 			return BFSResult{}, fmt.Errorf("query: ReturnPath requires the level-synchronous BFS")
 		}
-		res, err = bfsPipelined(ctx, ep, qc, db, visited, cfg)
+		res, err = bfsPipelined(ctx, ep, rst, qc, db, visited, cfg)
 	} else {
-		res, err = bfsLevelSync(ctx, ep, qc, db, visited, cfg)
+		res, err = bfsLevelSync(ctx, ep, rst, qc, db, visited, cfg)
 	}
 	if err != nil && (errors.Is(err, cluster.ErrNodeDown) || errors.Is(err, cluster.ErrTimeout)) {
 		qm().partial.Inc()
@@ -303,10 +371,18 @@ func newVisited(node cluster.NodeID, cfg BFSConfig, workers int) (Visited, func(
 // fringe, synchronize, repeat. The termination conditions of the paper
 // ('found' message; exhausted graph) are realized with an all-reduce per
 // level, which decides found/empty at identical points on every node.
-func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db graphdb.Graph, visited Visited, cfg BFSConfig) (BFSResult, error) {
+func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, rst *roster, qc queryChannels, db graphdb.Graph, visited Visited, cfg BFSConfig) (BFSResult, error) {
 	coll := cluster.NewCollective(ep, qc.collUp, qc.collDn).WithContext(ctx)
+	if rst.partial() {
+		coll = coll.WithParticipants(rst.nodes)
+	}
 	p := ep.Nodes()
 	self := ep.ID()
+	rt := &vertexRouter{
+		rst:      rst,
+		owner:    func(v graph.VertexID) cluster.NodeID { return cfg.ownerOf(v, p) },
+		replicas: cfg.ReplicasOf,
+	}
 
 	res := BFSResult{PathLength: -1}
 	if cfg.Source == cfg.Dest {
@@ -318,16 +394,31 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 		return res, nil
 	}
 
-	// Seed: the source's owner holds the level-0 fringe. Under broadcast
-	// ownership every node seeds (local adjacency of non-local vertices
-	// is empty, step 5 of Algorithm 1).
+	// Seed: the source's first live replica holds the level-0 fringe
+	// (the owner, on a full roster). Under broadcast ownership every
+	// roster node seeds (local adjacency of non-local vertices is empty,
+	// step 5 of Algorithm 1). A source with no live replica is dropped —
+	// deterministically on the roster's first node so the level-1 barrier
+	// sees exactly one drop on every node's account.
 	var fringe []graph.VertexID
-	seedHere := cfg.Ownership == BroadcastFringe || cfg.ownerOf(cfg.Source, p) == self
-	if seedHere {
+	var seedDropped int64
+	if cfg.Ownership == BroadcastFringe {
 		if _, err := visited.MarkIfNew(cfg.Source, 0); err != nil {
 			return res, err
 		}
 		fringe = append(fringe, cfg.Source)
+	} else if dest, replica, ok := rt.route(cfg.Source); !ok {
+		if self == rst.first() {
+			seedDropped = 1
+		}
+	} else if dest == self {
+		if _, err := visited.MarkIfNew(cfg.Source, 0); err != nil {
+			return res, err
+		}
+		fringe = append(fringe, cfg.Source)
+		if replica {
+			res.ReplicaReads++
+		}
 	}
 
 	// parents records each vertex's BFS predecessor for ReturnPath.
@@ -409,30 +500,47 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 		outbound := make([][]graph.VertexID, p)
 		outboundPairs := make([][]graph.Edge, p)
 		var localNext []graph.VertexID
+		levelDropped := seedDropped
+		seedDropped = 0
+		var levelReplicaReads int64
 
 		// classify routes one newly marked vertex discovered from parent.
 		classify := func(u, parent graph.VertexID) {
-			res.VerticesVisited++
-			if parents != nil {
-				parents[u] = parent
-			}
 			if cfg.Ownership == KnownMapping {
-				owner := cfg.ownerOf(u, p)
-				if owner == self {
+				dest, replica, ok := rt.route(u)
+				if !ok {
+					// No live replica serves u: its subtree is out of
+					// reach. The barrier below turns a non-zero drop count
+					// into ErrNoLiveReplica unless AllowPartial.
+					levelDropped++
+					return
+				}
+				res.VerticesVisited++
+				if parents != nil {
+					parents[u] = parent
+				}
+				if replica {
+					levelReplicaReads++
+				}
+				if dest == self {
 					localNext = append(localNext, u)
 					return
 				}
 				if cfg.ReturnPath {
-					outboundPairs[owner] = append(outboundPairs[owner], graph.Edge{Src: u, Dst: parent})
+					outboundPairs[dest] = append(outboundPairs[dest], graph.Edge{Src: u, Dst: parent})
 				} else {
-					outbound[owner] = append(outbound[owner], u)
+					outbound[dest] = append(outbound[dest], u)
 				}
 				res.FringeSent++
 				return
 			}
+			res.VerticesVisited++
+			if parents != nil {
+				parents[u] = parent
+			}
 			localNext = append(localNext, u)
-			for q := 0; q < p; q++ {
-				if cluster.NodeID(q) == self {
+			for _, q := range rst.nodes {
+				if q == self {
 					continue
 				}
 				if cfg.ReturnPath {
@@ -471,7 +579,7 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 			// exchange below runs on this goroutine. Levels are sets, so
 			// the scheduling-dependent order inside localNext/outbound
 			// does not change any BFSResult field.
-			acc, err := expandParallel(ctx, ep, qc.fringe, db, visited, &cfg, fringe, levcnt, nw, 0)
+			acc, err := expandParallel(ctx, ep, rt, qc.fringe, db, visited, &cfg, fringe, levcnt, nw, 0)
 			if err != nil {
 				return res, err
 			}
@@ -481,6 +589,8 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 			res.EdgesTraversed += acc.edgesTraversed
 			res.VerticesVisited += acc.verticesVisited
 			res.FringeSent += acc.fringeSent
+			levelDropped += acc.dropped
+			levelReplicaReads += acc.replicaReads
 			localNext = acc.localNext
 			outbound = acc.outbound
 		} else {
@@ -517,23 +627,23 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 			pending = append(pending, asyncPf.PrefetchAsync(ctx, localNext))
 		}
 
-		// Exchange: send each peer its share (possibly empty), then a
-		// done marker; collect peers' chunks until all markers arrive.
-		for q := 0; q < p; q++ {
-			if cluster.NodeID(q) == self {
+		// Exchange: send each roster peer its share (possibly empty), then
+		// a done marker; collect peers' chunks until all markers arrive.
+		for _, q := range rst.nodes {
+			if q == self {
 				continue
 			}
 			if len(outbound[q]) > 0 {
-				if err := ep.Send(cluster.NodeID(q), qc.fringe, encodeChunk(outbound[q])); err != nil {
+				if err := ep.Send(q, qc.fringe, encodeChunk(outbound[q])); err != nil {
 					return res, err
 				}
 			}
 			if len(outboundPairs[q]) > 0 {
-				if err := ep.Send(cluster.NodeID(q), qc.fringe, encodeChunkPairs(outboundPairs[q])); err != nil {
+				if err := ep.Send(q, qc.fringe, encodeChunkPairs(outboundPairs[q])); err != nil {
 					return res, err
 				}
 			}
-			if err := ep.Send(cluster.NodeID(q), qc.fringe, []byte{fkDone}); err != nil {
+			if err := ep.Send(q, qc.fringe, []byte{fkDone}); err != nil {
 				return res, err
 			}
 		}
@@ -554,7 +664,7 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 			}
 			return nil
 		}
-		for done := 0; done < p-1; {
+		for done := 0; done < rst.size()-1; {
 			msg, err := ep.RecvCtx(ctx, qc.fringe)
 			if err != nil {
 				return res, err
@@ -593,11 +703,15 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 			pending = append(pending, asyncPf.PrefetchAsync(ctx, next[len(localNext):]))
 		}
 		lvlSpan.End()
+		res.ReplicaReads += levelReplicaReads
+		res.FringeDropped += levelDropped
 		res.LevelStats = append(res.LevelStats, LevelStat{
-			Level:    levcnt,
-			Fringe:   int64(len(fringe)),
-			ExpandNs: expandNs,
-			TotalNs:  time.Since(levelStart).Nanoseconds(),
+			Level:        levcnt,
+			Fringe:       int64(len(fringe)),
+			ExpandNs:     expandNs,
+			TotalNs:      time.Since(levelStart).Nanoseconds(),
+			ReplicaReads: levelReplicaReads,
+			Dropped:      levelDropped,
 		})
 
 		// Level barrier + termination checks.
@@ -607,10 +721,12 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 		}
 		res.Levels = levcnt
 		if foundGlobal > 0 {
+			// Found at level L is exact even with drops: a dropped vertex
+			// could only have yielded paths of length >= L+1.
 			res.Found = true
 			res.PathLength = levcnt
 			if cfg.ReturnPath {
-				path, err := walkParents(ctx, ep, qc, &cfg, parents, levcnt)
+				path, err := walkParents(ctx, ep, rst, rt, qc, &cfg, parents, levcnt)
 				if err != nil {
 					return res, err
 				}
@@ -621,6 +737,21 @@ func bfsLevelSync(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 		total, err := coll.AllReduceSum(int64(len(next)))
 		if err != nil {
 			return res, err
+		}
+		// Coordinated drop check: on a partial roster every node runs one
+		// extra reduction so they all learn — at the same point in the
+		// collective schedule — whether any peer hit a replica-less shard,
+		// and either all fail or all continue. Never checked mid-level: a
+		// unilateral return would leave peers waiting at the exchange.
+		if rst.partial() {
+			dropTotal, err := coll.AllReduceSum(levelDropped)
+			if err != nil {
+				return res, err
+			}
+			if dropTotal > 0 && !cfg.AllowPartial {
+				return res, fmt.Errorf("query: level %d dropped %d fringe vertices: %w",
+					levcnt, dropTotal, ErrNoLiveReplica)
+			}
 		}
 		if total == 0 {
 			return res, nil

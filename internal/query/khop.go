@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -29,6 +30,24 @@ type KHopConfig struct {
 	// graphdb.AsyncPrefetcher, a synchronous offset-sorted sweep when it
 	// only implements graphdb.Prefetcher.
 	Prefetch bool
+	// OwnerOf overrides the GID % p mapping under KnownMapping ownership,
+	// exactly as in BFSConfig. Nil selects the modulo mapping.
+	OwnerOf func(v graph.VertexID) cluster.NodeID
+	// ActiveNodes, ReplicasOf, and AllowPartial are the failover knobs,
+	// with BFSConfig semantics: run on a node subset, read a dead
+	// primary's shard from its replicas, and degrade to best-effort
+	// coverage instead of failing when no replica survives.
+	ActiveNodes  []cluster.NodeID
+	ReplicasOf   func(v graph.VertexID) []cluster.NodeID
+	AllowPartial bool
+}
+
+// ownerOf resolves the vertex→node mapping in effect.
+func (c *KHopConfig) ownerOf(v graph.VertexID, p int) cluster.NodeID {
+	if c.OwnerOf != nil {
+		return c.OwnerOf(v)
+	}
+	return cluster.Owner(int64(v), p)
 }
 
 // KHopResult reports the neighbourhood profile.
@@ -40,6 +59,13 @@ type KHopResult struct {
 	Total int64
 	// EdgesTraversed counts adjacency entries scanned.
 	EdgesTraversed int64
+	// ReplicaReads counts fringe vertices served by a non-primary
+	// replica; Dropped counts vertices with no live replica (only
+	// possible on a partial roster under AllowPartial).
+	ReplicaReads int64
+	Dropped      int64
+	// Coverage is Total/(Total+Dropped); 1 for a complete count.
+	Coverage float64
 }
 
 // ParallelKHop runs the analysis across the fabric under its own leased
@@ -54,15 +80,25 @@ func ParallelKHop(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, cf
 	if cfg.K < 1 {
 		return KHopResult{}, fmt.Errorf("query: k-hop needs K >= 1, got %d", cfg.K)
 	}
+	rst, err := newRoster(f.Nodes(), cfg.ActiveNodes)
+	if err != nil {
+		return KHopResult{}, err
+	}
 	qc, err := leaseChannels()
 	if err != nil {
 		return KHopResult{}, err
 	}
 	defer qc.ns.DrainAndRelease(f)
 	results := make([]KHopResult, f.Nodes())
-	err = cluster.Run(f, func(ep cluster.Endpoint) error {
-		r, err := khopNode(ctx, ep, qc, dbs[ep.ID()], cfg)
+	err = cluster.RunOn(f, rst.runNodes(), func(ep cluster.Endpoint) error {
+		r, err := khopNode(ctx, ep, rst, qc, dbs[ep.ID()], cfg)
 		if err != nil {
+			// As in bfsNode: a dead or unresponsive peer means the count
+			// covered only part of the graph.
+			if errors.Is(err, cluster.ErrNodeDown) || errors.Is(err, cluster.ErrTimeout) {
+				qm().partial.Inc()
+				err = fmt.Errorf("%w: %w", ErrPartialCoverage, err)
+			}
 			return err
 		}
 		results[ep.ID()] = r
@@ -89,6 +125,19 @@ func ParallelKHop(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, cf
 	}
 	for _, r := range results {
 		combined.EdgesTraversed += r.EdgesTraversed
+		combined.ReplicaReads += r.ReplicaReads
+		combined.Dropped += r.Dropped
+	}
+	combined.Coverage = 1
+	if combined.Dropped > 0 {
+		combined.Coverage = float64(combined.Total) / float64(combined.Total+combined.Dropped)
+		qm().foDropped.Add(combined.Dropped)
+		if cfg.AllowPartial {
+			qm().foPartialAllowed.Inc()
+		}
+	}
+	if combined.ReplicaReads > 0 {
+		qm().foReplicaReads.Add(combined.ReplicaReads)
 	}
 	return combined, nil
 }
@@ -97,22 +146,43 @@ func ParallelKHop(ctx context.Context, f cluster.Fabric, dbs []graphdb.Graph, cf
 // bounded at K levels. Per-level counts are each node's newly marked
 // vertices; under known-mapping ownership each vertex is counted exactly
 // once (by its owner receiving it, or locally).
-func khopNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db graphdb.Graph, cfg KHopConfig) (KHopResult, error) {
+func khopNode(ctx context.Context, ep cluster.Endpoint, rst *roster, qc queryChannels, db graphdb.Graph, cfg KHopConfig) (KHopResult, error) {
+	ep = wrapActive(ep, rst)
 	coll := cluster.NewCollective(ep, qc.collUp, qc.collDn).WithContext(ctx)
+	if rst.partial() {
+		coll = coll.WithParticipants(rst.nodes)
+	}
 	p := ep.Nodes()
 	self := ep.ID()
+	rt := &vertexRouter{
+		rst:      rst,
+		owner:    func(v graph.VertexID) cluster.NodeID { return cfg.ownerOf(v, p) },
+		replicas: cfg.ReplicasOf,
+	}
 	res := KHopResult{}
 
 	visited := getMemVisited()
 	defer releaseVisited(visited)
 
 	var fringe []graph.VertexID
-	seedHere := cfg.Ownership == BroadcastFringe || cluster.Owner(int64(cfg.Source), p) == self
-	if seedHere {
+	var seedDropped int64
+	if cfg.Ownership == BroadcastFringe {
 		if _, err := visited.MarkIfNew(cfg.Source, 0); err != nil {
 			return res, err
 		}
 		fringe = append(fringe, cfg.Source)
+	} else if dest, replica, ok := rt.route(cfg.Source); !ok {
+		if self == rst.first() {
+			seedDropped = 1
+		}
+	} else if dest == self {
+		if _, err := visited.MarkIfNew(cfg.Source, 0); err != nil {
+			return res, err
+		}
+		fringe = append(fringe, cfg.Source)
+		if replica {
+			res.ReplicaReads++
+		}
 	}
 
 	prefetcher, _ := db.(graphdb.Prefetcher)
@@ -162,6 +232,8 @@ func khopNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db gra
 		outbound := make([][]graph.VertexID, p)
 		var localNext []graph.VertexID
 		var newHere int64
+		levelDropped := seedDropped
+		seedDropped = 0
 		for _, u := range adj.IDs() {
 			isNew, err := visited.MarkIfNew(u, levcnt)
 			if err != nil {
@@ -171,18 +243,25 @@ func khopNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db gra
 				continue
 			}
 			if cfg.Ownership == KnownMapping {
-				owner := cluster.Owner(int64(u), p)
-				if owner == self {
+				dest, replica, ok := rt.route(u)
+				if !ok {
+					levelDropped++
+					continue
+				}
+				if replica {
+					res.ReplicaReads++
+				}
+				if dest == self {
 					newHere++
 					localNext = append(localNext, u)
 				} else {
-					outbound[owner] = append(outbound[owner], u)
+					outbound[dest] = append(outbound[dest], u)
 				}
 			} else {
 				newHere++
 				localNext = append(localNext, u)
-				for q := 0; q < p; q++ {
-					if cluster.NodeID(q) != self {
+				for _, q := range rst.nodes {
+					if q != self {
 						outbound[q] = append(outbound[q], u)
 					}
 				}
@@ -193,21 +272,21 @@ func khopNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db gra
 		if cfg.Prefetch && asyncPf != nil && len(localNext) > 0 {
 			pending = append(pending, asyncPf.PrefetchAsync(ctx, localNext))
 		}
-		for q := 0; q < p; q++ {
-			if cluster.NodeID(q) == self {
+		for _, q := range rst.nodes {
+			if q == self {
 				continue
 			}
 			if len(outbound[q]) > 0 {
-				if err := ep.Send(cluster.NodeID(q), qc.fringe, encodeChunk(outbound[q])); err != nil {
+				if err := ep.Send(q, qc.fringe, encodeChunk(outbound[q])); err != nil {
 					return res, err
 				}
 			}
-			if err := ep.Send(cluster.NodeID(q), qc.fringe, []byte{fkDone}); err != nil {
+			if err := ep.Send(q, qc.fringe, []byte{fkDone}); err != nil {
 				return res, err
 			}
 		}
 		next := localNext
-		for done := 0; done < p-1; {
+		for done := 0; done < rst.size()-1; {
 			msg, err := ep.RecvCtx(ctx, qc.fringe)
 			if err != nil {
 				return res, err
@@ -245,21 +324,34 @@ func khopNode(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db gra
 		}
 
 		// Under broadcast ownership every node marks every vertex; only
-		// the owner's count enters the per-level total to avoid p-fold
-		// counting.
+		// the counting authority's tally enters the per-level total to
+		// avoid p-fold counting (on a full roster the authority is the
+		// GID % p owner).
 		if cfg.Ownership == BroadcastFringe {
 			newHere = 0
 			for _, u := range next {
-				if cluster.Owner(int64(u), p) == self {
+				if rst.authority(u) == self {
 					newHere++
 				}
 			}
 		}
 		res.PerLevel = append(res.PerLevel, newHere)
+		res.Dropped += levelDropped
 
 		total, err := coll.AllReduceSum(int64(len(next)))
 		if err != nil {
 			return res, err
+		}
+		// Coordinated drop check, as in bfsLevelSync.
+		if rst.partial() {
+			dropTotal, err := coll.AllReduceSum(levelDropped)
+			if err != nil {
+				return res, err
+			}
+			if dropTotal > 0 && !cfg.AllowPartial {
+				return res, fmt.Errorf("query: level %d dropped %d fringe vertices: %w",
+					levcnt, dropTotal, ErrNoLiveReplica)
+			}
 		}
 		if total == 0 {
 			break

@@ -24,6 +24,12 @@ type queryMetrics struct {
 	exchange   *obs.Histogram // query.bfs.level_exchange_ns
 	contention *obs.Counter   // query.visited.contention (striped-lock waits)
 	levels     [bfsLevelHistCap]*obs.Histogram
+
+	// Failover accounting (replicated deployments).
+	foRetries        *obs.Counter // query.failover.retries
+	foReplicaReads   *obs.Counter // query.failover.replica_reads
+	foDropped        *obs.Counter // query.failover.dropped
+	foPartialAllowed *obs.Counter // query.failover.partial_allowed
 }
 
 var (
@@ -41,6 +47,11 @@ func qm() *queryMetrics {
 			expand:     r.Histogram("query.bfs.level_expand_ns"),
 			exchange:   r.Histogram("query.bfs.level_exchange_ns"),
 			contention: r.Counter("query.visited.contention"),
+
+			foRetries:        r.Counter("query.failover.retries"),
+			foReplicaReads:   r.Counter("query.failover.replica_reads"),
+			foDropped:        r.Counter("query.failover.dropped"),
+			foPartialAllowed: r.Counter("query.failover.partial_allowed"),
 		}
 		for i := range m.levels {
 			m.levels[i] = r.Histogram(fmt.Sprintf("query.bfs.level_%02d.expand_ns", i+1))

@@ -56,6 +56,10 @@ type levelAcc struct {
 	// for the level-synchronous variant, sub-threshold leftovers for the
 	// pipelined one.
 	outbound [][]graph.VertexID
+	// dropped counts discoveries with no live replica; replicaReads
+	// counts those served by a non-primary replica (failover runs only).
+	dropped      int64
+	replicaReads int64
 }
 
 // expandParallel fans one level's fringe across nworkers goroutines
@@ -71,13 +75,14 @@ type levelAcc struct {
 // sub-threshold leftovers in the returned accumulator. With
 // sendThreshold == 0 nothing is sent and the caller flushes all
 // buckets itself.
-func expandParallel(ctx context.Context, ep cluster.Endpoint, chFringe cluster.ChannelID,
+func expandParallel(ctx context.Context, ep cluster.Endpoint, rt *vertexRouter, chFringe cluster.ChannelID,
 	db graphdb.Graph, visited Visited,
 	cfg *BFSConfig, fringe []graph.VertexID, levcnt int32,
 	nworkers, sendThreshold int) (levelAcc, error) {
 
 	p := ep.Nodes()
 	self := ep.ID()
+	rst := rt.rst
 	filterOp, filterRef := cfg.Filter.metaOp()
 
 	accs := make([]levelAcc, nworkers)
@@ -131,32 +136,40 @@ func expandParallel(ctx context.Context, ep cluster.Endpoint, chFringe cluster.C
 						if !isNew {
 							continue
 						}
-						acc.verticesVisited++
 						if cfg.Ownership == KnownMapping {
-							owner := cfg.ownerOf(u, p)
-							if owner == self {
+							dest, replica, ok := rt.route(u)
+							if !ok {
+								acc.dropped++
+								continue
+							}
+							acc.verticesVisited++
+							if replica {
+								acc.replicaReads++
+							}
+							if dest == self {
 								acc.localNext = append(acc.localNext, u)
 								continue
 							}
-							acc.outbound[owner] = append(acc.outbound[owner], u)
+							acc.outbound[dest] = append(acc.outbound[dest], u)
 							acc.fringeSent++
-							if sendThreshold > 0 && len(acc.outbound[owner]) >= sendThreshold {
-								if err := ep.Send(owner, chFringe, encodeChunk(acc.outbound[owner])); err != nil {
+							if sendThreshold > 0 && len(acc.outbound[dest]) >= sendThreshold {
+								if err := ep.Send(dest, chFringe, encodeChunk(acc.outbound[dest])); err != nil {
 									fail(err)
 									return
 								}
-								acc.outbound[owner] = acc.outbound[owner][:0]
+								acc.outbound[dest] = acc.outbound[dest][:0]
 							}
 						} else {
+							acc.verticesVisited++
 							acc.localNext = append(acc.localNext, u)
-							for q := 0; q < p; q++ {
-								if cluster.NodeID(q) == self {
+							for _, q := range rst.nodes {
+								if q == self {
 									continue
 								}
 								acc.outbound[q] = append(acc.outbound[q], u)
 								acc.fringeSent++
 								if sendThreshold > 0 && len(acc.outbound[q]) >= sendThreshold {
-									if err := ep.Send(cluster.NodeID(q), chFringe, encodeChunk(acc.outbound[q])); err != nil {
+									if err := ep.Send(q, chFringe, encodeChunk(acc.outbound[q])); err != nil {
 										fail(err)
 										return
 									}
@@ -181,6 +194,8 @@ func expandParallel(ctx context.Context, ep cluster.Endpoint, chFringe cluster.C
 		merged.edgesTraversed += a.edgesTraversed
 		merged.verticesVisited += a.verticesVisited
 		merged.fringeSent += a.fringeSent
+		merged.dropped += a.dropped
+		merged.replicaReads += a.replicaReads
 		merged.localNext = append(merged.localNext, a.localNext...)
 		for q := 0; q < p; q++ {
 			merged.outbound[q] = append(merged.outbound[q], a.outbound[q]...)

@@ -69,15 +69,19 @@ func decodeChunkPairs(p []byte) ([]graph.Edge, error) {
 }
 
 // walkParents reconstructs source←dest from the distributed parent maps.
-// Node 0 drives; every other node services lookups until pkDone. Returns
-// the path source..dest on node 0, nil elsewhere.
-func walkParents(ctx context.Context, ep cluster.Endpoint, qc queryChannels, cfg *BFSConfig,
+// The roster's first node drives (node 0 on a full fabric); every other
+// roster node services lookups until pkDone. Lookups are routed with the
+// same vertexRouter the search used, so each parent record is requested
+// from the node that actually absorbed the vertex — including replicas
+// standing in for a dead primary. Returns the path source..dest on the
+// driver, nil elsewhere.
+func walkParents(ctx context.Context, ep cluster.Endpoint, rst *roster, rt *vertexRouter, qc queryChannels, cfg *BFSConfig,
 	parents map[graph.VertexID]graph.VertexID, pathLen int32) ([]graph.VertexID, error) {
-	p := ep.Nodes()
+	drv := rst.first()
 	self := ep.ID()
 	chPathWalk := qc.pathWalk
 
-	if self != 0 {
+	if self != drv {
 		// Serve lookups until the driver finishes.
 		for {
 			msg, err := ep.RecvCtx(ctx, chPathWalk)
@@ -106,10 +110,13 @@ func walkParents(ctx context.Context, ep cluster.Endpoint, qc queryChannels, cfg
 		}
 	}
 
-	// Node 0 drives the backward walk.
+	// The driver runs the backward walk.
 	finish := func(path []graph.VertexID, err error) ([]graph.VertexID, error) {
-		for q := 1; q < p; q++ {
-			if sendErr := ep.Send(cluster.NodeID(q), chPathWalk, encodePathMsg(pkDone, 0)); sendErr != nil && err == nil {
+		for _, q := range rst.nodes {
+			if q == drv {
+				continue
+			}
+			if sendErr := ep.Send(q, chPathWalk, encodePathMsg(pkDone, 0)); sendErr != nil && err == nil {
 				err = sendErr
 			}
 		}
@@ -122,9 +129,17 @@ func walkParents(ctx context.Context, ep cluster.Endpoint, qc queryChannels, cfg
 		if int32(len(path)) > pathLen+1 {
 			return finish(nil, fmt.Errorf("query: parent chain longer than path length %d", pathLen))
 		}
-		owner := cfg.ownerOf(v, p)
+		owner, _, ok := rt.route(v)
+		if cfg.Ownership == BroadcastFringe {
+			// Every roster node absorbed every discovery; deal lookups out
+			// deterministically instead of insisting on the owner.
+			owner, ok = rst.authority(v), true
+		}
+		if !ok {
+			return finish(nil, fmt.Errorf("query: no live replica holds the parent of vertex %d: %w", v, ErrNoLiveReplica))
+		}
 		var parent graph.VertexID
-		if owner == 0 {
+		if owner == drv {
 			pv, ok := parents[v]
 			if !ok {
 				return finish(nil, fmt.Errorf("query: no parent recorded for vertex %d", v))

@@ -19,11 +19,19 @@ import (
 // adjacency reads. Because sends are asynchronous (the fabric buffers
 // them), the expansion loop keeps processing local fringe vertices while
 // the communication subsystem moves the chunks, as §4.2 describes.
-func bfsPipelined(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db graphdb.Graph, visited Visited, cfg BFSConfig) (BFSResult, error) {
+func bfsPipelined(ctx context.Context, ep cluster.Endpoint, rst *roster, qc queryChannels, db graphdb.Graph, visited Visited, cfg BFSConfig) (BFSResult, error) {
 	coll := cluster.NewCollective(ep, qc.collUp, qc.collDn).WithContext(ctx)
+	if rst.partial() {
+		coll = coll.WithParticipants(rst.nodes)
+	}
 	p := ep.Nodes()
 	self := ep.ID()
 	threshold := cfg.threshold()
+	rt := &vertexRouter{
+		rst:      rst,
+		owner:    func(v graph.VertexID) cluster.NodeID { return cfg.ownerOf(v, p) },
+		replicas: cfg.ReplicasOf,
+	}
 
 	res := BFSResult{PathLength: -1}
 	if cfg.Source == cfg.Dest {
@@ -33,12 +41,24 @@ func bfsPipelined(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 	}
 
 	var fringe []graph.VertexID
-	seedHere := cfg.Ownership == BroadcastFringe || cfg.ownerOf(cfg.Source, p) == self
-	if seedHere {
+	var seedDropped int64
+	if cfg.Ownership == BroadcastFringe {
 		if _, err := visited.MarkIfNew(cfg.Source, 0); err != nil {
 			return res, err
 		}
 		fringe = append(fringe, cfg.Source)
+	} else if dest, replica, ok := rt.route(cfg.Source); !ok {
+		if self == rst.first() {
+			seedDropped = 1
+		}
+	} else if dest == self {
+		if _, err := visited.MarkIfNew(cfg.Source, 0); err != nil {
+			return res, err
+		}
+		fringe = append(fringe, cfg.Source)
+		if replica {
+			res.ReplicaReads++
+		}
 	}
 
 	prefetcher, _ := db.(graphdb.Prefetcher)
@@ -73,6 +93,9 @@ func bfsPipelined(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 		buckets := make([][]graph.VertexID, p)
 		var next []graph.VertexID
 		doneSeen := 0
+		levelDropped := seedDropped
+		seedDropped = 0
+		var levelReplicaReads int64
 
 		// mergeChunk adds received fringe vertices (receive-side dedup,
 		// Algorithm 2 lines 24-27).
@@ -154,30 +177,38 @@ func bfsPipelined(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 					if !isNew {
 						continue
 					}
-					res.VerticesVisited++
 					if cfg.Ownership == KnownMapping {
-						owner := cfg.ownerOf(u, p)
-						if owner == self {
+						dest, replica, ok := rt.route(u)
+						if !ok {
+							levelDropped++
+							continue
+						}
+						res.VerticesVisited++
+						if replica {
+							levelReplicaReads++
+						}
+						if dest == self {
 							next = append(next, u)
 							continue
 						}
-						buckets[owner] = append(buckets[owner], u)
+						buckets[dest] = append(buckets[dest], u)
 						res.FringeSent++
-						if len(buckets[owner]) >= threshold {
-							if err := sendBucket(int(owner)); err != nil {
+						if len(buckets[dest]) >= threshold {
+							if err := sendBucket(int(dest)); err != nil {
 								return err
 							}
 						}
 					} else {
+						res.VerticesVisited++
 						next = append(next, u)
-						for q := 0; q < p; q++ {
-							if cluster.NodeID(q) == self {
+						for _, q := range rst.nodes {
+							if q == self {
 								continue
 							}
 							buckets[q] = append(buckets[q], u)
 							res.FringeSent++
 							if len(buckets[q]) >= threshold {
-								if err := sendBucket(q); err != nil {
+								if err := sendBucket(int(q)); err != nil {
 									return err
 								}
 							}
@@ -204,7 +235,7 @@ func bfsPipelined(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 			}
 			ch := make(chan expandOutcome, 1)
 			go func(levcnt int32) {
-				acc, err := expandParallel(ctx, ep, qc.fringe, db, visited, &cfg, fringe, levcnt, nw, threshold)
+				acc, err := expandParallel(ctx, ep, rt, qc.fringe, db, visited, &cfg, fringe, levcnt, nw, threshold)
 				ch <- expandOutcome{acc, err}
 			}(levcnt)
 			var acc levelAcc
@@ -237,6 +268,8 @@ func bfsPipelined(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 			res.EdgesTraversed += acc.edgesTraversed
 			res.VerticesVisited += acc.verticesVisited
 			res.FringeSent += acc.fringeSent
+			levelDropped += acc.dropped
+			levelReplicaReads += acc.replicaReads
 			next = append(next, acc.localNext...)
 			// Sub-threshold leftovers ride the normal end-of-level flush.
 			buckets = acc.outbound
@@ -255,20 +288,20 @@ func bfsPipelined(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 		exchangeStart := time.Now()
 
 		// Flush remaining buckets, signal level completion, then drain
-		// until every peer has signalled (FIFO per sender guarantees all
-		// their chunks precede their marker).
-		for q := 0; q < p; q++ {
-			if cluster.NodeID(q) == self {
+		// until every roster peer has signalled (FIFO per sender
+		// guarantees all their chunks precede their marker).
+		for _, q := range rst.nodes {
+			if q == self {
 				continue
 			}
-			if err := sendBucket(q); err != nil {
+			if err := sendBucket(int(q)); err != nil {
 				return res, err
 			}
-			if err := ep.Send(cluster.NodeID(q), qc.fringe, []byte{fkDone}); err != nil {
+			if err := ep.Send(q, qc.fringe, []byte{fkDone}); err != nil {
 				return res, err
 			}
 		}
-		for doneSeen < p-1 {
+		for doneSeen < rst.size()-1 {
 			msg, err := ep.RecvCtx(ctx, qc.fringe)
 			if err != nil {
 				return res, err
@@ -287,11 +320,15 @@ func bfsPipelined(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 
 		met.exchange.ObserveSince(exchangeStart)
 		lvlSpan.End()
+		res.ReplicaReads += levelReplicaReads
+		res.FringeDropped += levelDropped
 		res.LevelStats = append(res.LevelStats, LevelStat{
-			Level:    levcnt,
-			Fringe:   int64(len(fringe)),
-			ExpandNs: expandNs,
-			TotalNs:  time.Since(levelStart).Nanoseconds(),
+			Level:        levcnt,
+			Fringe:       int64(len(fringe)),
+			ExpandNs:     expandNs,
+			TotalNs:      time.Since(levelStart).Nanoseconds(),
+			ReplicaReads: levelReplicaReads,
+			Dropped:      levelDropped,
 		})
 
 		foundGlobal, err := coll.AllReduceMax(foundLocal)
@@ -307,6 +344,19 @@ func bfsPipelined(ctx context.Context, ep cluster.Endpoint, qc queryChannels, db
 		total, err := coll.AllReduceSum(int64(len(next)))
 		if err != nil {
 			return res, err
+		}
+		// Coordinated drop check, as in bfsLevelSync: all nodes learn of
+		// replica-less shards at the same collective step and fail (or
+		// degrade) together.
+		if rst.partial() {
+			dropTotal, err := coll.AllReduceSum(levelDropped)
+			if err != nil {
+				return res, err
+			}
+			if dropTotal > 0 && !cfg.AllowPartial {
+				return res, fmt.Errorf("query: level %d dropped %d fringe vertices: %w",
+					levcnt, dropTotal, ErrNoLiveReplica)
+			}
 		}
 		if total == 0 {
 			return res, nil
