@@ -6,12 +6,12 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz chaos crash failover scrub bench bench-json bench-workers bench-qps bench-io clean
+.PHONY: ci vet build test race fuzz chaos crash failover migrate scrub bench bench-json bench-workers bench-qps bench-io bench-migration clean
 
 # ci keeps the fuzz leg to a 5s-per-target smoke; run `make fuzz` for
 # the full exploration pass.
 ci: FUZZTIME = 5s
-ci: vet build race chaos crash failover fuzz bench-workers
+ci: vet build race chaos crash failover migrate fuzz bench-workers
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,7 @@ vet:
 build:
 	$(GO) build ./...
 
-test: chaos crash failover
+test: chaos crash failover migrate
 	$(GO) test ./...
 
 race:
@@ -43,6 +43,16 @@ crash:
 # under the race detector (DESIGN.md "Replication & failover").
 failover:
 	$(GO) test -race -count=1 -run 'TestFailover|TestChaosFailover' ./internal/query ./internal/chaos
+
+# Elastic-topology conformance suite: live join/drain migrations with
+# BFS running throughout, a kill sweep crashing the source, destination
+# and coordinator at every migration phase boundary, and crash-then-
+# resume from the durable checkpoint, all under the race detector
+# (DESIGN.md "Elastic topology & live migration").
+migrate:
+	MSSG_CHAOS_SEEDS=1,7,42 $(GO) test -race -count=1 -run 'TestChaosMigrate' ./internal/chaos
+	$(GO) test -race -count=1 -run 'TestMigrate|TestDurableMigration|TestPlacementHolder|TestManifest' ./internal/ingest
+	$(GO) test -race -count=1 -run 'TestEngineElasticTopology' ./internal/core
 
 # Offline checksum scrub of every node database under DIR (quarantines
 # and repairs corrupt blocks): make scrub DIR=/data/mssg
@@ -93,6 +103,12 @@ bench-qps:
 # the table plus registry counters land in BENCH_<timestamp>.json.
 bench-io:
 	$(GO) run ./cmd/mssg-bench -json auto io
+
+# Query latency under a live shard migration (DESIGN.md §15): the same
+# BFS workload quiescent, during a join migration, and after its epoch
+# commit; the three-phase table lands in BENCH_<timestamp>.json.
+bench-migration:
+	$(GO) run ./cmd/mssg-bench -json auto migration
 
 clean:
 	$(GO) clean ./...

@@ -36,6 +36,14 @@ func main() {
 	replication := flag.Int("replication", 1,
 		"replicas per ingest window: each window is shipped to this many distinct back-ends via rendezvous placement (> 1 selects the rendezvous policy; mssg-query then fails over to replicas when a back-end dies)")
 	placementSeed := flag.Uint64("placement-seed", 0, "rendezvous placement seed (recorded in the placement manifest)")
+	join := flag.Int("join", -1,
+		"elastic mode: live-migrate shards onto back-end N and commit a new placement epoch (requires an existing rendezvous placement manifest in -dir; queries keep running on the old epoch until the commit)")
+	drain := flag.Int("drain", -1,
+		"elastic mode: live-migrate back-end N's shards to the remaining members and commit a new placement epoch that excludes it")
+	resumeMig := flag.Bool("resume-migration", false,
+		"elastic mode: resume an interrupted migration from its durable checkpoint and commit it")
+	abortMig := flag.Bool("abort-migration", false,
+		"elastic mode: discard a pending (begun but uncommitted) migration; routing stays at the committed epoch")
 	window := flag.Int("window", 4096, "ingestion window (edges per block)")
 	reverse := flag.Bool("reverse", true, "store both edge orientations (undirected graph)")
 	tcp := flag.Bool("tcp", false, "use the loopback-TCP fabric instead of in-process")
@@ -61,10 +69,23 @@ func main() {
 		"serve live /metrics, /trace and /debug/pprof on this address (e.g. :8080); also enables per-op backend latency histograms")
 	flag.Parse()
 
-	if *in == "" || *dir == "" {
-		fmt.Fprintln(os.Stderr, "mssg-ingest: -in and -dir are required")
+	elasticOps := 0
+	for _, on := range []bool{*join >= 0, *drain >= 0, *resumeMig, *abortMig} {
+		if on {
+			elasticOps++
+		}
+	}
+	if elasticOps > 1 {
+		fatal(fmt.Errorf("-join, -drain, -resume-migration and -abort-migration are mutually exclusive"))
+	}
+	elastic := elasticOps == 1
+	if *dir == "" || (!elastic && *in == "") {
+		fmt.Fprintln(os.Stderr, "mssg-ingest: -in and -dir are required (elastic modes need only -dir)")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if elastic && *in != "" {
+		fatal(fmt.Errorf("-in is not used by elastic operations: they move data already ingested under -dir"))
 	}
 	if _, err := ingest.PolicyByName(*policy); err != nil {
 		fatal(err)
@@ -90,6 +111,39 @@ func main() {
 	durLevel, err := graphdb.ParseDurability(*durability)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Elastic operations route by the durable placement manifest, not by
+	// flags: the holder carries the committed epoch, and the fabric must
+	// be wide enough to host every current member plus any join target.
+	var holder *ingest.PlacementHolder
+	if elastic {
+		h, ok, err := ingest.OpenPlacementHolder(*dir)
+		if err != nil {
+			fatal(fmt.Errorf("loading placement manifest: %w", err))
+		}
+		if !ok {
+			fatal(fmt.Errorf("no placement manifest in %s: elastic operations need a directory ingested with -policy rendezvous or -replication > 1", *dir))
+		}
+		holder = h
+		need := holder.Placement().Backends
+		if *join >= 0 && *join+1 > need {
+			need = *join + 1
+		}
+		backendsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "backends" {
+				backendsSet = true
+			}
+		})
+		switch {
+		case !backendsSet:
+			*backends = need
+		case *backends < need:
+			fatal(fmt.Errorf("-backends %d is too small: the operation spans %d back-ends", *backends, need))
+		}
+		fmt.Fprintf(os.Stderr, "mssg-ingest: placement epoch %d, members %v over %d back-ends\n",
+			holder.Epoch(), holder.Placement().Members(), holder.Placement().Backends)
 	}
 
 	fabric := core.InProc
@@ -122,6 +176,7 @@ func main() {
 		},
 		Reliable:       *reliable,
 		IngestDeadline: *deadline,
+		Placement:      holder,
 	}
 	if *faultSeed != 0 {
 		plan := &cluster.Plan{
@@ -169,6 +224,14 @@ func main() {
 		eng.Close()
 		os.Exit(130)
 	})
+
+	if elastic {
+		runElastic(eng, holder, *join, *drain, *resumeMig, *abortMig, ingest.MigrationConfig{
+			WindowEdges: *window,
+			Durable:     durLevel >= graphdb.DurabilityFull,
+		})
+		return
+	}
 
 	// Each front-end copy opens its own handle on the file and reads a
 	// disjoint share of the stream (round-robin by edge index).
@@ -256,6 +319,59 @@ func main() {
 		}
 		fmt.Printf("fsck OK: %d vertices, %d stored records, max chain %d\n", vertices, edgeCount, maxChain)
 	}
+}
+
+// runElastic executes one topology change against an already-ingested
+// directory: join or drain a back-end, or resume/abort an interrupted
+// migration. On success the placement manifest carries a new committed
+// epoch; on failure the pending state and checkpoint stay on disk so the
+// operation can be resumed or aborted later.
+func runElastic(eng *core.Engine, holder *ingest.PlacementHolder, join, drain int, resumeMig, abortMig bool, mcfg ingest.MigrationConfig) {
+	start := time.Now()
+	var (
+		stats ingest.MigrationStats
+		verb  string
+		err   error
+	)
+	switch {
+	case abortMig:
+		pending := holder.Manifest().Pending
+		if err := eng.AbortMigration(); err != nil {
+			fatal(fmt.Errorf("abort: %w", err))
+		}
+		if pending == nil {
+			fmt.Println("no pending migration to abort")
+			return
+		}
+		fmt.Printf("aborted pending migration to epoch %d; routing stays at epoch %d, members %v\n",
+			pending.Epoch, holder.Epoch(), holder.Placement().Members())
+		return
+	case resumeMig:
+		var resumed bool
+		stats, resumed, err = eng.ResumeMigration(mcfg)
+		if err == nil && !resumed {
+			fmt.Println("no pending migration to resume")
+			return
+		}
+		verb = "resumed migration"
+	case join >= 0:
+		stats, err = eng.Join(cluster.NodeID(join), mcfg)
+		verb = fmt.Sprintf("joined back-end %d", join)
+	case drain >= 0:
+		stats, err = eng.Drain(cluster.NodeID(drain), mcfg)
+		verb = fmt.Sprintf("drained back-end %d", drain)
+	}
+	if err != nil {
+		if holder.Manifest().Pending != nil {
+			err = fmt.Errorf("%w (the pending migration is kept: retry with -resume-migration or discard with -abort-migration)", err)
+		}
+		fatal(fmt.Errorf("%s: %w", verb, err))
+	}
+	pl := holder.Placement()
+	fmt.Printf("%s: committed epoch %d, members %v\n", verb, holder.Epoch(), pl.Members())
+	fmt.Printf("moved %d vertex-replicas (%d edges + %d catch-up) in %d windows (%d duplicates) in %s\n",
+		stats.MovedVertices, stats.MovedEdges, stats.CatchupEdges,
+		stats.Windows, stats.DupWindows, time.Since(start).Round(time.Millisecond))
 }
 
 // strideReader deals every skip-th edge to this front-end, starting at

@@ -117,21 +117,25 @@ func main() {
 	cfg.AllowPartial = *allowPartial
 	// A placement manifest (written by a rendezvous/replicated ingest)
 	// reconstructs the exact ingest-time mapping: queries route fringes by
-	// the recorded policy and fail over to replicas when a back-end dies.
-	if pl, ok, err := ingest.ReadPlacementFile(*dir); err != nil {
+	// the recorded policy, restrict themselves to the committed member
+	// roster, and fail over to replicas when a back-end dies. The holder
+	// keeps the snapshot reloadable, so a long-lived -serve process picks
+	// up a migration committed by another process.
+	var holder *ingest.PlacementHolder
+	if h, ok, err := ingest.OpenPlacementHolder(*dir); err != nil {
 		fatal(err)
 	} else if ok {
-		if pl.Backends != *backends {
-			fatal(fmt.Errorf("placement manifest declares %d back-ends but -backends is %d", pl.Backends, *backends))
+		pl := h.Placement()
+		if pl.Backends > *backends {
+			fatal(fmt.Errorf("placement manifest spans %d back-ends but -backends is %d", pl.Backends, *backends))
 		}
-		pol, err := pl.NewPolicy()
-		if err != nil {
-			fatal(err)
-		}
-		cfg.Ingest.Policy = func() ingest.Policy { return pol }
-		if pl.Replication > 1 {
-			fmt.Fprintf(os.Stderr, "mssg-query: placement: %s over %d back-ends, %d-way replicated (query-time failover enabled)\n",
-				pl.Policy, pl.Backends, pl.Replication)
+		holder = h
+		cfg.Placement = holder
+		fmt.Fprintf(os.Stderr, "mssg-query: placement: %s over %d back-ends, %d-way replicated, epoch %d, members %v\n",
+			pl.Policy, pl.Backends, pl.Replication, pl.Epoch, pl.Members())
+		if p := h.Manifest().Pending; p != nil {
+			fmt.Fprintf(os.Stderr, "mssg-query: warning: a migration to epoch %d is pending (begun but not committed); routing stays at epoch %d until it commits — resume or abort it with mssg-ingest\n",
+				p.Epoch, pl.Epoch)
 		}
 	}
 	var obsServer *obs.Server
@@ -165,33 +169,62 @@ func main() {
 		ownership = query.BroadcastFringe
 	}
 
+	// -dead ids are validated against the committed placement's member
+	// roster (or [0, backends) without a manifest): a typo'd or drained
+	// node would silently drill the wrong failover scenario, so every
+	// unknown id is collected and the run fails fast with the full list.
 	var activeNodes []cluster.NodeID
 	if *deadList != "" {
-		dead := map[int]bool{}
-		for _, s := range strings.Split(*deadList, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 0 || n >= *backends {
-				fatal(fmt.Errorf("-dead: bad back-end id %q", s))
+		members := make([]cluster.NodeID, 0, *backends)
+		if holder != nil {
+			members = holder.Placement().Members()
+		} else {
+			for i := 0; i < *backends; i++ {
+				members = append(members, cluster.NodeID(i))
 			}
-			dead[n] = true
 		}
-		for i := 0; i < *backends; i++ {
-			if !dead[i] {
-				activeNodes = append(activeNodes, cluster.NodeID(i))
+		isMember := func(n int) bool {
+			for _, m := range members {
+				if int(m) == n {
+					return true
+				}
 			}
+			return false
+		}
+		dead := map[int]bool{}
+		var unknown []string
+		for _, s := range strings.Split(*deadList, ",") {
+			s = strings.TrimSpace(s)
+			if n, err := strconv.Atoi(s); err == nil && isMember(n) {
+				dead[n] = true
+			} else {
+				unknown = append(unknown, fmt.Sprintf("%q", s))
+			}
+		}
+		if len(unknown) > 0 {
+			fatal(fmt.Errorf("-dead: unknown back-end id(s) %s (placement members: %v)",
+				strings.Join(unknown, ", "), members))
+		}
+		for _, m := range members {
+			if !dead[int(m)] {
+				activeNodes = append(activeNodes, m)
+			}
+		}
+		if len(activeNodes) == 0 {
+			fatal(fmt.Errorf("-dead: every member of %v is declared dead", members))
 		}
 		fmt.Fprintf(os.Stderr, "mssg-query: treating %d back-end(s) as crashed, querying %v\n",
 			len(dead), activeNodes)
 	}
 
 	if *serve {
-		runServe(eng, query.EngineConfig{
+		runServe(eng, holder, query.EngineConfig{
 			MaxInFlight:     *maxInflight,
 			QueueDepth:      *queueDepth,
 			DefaultDeadline: *queryTimeout,
 		}, query.BFSConfig{
 			Pipelined: *pipelined, Threshold: *threshold, Ownership: ownership,
-			Prefetch: *prefetch, Workers: *workers,
+			Prefetch: *prefetch, Workers: *workers, ActiveNodes: activeNodes,
 		})
 		return
 	}
@@ -327,7 +360,7 @@ func fatalQuery(err error) {
 // runServe is the resident mode: queries stream in on stdin, run
 // concurrently under the scheduler's admission control, and results
 // print as they complete (tagged by query id, so interleaving is fine).
-func runServe(eng *core.Engine, ecfg query.EngineConfig, base query.BFSConfig) {
+func runServe(eng *core.Engine, holder *ingest.PlacementHolder, ecfg query.EngineConfig, base query.BFSConfig) {
 	qe, err := eng.NewQueryEngine(ecfg)
 	if err != nil {
 		fatal(err)
@@ -370,6 +403,24 @@ func runServe(eng *core.Engine, ecfg query.EngineConfig, base query.BFSConfig) {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		// A resident server outlives migrations committed by other
+		// processes: re-read the manifest before admitting each query so a
+		// stale roster never routes to drained nodes. A newer epoch swaps
+		// in atomically; queries already in flight finish on the snapshot
+		// they started with.
+		if holder != nil {
+			if changed, err := holder.Reload(); err != nil {
+				out.Lock()
+				fmt.Fprintf(os.Stderr, "mssg-query: placement reload: %v\n", err)
+				out.Unlock()
+			} else if changed {
+				pl := holder.Placement()
+				out.Lock()
+				fmt.Fprintf(os.Stderr, "mssg-query: placement moved to epoch %d, members %v\n",
+					pl.Epoch, pl.Members())
+				out.Unlock()
+			}
 		}
 		submit(line)
 	}

@@ -101,6 +101,7 @@ func NewFaulty(inner Fabric, plan Plan) Fabric {
 			crashAfter: -1,
 			seqs:       make(map[pairKey]uint64),
 		}
+		ep.crashCtx, ep.crashCancel = context.WithCancel(context.Background())
 		for _, c := range plan.Crashes {
 			if c.Node == NodeID(i) {
 				ep.crashAfter = c.AfterSends
@@ -137,6 +138,41 @@ func (f *faultyFabric) isClosed() bool {
 	return f.closed
 }
 
+// NodeKiller is implemented by fabrics that can crash a node on demand —
+// the chaos suites' way of killing a migration participant at an exact
+// phase boundary rather than after a counted number of sends.
+type NodeKiller interface {
+	Kill(n NodeID)
+}
+
+// Kill crashes node n immediately: its future sends fail, sends to it
+// vanish, and its pending receives drain with a NodeDownError, exactly
+// as if a planned crash had just triggered.
+func (f *faultyFabric) Kill(n NodeID) {
+	if err := Validate(n, f.inner.Nodes()); err != nil {
+		panic(err)
+	}
+	f.endpoints[n].crash()
+}
+
+// Kill forwards to the first NodeKiller in f's wrapper chain (the
+// reliable fabric exposes its inner fabric via Unwrap). It reports
+// whether a killer was found.
+func Kill(f Fabric, n NodeID) bool {
+	for f != nil {
+		if k, ok := f.(NodeKiller); ok {
+			k.Kill(n)
+			return true
+		}
+		u, ok := f.(interface{ Unwrap() Fabric })
+		if !ok {
+			return false
+		}
+		f = u.Unwrap()
+	}
+	return false
+}
+
 // pairKey identifies one (destination/source, channel) message stream.
 type pairKey struct {
 	node NodeID
@@ -149,9 +185,28 @@ type faultyEndpoint struct {
 	crashAfter int64 // <0: this node never crashes
 	sends      atomic.Int64
 	crashed    atomic.Bool
+	// crashCtx is cancelled the instant the node crashes, so receives
+	// already blocked inside the inner fabric drain with the crash error
+	// instead of waiting forever for traffic that will never arrive — a
+	// dead process's pending reads fail, they don't hang. Layers above
+	// (the reliable pump) rely on that to record the node's terminal
+	// state and stop counting its stale liveness votes.
+	crashCtx    context.Context
+	crashCancel context.CancelFunc
 
 	mu   sync.Mutex
 	seqs map[pairKey]uint64
+}
+
+// crash marks the node dead and wakes its blocked receives.
+func (e *faultyEndpoint) crash() {
+	if !e.crashed.Swap(true) {
+		e.fabric.mCrashes.Inc()
+		obs.DefaultTracer().Emit("fault.crash", map[string]string{
+			"node": strconv.Itoa(int(e.inner.ID())),
+		})
+	}
+	e.crashCancel()
 }
 
 func (e *faultyEndpoint) ID() NodeID { return e.inner.ID() }
@@ -198,12 +253,7 @@ func (e *faultyEndpoint) Send(to NodeID, ch ChannelID, payload []byte) error {
 	}
 	n := e.sends.Add(1)
 	if e.crashAfter >= 0 && n > e.crashAfter {
-		if !e.crashed.Swap(true) {
-			e.fabric.mCrashes.Inc()
-			obs.DefaultTracer().Emit("fault.crash", map[string]string{
-				"node": strconv.Itoa(int(e.inner.ID())),
-			})
-		}
+		e.crash()
 	}
 	if e.crashed.Load() {
 		return e.errCrashed()
@@ -290,17 +340,29 @@ func (e *faultyEndpoint) Broadcast(ch ChannelID, payload []byte) error {
 }
 
 func (e *faultyEndpoint) Recv(ch ChannelID) (Message, error) {
+	msg, err := e.inner.RecvCtx(e.crashCtx, ch)
 	if e.crashed.Load() {
 		return Message{}, e.errCrashed()
 	}
-	return e.inner.Recv(ch)
+	return msg, err
 }
 
 func (e *faultyEndpoint) RecvCtx(ctx context.Context, ch ChannelID) (Message, error) {
 	if e.crashed.Load() {
 		return Message{}, e.errCrashed()
 	}
-	return e.inner.RecvCtx(ctx, ch)
+	// Merge the caller's context with the crash signal so a kill also
+	// drains receives that are blocked under the caller's (still live)
+	// context.
+	mctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(e.crashCtx, cancel)
+	defer stop()
+	msg, err := e.inner.RecvCtx(mctx, ch)
+	if e.crashed.Load() {
+		return Message{}, e.errCrashed()
+	}
+	return msg, err
 }
 
 func (e *faultyEndpoint) TryRecv(ch ChannelID) (Message, bool, error) {

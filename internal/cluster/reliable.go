@@ -137,6 +137,10 @@ type reliableFabric struct {
 	closed bool
 }
 
+// Unwrap exposes the wrapped fabric so chaos helpers (cluster.Kill) can
+// reach a fault-injecting layer underneath.
+func (f *reliableFabric) Unwrap() Fabric { return f.inner }
+
 // NewReliable wraps inner with the reliable-delivery protocol. Closing
 // the returned fabric closes inner too. The wrapper reserves channel
 // 0xFFFFFF00 on the inner fabric for its frames.

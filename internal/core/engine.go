@@ -91,6 +91,13 @@ type Config struct {
 	// declustering policy replicates (ReplicationFactor > 1). The zero
 	// value selects the defaults documented on query.FailoverOptions.
 	Failover query.FailoverOptions
+	// Placement, when non-nil, is the elastic routing authority: every
+	// ingest window and query resolves its policy through the holder, so
+	// a live migration's epoch commit flips all routing in one atomic
+	// step. Overrides Ingest.Policy. The committed placement's node-ID
+	// space must fit within Backends (spare nodes idle with empty
+	// databases until a Join targets them).
+	Placement *ingest.PlacementHolder
 }
 
 // Engine is a running MSSG instance.
@@ -115,6 +122,12 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Backend == "" {
 		cfg.Backend = "grdb"
+	}
+	if cfg.Placement != nil {
+		if b := cfg.Placement.Placement().Backends; b > cfg.Backends {
+			return nil, fmt.Errorf("core: placement spans %d back-ends, engine has %d", b, cfg.Backends)
+		}
+		cfg.Ingest.Policy = cfg.Placement.Policy
 	}
 
 	var fabric cluster.Fabric
@@ -185,6 +198,17 @@ func (e *Engine) Ingest(makeReader func(copy int) (graph.EdgeReader, error)) (*i
 	icfg := e.cfg.Ingest
 	icfg.FrontEnds = e.cfg.FrontEnds
 	icfg.Backends = e.cfg.Backends
+	if e.cfg.Placement != nil {
+		// Pin one placement snapshot for the whole run so every filter
+		// copy routes identically, and take the replication factor from
+		// it — a replicated placement must engage the k-way store path,
+		// or query-time replica fallback would read empty shards.
+		_, pol := e.cfg.Placement.Snapshot()
+		icfg.Policy = func() ingest.Policy { return pol }
+		if rp, ok := pol.(ingest.ReplicaPolicy); ok {
+			icfg.ReplicationFactor = rp.ReplicationFactor()
+		}
+	}
 	// Durable databases get durable ingest: back-ends checkpoint their
 	// window dedup-set so a crashed-and-restarted run can re-ship the
 	// stream without double-storing.
@@ -299,8 +323,7 @@ func (e *Engine) KHopCtx(ctx context.Context, cfg query.KHopConfig) (query.KHopR
 	if e.closed {
 		return query.KHopResult{}, fmt.Errorf("core: engine closed")
 	}
-	if pf := e.cfg.Ingest.Policy; pf != nil {
-		p := pf()
+	if p := e.queryPolicy(&cfg.ActiveNodes); p != nil {
 		switch {
 		case cfg.OwnerOf != nil:
 			// Caller-provided directory wins.
@@ -325,9 +348,12 @@ func (e *Engine) KHopCtx(ctx context.Context, cfg query.KHopConfig) (query.KHopR
 
 // routedBFS applies the ingestion policy's vertex→node mapping (and, for
 // replicating policies, its replica directory) to a BFS configuration.
+// On an elastic engine the directory, the replica lists, and the member
+// roster all come from one placement snapshot, so a query admitted
+// mid-migration is internally consistent and a commit flips routing for
+// the next query in one step.
 func (e *Engine) routedBFS(cfg query.BFSConfig) query.BFSConfig {
-	if pf := e.cfg.Ingest.Policy; pf != nil {
-		p := pf()
+	if p := e.queryPolicy(&cfg.ActiveNodes); p != nil {
 		switch {
 		case cfg.OwnerOf != nil:
 			// Caller-provided directory wins.
@@ -344,6 +370,25 @@ func (e *Engine) routedBFS(cfg query.BFSConfig) query.BFSConfig {
 		cfg.AllowPartial = e.cfg.AllowPartial
 	}
 	return cfg
+}
+
+// queryPolicy resolves one query's routing policy. With a placement
+// holder it also restricts the roster (*active) to the committed
+// members — taken from the same snapshot as the policy — so queries
+// never span nodes that joined but have not committed, or nodes already
+// drained. A nil *active (full membership) keeps the roster fast path.
+func (e *Engine) queryPolicy(active *[]cluster.NodeID) ingest.Policy {
+	if e.cfg.Placement != nil {
+		pl, pol := e.cfg.Placement.Snapshot()
+		if *active == nil && pl.Nodes != nil {
+			*active = pl.Members()
+		}
+		return pol
+	}
+	if pf := e.cfg.Ingest.Policy; pf != nil {
+		return pf()
+	}
+	return nil
 }
 
 // replicasOf returns p's replica directory when p actually replicates

@@ -335,6 +335,7 @@ func All() []Experiment {
 		{"fig5.9", "search edges/s, Syn', grDB", Fig59},
 		{"qps", "concurrent mixed workload QPS + latency percentiles, grDB", QPS},
 		{"io", "semi-external I/O engine ablation: prefetch × compression × shared SLRU, grDB", IOEngine},
+		{"migration", "BFS latency during live shard migration vs quiescent, hashmap", Migration},
 	}
 }
 

@@ -14,7 +14,7 @@ func tinyParams(t *testing.T) *Params {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	ids := []string{"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4",
-		"fig5.5", "fig5.6", "fig5.7", "fig5.8", "fig5.9", "qps", "io"}
+		"fig5.5", "fig5.6", "fig5.7", "fig5.8", "fig5.9", "qps", "io", "migration"}
 	all := All()
 	if len(all) != len(ids) {
 		t.Fatalf("All() has %d experiments, want %d", len(all), len(ids))
@@ -109,6 +109,30 @@ func TestIOEngineSmoke(t *testing.T) {
 	}
 	if mb(tab.Rows[2]) >= mb(tab.Rows[0]) {
 		t.Errorf("compress read %v MB, baseline %v MB — expected fewer", mb(tab.Rows[2]), mb(tab.Rows[0]))
+	}
+}
+
+func TestMigrationSmoke(t *testing.T) {
+	p := tinyParams(t)
+	tab, err := Migration(p)
+	if err != nil {
+		t.Fatalf("Migration: %v", err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("migration rows = %d, want 3", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %v does not match header %v", row, tab.Header)
+		}
+	}
+	// The topology change must actually commit: epoch advances between
+	// the before and after rows, and stays put during the migration.
+	if tab.Rows[0][1] != tab.Rows[1][1] {
+		t.Errorf("during-migration row routed at epoch %s, want the pre-commit epoch %s", tab.Rows[1][1], tab.Rows[0][1])
+	}
+	if tab.Rows[0][1] == tab.Rows[2][1] {
+		t.Errorf("epoch did not advance: before %s, after %s", tab.Rows[0][1], tab.Rows[2][1])
 	}
 }
 

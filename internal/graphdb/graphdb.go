@@ -243,6 +243,29 @@ type Checkpointer interface {
 	GetCheckpoint() ([]byte, error)
 }
 
+// VertexScanner is an optional extension for backends that can
+// enumerate the vertices they store adjacency for. Live shard migration
+// depends on it: a source node walks its local vertex set to find the
+// shards whose replica placement changes under a pending topology.
+type VertexScanner interface {
+	// ForEachVertex calls fn for every locally stored vertex with at
+	// least one out-edge, in ascending ID order. fn returning an error
+	// stops the scan and surfaces that error. The scan is a reader under
+	// the package concurrency contract: safe alongside other readers, not
+	// alongside mutators.
+	ForEachVertex(fn func(v graph.VertexID) error) error
+}
+
+// ForEachVertex enumerates g's stored vertices via the VertexScanner
+// fast path, or reports that the backend cannot enumerate.
+func ForEachVertex(g Graph, fn func(v graph.VertexID) error) error {
+	vs, ok := g.(VertexScanner)
+	if !ok {
+		return fmt.Errorf("graphdb: %T cannot enumerate vertices (no VertexScanner)", g)
+	}
+	return vs.ForEachVertex(fn)
+}
+
 // IOCounters is an optional extension reporting physical I/O for
 // out-of-core implementations.
 type IOCounters interface {

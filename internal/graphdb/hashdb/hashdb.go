@@ -7,6 +7,9 @@
 package hashdb
 
 import (
+	"sort"
+	"sync"
+
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
 )
@@ -20,7 +23,15 @@ func init() {
 }
 
 // DB is an in-memory hash-of-adjacency-lists graph store.
+//
+// Unlike the package-level contract (mutators externally serialized
+// against readers), hashdb carries its own reader/writer lock: live
+// shard migration stores windows into a destination while concurrent
+// BFS queries read other shards from the same instance, and an
+// in-memory map cannot tolerate that without internal locking. Mutators
+// still must not run concurrently with each other.
 type DB struct {
+	mu     sync.RWMutex
 	meta   *graphdb.MetaMap
 	lists  map[graph.VertexID][]graph.VertexID
 	closed bool
@@ -37,6 +48,8 @@ func New() *DB {
 
 // StoreEdges implements graphdb.Graph.
 func (d *DB) StoreEdges(edges []graph.Edge) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
 		return graphdb.ErrClosed
 	}
@@ -54,6 +67,8 @@ func (d *DB) StoreEdges(edges []graph.Edge) error {
 
 // Metadata implements graphdb.Graph.
 func (d *DB) Metadata(v graph.VertexID) (int32, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return 0, graphdb.ErrClosed
 	}
@@ -62,6 +77,8 @@ func (d *DB) Metadata(v graph.VertexID) (int32, error) {
 
 // SetMetadata implements graphdb.Graph.
 func (d *DB) SetMetadata(v graph.VertexID, md int32) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
 		return graphdb.ErrClosed
 	}
@@ -71,6 +88,8 @@ func (d *DB) SetMetadata(v graph.VertexID, md int32) error {
 
 // AdjacencyUsingMetadata implements graphdb.Graph.
 func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int32, op graphdb.MetaOp) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return graphdb.ErrClosed
 	}
@@ -87,6 +106,8 @@ func (d *DB) AdjacencyUsingMetadata(v graph.VertexID, out *graph.AdjList, md int
 
 // Flush implements graphdb.Graph (a no-op: the structure is always live).
 func (d *DB) Flush() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.closed {
 		return graphdb.ErrClosed
 	}
@@ -95,6 +116,8 @@ func (d *DB) Flush() error {
 
 // Close implements graphdb.Graph.
 func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.closed = true
 	return nil
 }
@@ -102,10 +125,37 @@ func (d *DB) Close() error {
 // Stats implements graphdb.Graph.
 func (d *DB) Stats() graphdb.Stats { return d.stats.Snapshot() }
 
-// ConcurrentReaders implements graphdb.Graph: retrievals only read the
-// adjacency and metadata maps, which mutate solely under StoreEdges /
-// SetMetadata (externally serialized against readers).
+// ConcurrentReaders implements graphdb.Graph: retrievals share a
+// reader lock; mutators take it exclusively (see the DB comment for why
+// this instance locks internally).
 func (d *DB) ConcurrentReaders() bool { return true }
 
 // ResetMetadata clears all metadata between queries.
-func (d *DB) ResetMetadata() { d.meta.Reset() }
+func (d *DB) ResetMetadata() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.meta.Reset()
+}
+
+// ForEachVertex implements graphdb.VertexScanner: stored vertices in
+// ascending ID order.
+func (d *DB) ForEachVertex(fn func(v graph.VertexID) error) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return graphdb.ErrClosed
+	}
+	vs := make([]graph.VertexID, 0, len(d.lists))
+	for v, adj := range d.lists {
+		if len(adj) > 0 {
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for _, v := range vs {
+		if err := fn(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"mssg/internal/cluster"
+)
+
+// PlacementHolder is the single atomically swapped routing authority for
+// an elastic cluster. Every router — the ingest vertexRouter, the query
+// roster, the failover retry loop — resolves its policy through the
+// holder at the start of each operation, so one Commit flips all routing
+// in one step while in-flight operations keep the consistent snapshot
+// they started with.
+//
+// The holder mirrors the durable manifest: BeginMigration persists the
+// target as Pending before any block moves (durable intent, so a crashed
+// coordinator can resume or abort), Commit rewrites the manifest with the
+// target as Committed and only then swaps the in-memory snapshot. A
+// holder with an empty dir is memory-only (tests, ephemeral clusters).
+type PlacementHolder struct {
+	dir string
+
+	// mu serializes manifest writers (Begin/Commit/Abort/Reload); readers
+	// go through the atomic pointer and never block.
+	mu      sync.Mutex
+	cur     atomic.Pointer[holderState]
+	history []uint64
+}
+
+// holderState pairs a manifest with the policy constructed from its
+// committed placement, so readers get both from one atomic load.
+type holderState struct {
+	manifest Manifest
+	policy   Policy
+}
+
+// NewPlacementHolder wraps manifest m, persisting under dir when dir is
+// non-empty ("" = memory-only).
+func NewPlacementHolder(dir string, m Manifest) (*PlacementHolder, error) {
+	if err := validatePlacement(m.Committed); err != nil {
+		return nil, err
+	}
+	pol, err := m.Committed.NewPolicy()
+	if err != nil {
+		return nil, err
+	}
+	h := &PlacementHolder{dir: dir, history: []uint64{m.Committed.Epoch}}
+	h.cur.Store(&holderState{manifest: m, policy: pol})
+	return h, nil
+}
+
+// OpenPlacementHolder loads dir's manifest into a holder. ok is false
+// when the directory has no manifest.
+func OpenPlacementHolder(dir string) (*PlacementHolder, bool, error) {
+	m, ok, err := ReadManifestFile(dir)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	h, err := NewPlacementHolder(dir, m)
+	if err != nil {
+		return nil, false, err
+	}
+	return h, true, nil
+}
+
+// Manifest returns the current manifest snapshot.
+func (h *PlacementHolder) Manifest() Manifest {
+	return h.cur.Load().manifest
+}
+
+// Placement returns the committed placement every router obeys.
+func (h *PlacementHolder) Placement() Placement {
+	return h.cur.Load().manifest.Committed
+}
+
+// Epoch returns the committed placement's epoch.
+func (h *PlacementHolder) Epoch() uint64 {
+	return h.cur.Load().manifest.Committed.Epoch
+}
+
+// Policy returns the routing policy for the committed placement. The
+// returned value is immutable; wire `holder.Policy` as the engine's
+// policy source so each query resolves a consistent snapshot.
+func (h *PlacementHolder) Policy() Policy {
+	return h.cur.Load().policy
+}
+
+// Snapshot returns the committed placement and its policy from one
+// atomic load, so a router reading both (replica directory plus member
+// roster) cannot see them straddle an epoch commit.
+func (h *PlacementHolder) Snapshot() (Placement, Policy) {
+	st := h.cur.Load()
+	return st.manifest.Committed, st.policy
+}
+
+// History returns the committed epochs this holder has observed,
+// oldest first. Chaos tests assert it is strictly monotonic.
+func (h *PlacementHolder) History() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.history...)
+}
+
+func (h *PlacementHolder) persist(m Manifest) error {
+	if h.dir == "" {
+		return nil
+	}
+	return WriteManifestFile(h.dir, m)
+}
+
+func placementEqual(a, b Placement) bool {
+	if a.Policy != b.Policy || a.Backends != b.Backends || a.Replication != b.Replication ||
+		a.Seed != b.Seed || a.Epoch != b.Epoch || (a.Nodes == nil) != (b.Nodes == nil) || len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BeginMigration durably records target as the pending placement. A
+// pending placement already on record must equal target (that is a
+// resume); anything else is an error — abort the old migration first.
+func (h *PlacementHolder) BeginMigration(target Placement) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.cur.Load()
+	cm := st.manifest.Committed
+	if err := validatePlacement(target); err != nil {
+		return err
+	}
+	if target.Epoch != cm.Epoch+1 {
+		return fmt.Errorf("ingest: migration target epoch %d is not committed epoch %d + 1", target.Epoch, cm.Epoch)
+	}
+	if target.Policy != cm.Policy || target.Seed != cm.Seed {
+		return fmt.Errorf("ingest: migration cannot change policy or seed")
+	}
+	if p := st.manifest.Pending; p != nil {
+		if !placementEqual(*p, target) {
+			return fmt.Errorf("ingest: a different migration (to epoch %d) is already pending; abort it first", p.Epoch)
+		}
+		return nil
+	}
+	next := Manifest{Committed: cm, Pending: &target}
+	if err := h.persist(next); err != nil {
+		return err
+	}
+	h.cur.Store(&holderState{manifest: next, policy: st.policy})
+	return nil
+}
+
+// CommitMigration promotes the pending placement to committed: the
+// manifest is atomically rewritten first, then the in-memory snapshot is
+// swapped, so routing flips in one step and a crash between the two
+// leaves the durable state ahead of (never behind) the memory state.
+func (h *PlacementHolder) CommitMigration() (Placement, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.cur.Load()
+	p := st.manifest.Pending
+	if p == nil {
+		return Placement{}, fmt.Errorf("ingest: no pending migration to commit")
+	}
+	pol, err := p.NewPolicy()
+	if err != nil {
+		return Placement{}, err
+	}
+	next := Manifest{Committed: *p}
+	if err := h.persist(next); err != nil {
+		return Placement{}, err
+	}
+	h.cur.Store(&holderState{manifest: next, policy: pol})
+	h.history = append(h.history, next.Committed.Epoch)
+	return next.Committed, nil
+}
+
+// QuarantineFile records aborted migrations under the database
+// directory: one line per aborted target epoch. Any partial destination
+// copy an aborted migration left behind is keyed by that epoch — its
+// window ids can never shadow a later migration's, and routing (which
+// obeys only the committed placement) never reads the moved vertices on
+// those destinations — so the file is the scrub-side inventory of dead
+// data, not a correctness requirement.
+const QuarantineFile = "migration-quarantine.log"
+
+// AbortMigration drops the pending placement, leaving the committed
+// epoch authoritative, and quarantines the abandoned target epoch in
+// QuarantineFile. Safe to call with nothing pending.
+func (h *PlacementHolder) AbortMigration() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.cur.Load()
+	if st.manifest.Pending == nil {
+		return nil
+	}
+	aborted := st.manifest.Pending.Epoch
+	next := Manifest{Committed: st.manifest.Committed}
+	if err := h.persist(next); err != nil {
+		return err
+	}
+	h.cur.Store(&holderState{manifest: next, policy: st.policy})
+	if h.dir != "" {
+		f, err := os.OpenFile(filepath.Join(h.dir, QuarantineFile), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		_, werr := fmt.Fprintf(f, "epoch %d aborted (committed epoch %d kept)\n", aborted, next.Committed.Epoch)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		return werr
+	}
+	return nil
+}
+
+// Reload re-reads the manifest from disk and swaps it in when its
+// committed epoch is newer — how a long-lived query server notices a
+// migration committed by another process. Returns whether the snapshot
+// changed. Memory-only holders never change.
+func (h *PlacementHolder) Reload() (bool, error) {
+	if h.dir == "" {
+		return false, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok, err := ReadManifestFile(h.dir)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, fmt.Errorf("ingest: placement manifest disappeared from %s", h.dir)
+	}
+	st := h.cur.Load()
+	if m.Committed.Epoch < st.manifest.Committed.Epoch {
+		return false, fmt.Errorf("ingest: on-disk placement epoch %d regressed below loaded epoch %d",
+			m.Committed.Epoch, st.manifest.Committed.Epoch)
+	}
+	if m.Committed.Epoch == st.manifest.Committed.Epoch {
+		return false, nil
+	}
+	pol, err := m.Committed.NewPolicy()
+	if err != nil {
+		return false, err
+	}
+	h.cur.Store(&holderState{manifest: m, policy: pol})
+	h.history = append(h.history, m.Committed.Epoch)
+	return true, nil
+}
+
+// JoinTarget returns the placement a join of node n would commit: the
+// committed placement plus n as a member, at the next epoch. The node-ID
+// space grows to include n when necessary.
+func (h *PlacementHolder) JoinTarget(n cluster.NodeID) (Placement, error) {
+	cm := h.Placement()
+	if n < 0 {
+		return Placement{}, fmt.Errorf("ingest: cannot join negative node %d", n)
+	}
+	if cm.HasMember(n) {
+		return Placement{}, fmt.Errorf("ingest: node %d is already a member", n)
+	}
+	t := cm
+	t.Epoch = cm.Epoch + 1
+	members := cm.Members()
+	i := 0
+	for i < len(members) && members[i] < n {
+		i++
+	}
+	members = append(members[:i:i], append([]cluster.NodeID{n}, members[i:]...)...)
+	t.Nodes = members
+	if int(n) >= t.Backends {
+		t.Backends = int(n) + 1
+	}
+	return t, nil
+}
+
+// DrainTarget returns the placement a planned drain of node n would
+// commit: the committed placement minus n, at the next epoch.
+func (h *PlacementHolder) DrainTarget(n cluster.NodeID) (Placement, error) {
+	cm := h.Placement()
+	if !cm.HasMember(n) {
+		return Placement{}, fmt.Errorf("ingest: node %d is not a member", n)
+	}
+	if cm.MemberCount() == 1 {
+		return Placement{}, fmt.Errorf("ingest: cannot drain the last member")
+	}
+	t := cm
+	t.Epoch = cm.Epoch + 1
+	var members []cluster.NodeID
+	for _, m := range cm.Members() {
+		if m != n {
+			members = append(members, m)
+		}
+	}
+	t.Nodes = members
+	if t.Replication > len(members) {
+		t.Replication = len(members)
+	}
+	return t, nil
+}

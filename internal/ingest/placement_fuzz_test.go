@@ -3,31 +3,63 @@ package ingest
 import (
 	"bytes"
 	"testing"
+
+	"mssg/internal/cluster"
 )
 
-// FuzzPlacementDecode: the placement decoder faces whatever bytes happen
+// FuzzPlacementDecode: the manifest decoder faces whatever bytes happen
 // to sit in placement.mssg, so it must never panic, must reject anything
 // a valid encoder cannot produce, and — when it does accept — must
-// round-trip exactly (decode ∘ encode = id).
+// round-trip exactly (decode ∘ encode = id). The corpus seeds both
+// layouts: pre-epoch MSSGPL01 manifests (PR 7 directories must keep
+// decoding, reporting epoch 0) and MSSGPL02 manifests with member
+// subsets and a pending placement.
 func FuzzPlacementDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte(placementMagic))
+	f.Add([]byte(manifestMagic))
+	// v1 layout: quiescent epoch-0 placements.
 	f.Add(EncodePlacement(Placement{Policy: "rendezvous", Backends: 8, Replication: 2, Seed: 1}))
 	f.Add(EncodePlacement(Placement{Policy: "vertex-mod", Backends: 1, Replication: 1, Seed: DefaultPlacementSeed}))
 	long := EncodePlacement(Placement{Policy: "rendezvous", Backends: 1 << 19, Replication: 6, Seed: ^uint64(0)})
 	f.Add(long)
 	f.Add(append(long, 0, 1, 2))
+	// v2 layout: advanced epoch, member subset, in-flight migration.
+	f.Add(EncodePlacement(Placement{Policy: "rendezvous", Backends: 8, Replication: 2, Seed: 1, Epoch: 3}))
+	f.Add(EncodePlacement(Placement{
+		Policy: "rendezvous", Backends: 9, Replication: 2, Seed: 1, Epoch: 5,
+		Nodes: []cluster.NodeID{0, 1, 3, 4, 8},
+	}))
+	f.Add(EncodeManifest(Manifest{
+		Committed: Placement{Policy: "rendezvous", Backends: 8, Replication: 2, Seed: 7, Epoch: 2},
+		Pending: &Placement{Policy: "rendezvous", Backends: 9, Replication: 2, Seed: 7, Epoch: 3,
+			Nodes: []cluster.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8}},
+	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		p, err := DecodePlacement(data)
+		m, err := DecodeManifest(data)
 		if err != nil {
 			return
 		}
-		if p.Backends < 1 || p.Replication < 1 || p.Replication > p.Backends || len(p.Policy) > 64 {
-			t.Fatalf("decoder accepted invalid placement %+v", p)
+		check := func(p Placement) {
+			if p.Backends < 1 || p.Replication < 1 || p.Replication > p.MemberCount() || len(p.Policy) > 64 {
+				t.Fatalf("decoder accepted invalid placement %+v", p)
+			}
+			for i, n := range p.Nodes {
+				if int(n) >= p.Backends || (i > 0 && n <= p.Nodes[i-1]) {
+					t.Fatalf("decoder accepted invalid member list %v", p.Nodes)
+				}
+			}
 		}
-		if !bytes.Equal(EncodePlacement(p), data) {
-			t.Fatalf("accepted input is not canonical: %x vs %x", data, EncodePlacement(p))
+		check(m.Committed)
+		if m.Pending != nil {
+			check(*m.Pending)
+			if m.Pending.Epoch != m.Committed.Epoch+1 {
+				t.Fatalf("decoder accepted non-successor pending epoch %d after %d", m.Pending.Epoch, m.Committed.Epoch)
+			}
+		}
+		if !bytes.Equal(EncodeManifest(m), data) {
+			t.Fatalf("accepted input is not canonical: %x vs %x", data, EncodeManifest(m))
 		}
 	})
 }

@@ -1,11 +1,7 @@
 package ingest
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
-	"os"
-	"path/filepath"
 
 	"mssg/internal/cluster"
 	"mssg/internal/graph"
@@ -37,15 +33,21 @@ const DefaultPlacementSeed uint64 = 0x6d737367
 // only moves the shards that node actually held, because the relative
 // order of all other nodes' scores is unchanged.
 type Rendezvous struct {
-	// Backends is the declared node set size [0, Backends). Zero means
+	// Backends is the declared node-ID space [0, Backends). Zero means
 	// unconfigured: Route still works from its backends argument, but
 	// the global-mapping and replica directory features are off.
 	Backends int
-	// Factor is k, the copies per vertex; clamped to [1, Backends].
+	// Factor is k, the copies per vertex; clamped to [1, members].
 	Factor int
 	// Seed perturbs the hash so distinct deployments shard differently.
 	// Zero means DefaultPlacementSeed.
 	Seed uint64
+	// Nodes, when non-nil, restricts placement to this ascending subset
+	// of [0, Backends) — the cluster's current members. Nil means every
+	// ID in [0, Backends) is a member (the pre-elasticity behaviour).
+	// Scores are a function of (seed, v, node ID) alone, so growing or
+	// shrinking Nodes moves only the shards the delta actually touches.
+	Nodes []cluster.NodeID
 }
 
 // NewRendezvous returns a configured HRW policy placing k replicas over
@@ -58,6 +60,18 @@ func NewRendezvous(backends, k int, seed uint64) *Rendezvous {
 		k = backends
 	}
 	return &Rendezvous{Backends: backends, Factor: k, Seed: seed}
+}
+
+// NewRendezvousOver returns an HRW policy whose members are the given
+// subset of [0, backends). nodes must be ascending and duplicate-free;
+// nil means all of [0, backends).
+func NewRendezvousOver(backends, k int, seed uint64, nodes []cluster.NodeID) *Rendezvous {
+	r := NewRendezvous(backends, k, seed)
+	r.Nodes = nodes
+	if n := len(nodes); n > 0 && r.Factor > n {
+		r.Factor = n
+	}
+	return r
 }
 
 // Name implements Policy.
@@ -122,6 +136,9 @@ func (r *Rendezvous) RankedOver(v graph.VertexID, nodes []cluster.NodeID, k int)
 }
 
 func (r *Rendezvous) rank(v graph.VertexID, backends, k int) []cluster.NodeID {
+	if r.Nodes != nil {
+		return r.RankedOver(v, r.Nodes, k)
+	}
 	nodes := make([]cluster.NodeID, backends)
 	for i := range nodes {
 		nodes[i] = cluster.NodeID(i)
@@ -133,6 +150,16 @@ func (r *Rendezvous) rank(v graph.VertexID, backends, k int) []cluster.NodeID {
 // per-fringe-vertex hot paths. Safe for concurrent use: Rendezvous holds
 // no mutable state.
 func (r *Rendezvous) primary(v graph.VertexID, backends int) cluster.NodeID {
+	if r.Nodes != nil {
+		best := r.Nodes[0]
+		bestScore := r.score(v, int(best))
+		for _, n := range r.Nodes[1:] {
+			if s := r.score(v, int(n)); s > bestScore {
+				best, bestScore = n, s
+			}
+		}
+		return best
+	}
 	best := cluster.NodeID(0)
 	bestScore := r.score(v, 0)
 	for n := 1; n < backends; n++ {
@@ -152,7 +179,7 @@ func (r *Rendezvous) Route(e graph.Edge, backends int) int {
 
 // GloballyMapped implements Policy: true once the node set is declared,
 // since every node can then rank any vertex locally.
-func (r *Rendezvous) GloballyMapped() bool { return r.Backends > 0 }
+func (r *Rendezvous) GloballyMapped() bool { return r.Backends > 0 || r.Nodes != nil }
 
 // OwnerOf implements DirectoryPolicy for a configured policy: the
 // primary replica. BFS known-mapping routing uses it exactly as it uses
@@ -172,6 +199,12 @@ func (r *Rendezvous) ReplicationFactor() int {
 	if k < 1 {
 		k = 1
 	}
+	if r.Nodes != nil {
+		if k > len(r.Nodes) {
+			k = len(r.Nodes)
+		}
+		return k
+	}
 	if r.Backends > 0 && k > r.Backends {
 		k = r.Backends
 	}
@@ -188,100 +221,58 @@ type Placement struct {
 	Backends    int
 	Replication int
 	Seed        uint64
+	// Epoch is the placement's version: 0 at ingest time, incremented by
+	// every committed migration. Routing layers compare epochs, never
+	// contents, to decide whether a manifest is stale.
+	Epoch uint64
+	// Nodes, when non-nil, is the ascending member subset of
+	// [0, Backends) — nodes that have joined minus nodes that have
+	// drained. Nil means all of [0, Backends), which is what every
+	// pre-elasticity (epoch-0) placement describes.
+	Nodes []cluster.NodeID
+}
+
+// Members returns the placement's member node list, ascending: Nodes if
+// explicit, otherwise all of [0, Backends).
+func (p Placement) Members() []cluster.NodeID {
+	if p.Nodes != nil {
+		return append([]cluster.NodeID(nil), p.Nodes...)
+	}
+	m := make([]cluster.NodeID, p.Backends)
+	for i := range m {
+		m[i] = cluster.NodeID(i)
+	}
+	return m
+}
+
+// MemberCount returns the number of member nodes.
+func (p Placement) MemberCount() int {
+	if p.Nodes != nil {
+		return len(p.Nodes)
+	}
+	return p.Backends
+}
+
+// HasMember reports whether n is a member of the placement.
+func (p Placement) HasMember(n cluster.NodeID) bool {
+	if p.Nodes == nil {
+		return n >= 0 && int(n) < p.Backends
+	}
+	for _, m := range p.Nodes {
+		if m == n {
+			return true
+		}
+	}
+	return false
 }
 
 // NewPolicy constructs the declustering policy the placement describes.
 func (p Placement) NewPolicy() (Policy, error) {
 	if p.Policy == "rendezvous" {
-		return NewRendezvous(p.Backends, p.Replication, p.Seed), nil
+		return NewRendezvousOver(p.Backends, p.Replication, p.Seed, p.Nodes), nil
+	}
+	if p.Nodes != nil {
+		return nil, fmt.Errorf("ingest: policy %q does not support a member subset (only rendezvous placements are elastic)", p.Policy)
 	}
 	return PolicyByName(p.Policy)
-}
-
-// placementMagic versions the codec; bump the suffix on layout changes.
-const placementMagic = "MSSGPL01"
-
-// PlacementFile is the placement manifest's name under the database
-// working directory.
-const PlacementFile = "placement.mssg"
-
-// EncodePlacement serializes p: magic, length-prefixed policy name,
-// backends, replication, seed, CRC32 trailer.
-func EncodePlacement(p Placement) []byte {
-	b := make([]byte, 0, len(placementMagic)+2+len(p.Policy)+4+4+8+4)
-	b = append(b, placementMagic...)
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Policy)))
-	b = append(b, p.Policy...)
-	b = binary.LittleEndian.AppendUint32(b, uint32(p.Backends))
-	b = binary.LittleEndian.AppendUint32(b, uint32(p.Replication))
-	b = binary.LittleEndian.AppendUint64(b, p.Seed)
-	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
-}
-
-// DecodePlacement parses and validates an encoded placement. It must
-// never panic on arbitrary input (fuzzed) and rejects anything a valid
-// encoder cannot produce.
-func DecodePlacement(b []byte) (Placement, error) {
-	var p Placement
-	if len(b) < len(placementMagic)+2 {
-		return p, fmt.Errorf("ingest: placement of %d bytes is shorter than its header", len(b))
-	}
-	if string(b[:len(placementMagic)]) != placementMagic {
-		return p, fmt.Errorf("ingest: bad placement magic %q", b[:len(placementMagic)])
-	}
-	if len(b) < 4 {
-		return p, fmt.Errorf("ingest: placement too short for its checksum")
-	}
-	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
-	if crc32.ChecksumIEEE(body) != sum {
-		return p, fmt.Errorf("ingest: placement checksum mismatch")
-	}
-	rest := body[len(placementMagic):]
-	nameLen := int(binary.LittleEndian.Uint16(rest))
-	rest = rest[2:]
-	const maxName = 64
-	if nameLen > maxName || len(rest) != nameLen+4+4+8 {
-		return p, fmt.Errorf("ingest: placement body of %d bytes inconsistent with name length %d", len(rest), nameLen)
-	}
-	p.Policy = string(rest[:nameLen])
-	rest = rest[nameLen:]
-	p.Backends = int(binary.LittleEndian.Uint32(rest))
-	p.Replication = int(binary.LittleEndian.Uint32(rest[4:]))
-	p.Seed = binary.LittleEndian.Uint64(rest[8:])
-	if p.Backends < 1 || p.Backends > 1<<20 {
-		return p, fmt.Errorf("ingest: placement declares %d backends", p.Backends)
-	}
-	if p.Replication < 1 || p.Replication > p.Backends {
-		return p, fmt.Errorf("ingest: placement declares replication %d over %d backends", p.Replication, p.Backends)
-	}
-	return p, nil
-}
-
-// WritePlacementFile persists p under dir atomically (write-temp,
-// rename), so a crashed writer leaves either the old manifest or none.
-func WritePlacementFile(dir string, p Placement) error {
-	tmp := filepath.Join(dir, PlacementFile+".tmp")
-	if err := os.WriteFile(tmp, EncodePlacement(p), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, filepath.Join(dir, PlacementFile))
-}
-
-// ReadPlacementFile loads dir's placement manifest. ok is false when no
-// manifest exists (a pre-replication directory); a present-but-corrupt
-// manifest is an error, not a silent fallback, because guessing the
-// wrong placement silently misroutes every query.
-func ReadPlacementFile(dir string) (p Placement, ok bool, err error) {
-	b, err := os.ReadFile(filepath.Join(dir, PlacementFile))
-	if os.IsNotExist(err) {
-		return Placement{}, false, nil
-	}
-	if err != nil {
-		return Placement{}, false, err
-	}
-	p, err = DecodePlacement(b)
-	if err != nil {
-		return Placement{}, false, err
-	}
-	return p, true, nil
 }

@@ -181,7 +181,7 @@ func TestPlacementCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if got != p {
+	if !placementEqual(got, p) {
 		t.Fatalf("round trip %+v -> %+v", p, got)
 	}
 	for i := range b {
@@ -211,7 +211,7 @@ func TestPlacementFileRoundTrip(t *testing.T) {
 		t.Fatalf("write: %v", err)
 	}
 	got, ok, err := ReadPlacementFile(dir)
-	if err != nil || !ok || got != p {
+	if err != nil || !ok || !placementEqual(got, p) {
 		t.Fatalf("read back: %+v ok=%v err=%v", got, ok, err)
 	}
 	pol, err := got.NewPolicy()

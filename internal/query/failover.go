@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strconv"
 	"time"
 
@@ -55,6 +56,12 @@ type FailoverOptions struct {
 	// 50ms and 1s.
 	BackoffInitial time.Duration
 	BackoffMax     time.Duration
+	// BackoffJitter spreads each retry sleep uniformly over
+	// [d·(1−j), d·(1+j)), so the queries that a node's crash failed
+	// together do not retry in lockstep against the recovering cluster.
+	// 0 means the default 0.5; negative disables jitter; values above 1
+	// are clamped to 1.
+	BackoffJitter float64
 	// AttemptTimeout bounds each attempt (0: only ctx bounds them).
 	AttemptTimeout time.Duration
 }
@@ -72,7 +79,25 @@ func (o FailoverOptions) withDefaults() FailoverOptions {
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = time.Second
 	}
+	switch {
+	case o.BackoffJitter == 0:
+		o.BackoffJitter = 0.5
+	case o.BackoffJitter < 0:
+		o.BackoffJitter = 0
+	case o.BackoffJitter > 1:
+		o.BackoffJitter = 1
+	}
 	return o
+}
+
+// jitterBackoff returns d perturbed uniformly into [d·(1−j), d·(1+j)).
+// j <= 0 returns d unchanged.
+func jitterBackoff(d time.Duration, j float64) time.Duration {
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + j*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * f)
 }
 
 func (o FailoverOptions) healthFor(f cluster.Fabric) cluster.HealthView {
@@ -132,10 +157,40 @@ func failoverLoop(ctx context.Context, f cluster.Fabric, base []cluster.NodeID, 
 	stats := &FailoverStats{}
 	suspects := make(map[cluster.NodeID]bool)
 	backoff := opt.BackoffInitial
+	// sleep waits one (jittered) backoff step before the next attempt and
+	// doubles the step up to the cap; it returns early on cancellation.
+	sleep := func() error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(jitterBackoff(backoff, opt.BackoffJitter)):
+		}
+		if backoff *= 2; backoff > opt.BackoffMax {
+			backoff = opt.BackoffMax
+		}
+		return nil
+	}
 	for try := 0; ; try++ {
 		active := activeSet(f, health, base, suspects)
 		if len(active) == 0 {
-			return stats, fmt.Errorf("query: no live back-ends remain: %w", ErrNoLiveReplica)
+			// An empty view right after a crash is often a conviction
+			// flap: the dead node's stale suspicions (or observers busy
+			// absorbing the failure) briefly convict healthy peers, and
+			// the majority vote heals within a heartbeat budget. Only a
+			// view that stays empty through the retry budget is terminal.
+			if ctx.Err() != nil || try >= opt.MaxRetries {
+				return stats, fmt.Errorf("query: no live back-ends remain: %w", ErrNoLiveReplica)
+			}
+			stats.Retries++
+			qm().foRetries.Inc()
+			obs.DefaultTracer().Emit("query.failover.retry", map[string]string{
+				"attempt": strconv.Itoa(try + 1),
+				"error":   "no live back-ends in view",
+			})
+			if err := sleep(); err != nil {
+				return stats, err
+			}
+			continue
 		}
 		actx, cancel := ctx, context.CancelFunc(func() {})
 		if opt.AttemptTimeout > 0 {
@@ -164,13 +219,8 @@ func failoverLoop(ctx context.Context, f cluster.Fabric, base []cluster.NodeID, 
 		})
 		// The sleep gives the heartbeat detector time to convict a peer
 		// the error did not name explicitly.
-		select {
-		case <-ctx.Done():
-			return stats, ctx.Err()
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > opt.BackoffMax {
-			backoff = opt.BackoffMax
+		if err := sleep(); err != nil {
+			return stats, err
 		}
 	}
 }

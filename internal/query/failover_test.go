@@ -432,3 +432,97 @@ func TestFailoverLoopExhaustsRetries(t *testing.T) {
 		t.Fatalf("calls=%d err=%v, want 3 attempts then the timeout", calls, err)
 	}
 }
+
+// TestBackoffJitterSpread is the lockstep-retry regression test: the
+// failover sleeps must spread over [d·(1−j), d·(1+j)) and actually vary,
+// so queries failed together by one crash do not hammer the recovering
+// cluster in unison.
+func TestBackoffJitterSpread(t *testing.T) {
+	const d = time.Second
+	lo, hi := d, d
+	distinct := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		got := jitterBackoff(d, 0.5)
+		if got < d/2 || got >= d+d/2 {
+			t.Fatalf("jittered delay %v outside [%v, %v)", got, d/2, d+d/2)
+		}
+		distinct[got] = true
+		if got < lo {
+			lo = got
+		}
+		if got > hi {
+			hi = got
+		}
+	}
+	if len(distinct) < 50 {
+		t.Fatalf("only %d distinct delays in 200 draws — not jittering", len(distinct))
+	}
+	if hi-lo < d/4 {
+		t.Fatalf("200 draws span only %v of the %v window", hi-lo, d)
+	}
+	if got := jitterBackoff(d, 0); got != d {
+		t.Fatalf("disabled jitter changed the delay to %v", got)
+	}
+	// Option resolution: zero means the 0.5 default, negative disables,
+	// and values above 1 clamp (a delay can shrink at most to zero).
+	if j := (FailoverOptions{}).withDefaults().BackoffJitter; j != 0.5 {
+		t.Fatalf("default jitter = %v, want 0.5", j)
+	}
+	if j := (FailoverOptions{BackoffJitter: -1}).withDefaults().BackoffJitter; j != 0 {
+		t.Fatalf("negative jitter resolved to %v, want 0 (disabled)", j)
+	}
+	if j := (FailoverOptions{BackoffJitter: 3}).withDefaults().BackoffJitter; j != 1 {
+		t.Fatalf("jitter 3 resolved to %v, want 1", j)
+	}
+}
+
+// flappingHealth declares every node dead for the first few Alive polls,
+// then heals — the shape of a conviction flap right after a crash.
+type flappingHealth struct{ deadPolls int }
+
+func (h *flappingHealth) Alive(cluster.NodeID) bool {
+	if h.deadPolls > 0 {
+		h.deadPolls--
+		return false
+	}
+	return true
+}
+
+// TestFailoverLoopEmptyViewHeals: an empty liveness view right after a
+// crash is a retryable flap, not an instant ErrNoLiveReplica — the
+// attempt waits out the backoff and runs once the view heals.
+func TestFailoverLoopEmptyViewHeals(t *testing.T) {
+	f := cluster.NewInProc(2, 0)
+	defer f.Close()
+	h := &flappingHealth{deadPolls: 4} // two 2-node activeSet evaluations
+	calls := 0
+	stats, err := failoverLoop(context.Background(), f, nil,
+		FailoverOptions{Health: h, BackoffInitial: time.Millisecond},
+		func(ctx context.Context, active []cluster.NodeID) (int32, error) {
+			calls++
+			if !reflect.DeepEqual(active, []cluster.NodeID{0, 1}) {
+				return 0, fmt.Errorf("attempt on %v, want the healed full view", active)
+			}
+			return 1, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || stats.Retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 1 attempt after 2 empty-view retries", calls, stats.Retries)
+	}
+
+	// A view that never heals still exhausts the retry budget and is
+	// terminal — no attempt ever ran.
+	h2 := &flappingHealth{deadPolls: 1 << 30}
+	calls = 0
+	_, err = failoverLoop(context.Background(), f, nil,
+		FailoverOptions{Health: h2, MaxRetries: 2, BackoffInitial: time.Millisecond},
+		func(ctx context.Context, active []cluster.NodeID) (int32, error) {
+			calls++
+			return 0, nil
+		})
+	if !errors.Is(err, ErrNoLiveReplica) || calls != 0 {
+		t.Fatalf("calls=%d err=%v, want zero attempts and ErrNoLiveReplica", calls, err)
+	}
+}
