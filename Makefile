@@ -6,12 +6,12 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz chaos crash failover migrate scrub bench bench-json bench-workers bench-qps bench-io bench-migration clean
+.PHONY: ci vet build test race fuzz chaos crash failover migrate tenants scrub bench bench-json bench-workers bench-qps bench-io bench-migration clean
 
 # ci keeps the fuzz leg to a 5s-per-target smoke; run `make fuzz` for
 # the full exploration pass.
 ci: FUZZTIME = 5s
-ci: vet build race chaos crash failover migrate fuzz bench-workers
+ci: vet build race chaos crash failover migrate tenants fuzz bench-workers
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,7 @@ vet:
 build:
 	$(GO) build ./...
 
-test: chaos crash failover migrate
+test: chaos crash failover migrate tenants
 	$(GO) test ./...
 
 race:
@@ -54,6 +54,14 @@ migrate:
 	$(GO) test -race -count=1 -run 'TestMigrate|TestDurableMigration|TestPlacementHolder|TestManifest' ./internal/ingest
 	$(GO) test -race -count=1 -run 'TestEngineElasticTopology' ./internal/core
 
+# Multi-tenant serving conformance suite: fair-share flood/weight/
+# isolation/deadline scheduling tests plus the end-to-end result-cache
+# test (oracle equality, ingest-commit and epoch-advance invalidation),
+# under the race detector (DESIGN.md "Multi-tenant serving").
+tenants:
+	$(GO) test -race -count=1 -run 'TestTenant|TestDeadlineStartsAtExecution|TestEngineResultCache|TestEngineCacheSkips' ./internal/query
+	$(GO) test -race -count=1 -run 'TestQueryCacheEndToEnd' ./internal/core
+
 # Offline checksum scrub of every node database under DIR (quarantines
 # and repairs corrupt blocks): make scrub DIR=/data/mssg
 scrub:
@@ -73,6 +81,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzPlacementDecode -fuzztime $(FUZZTIME) ./internal/ingest
 	$(GO) test -run xxx -fuzz FuzzFringeChunkDecode -fuzztime $(FUZZTIME) ./internal/query
 	$(GO) test -run xxx -fuzz FuzzFringeChunkRoundTrip -fuzztime $(FUZZTIME) ./internal/query
+	$(GO) test -run xxx -fuzz FuzzCanonicalParams -fuzztime $(FUZZTIME) ./internal/query/qcache
 	$(GO) test -run xxx -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/storage/compress
 	$(GO) test -run xxx -fuzz FuzzDecodeArbitrary -fuzztime $(FUZZTIME) ./internal/storage/compress
 	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime $(FUZZTIME) ./internal/storage/compress
@@ -93,10 +102,13 @@ bench-workers:
 	$(GO) test -run xxx -bench BenchmarkBFSWorkers -benchtime=1x .
 
 # Concurrent mixed-workload benchmark: a resident query engine serving
-# BFS + k-hop queries at several concurrency levels; QPS and latency
-# percentiles land in BENCH_<timestamp>.json.
+# BFS + k-hop queries at several concurrency levels, then the
+# two-tenant fair-share workload (solo vs contended vs cached, with the
+# fairness ratio in the table notes); QPS, latency percentiles,
+# per-tenant breakdowns, and the result-cache summary land in
+# BENCH_<timestamp>.json (DESIGN.md §16).
 bench-qps:
-	$(GO) run ./cmd/mssg-bench -json auto -queries 200 -concurrency 8 qps
+	$(GO) run ./cmd/mssg-bench -json auto -queries 200 -concurrency 8 qps tenants
 
 # Semi-external I/O engine ablation (DESIGN.md §13): prefetch ×
 # compression × shared SLRU cache on grDB under the harsh disk model;

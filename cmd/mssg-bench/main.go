@@ -51,7 +51,7 @@ func main() {
 	check := flag.Bool("check", false,
 		"instead of an experiment, scrub every grDB node database under the <dir> argument: verify all block checksums, quarantine and repair corrupt blocks, and run the structural check")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>|all\n       %s -check <dir>\n\nexperiments:\n", os.Args[0], os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>...|all\n       %s -check <dir>\n\nexperiments:\n", os.Args[0], os.Args[0])
 		for _, e := range experiments.All() {
 			fmt.Fprintf(os.Stderr, "  %-9s  %s\n", e.ID, e.Desc)
 		}
@@ -59,7 +59,7 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 || (*check && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -109,16 +109,18 @@ func main() {
 	}
 
 	var toRun []experiments.Experiment
-	if flag.Arg(0) == "all" {
+	if flag.NArg() == 1 && flag.Arg(0) == "all" {
 		toRun = experiments.All()
 	} else {
-		e, ok := experiments.ByID(flag.Arg(0))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", flag.Arg(0))
-			flag.Usage()
-			os.Exit(2)
+		for _, id := range flag.Args() {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+				flag.Usage()
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
 		}
-		toRun = []experiments.Experiment{e}
 	}
 
 	// Completed results accumulate under a lock so a SIGINT/SIGTERM can

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -67,8 +68,14 @@ func main() {
 	listAnalyses := flag.Bool("list-analyses", false, "list registered Query Service analyses and exit")
 	serve := flag.Bool("serve", false, "read queries from stdin and run them concurrently (one per line: 'bfs S D', 'khop S K', 'component S', or '<analysis> key=value ...')")
 	maxInflight := flag.Int("max-inflight", 4, "serve mode: concurrently executing queries")
-	queueDepth := flag.Int("queue-depth", 16, "serve mode: admitted-but-not-running queries before rejection")
-	queryTimeout := flag.Duration("query-timeout", 0, "serve mode: per-query deadline (0 = none)")
+	queueDepth := flag.Int("queue-depth", 16, "serve mode: admitted-but-not-running queries before rejection (per tenant)")
+	queryTimeout := flag.Duration("query-timeout", 0, "serve mode: per-query deadline, starting when the query begins executing (0 = none)")
+	tenantSpec := flag.String("tenants", "",
+		"serve mode: per-tenant fair-share weights as 'name:weight,...' (e.g. 'alice:4,bob:1'); prefix a query line with @name to submit as that tenant, unprefixed lines use the 'default' tenant")
+	tenantInflight := flag.Int("tenant-inflight", 0, "serve mode: per-tenant cap on concurrently executing queries (0 = no per-tenant cap)")
+	tenantQueue := flag.Int("tenant-queue", 0, "serve mode: per-tenant queue depth (0 = inherit -queue-depth)")
+	cacheMB := flag.Int64("cache-mb", 0,
+		"serve mode: epoch-keyed result cache budget in MB; repeated identical queries against an unchanged graph are answered from the cache (0 = disabled)")
 	deadList := flag.String("dead", "",
 		"comma-separated back-end ids to treat as crashed: their databases are never read, so queries must fail over to surviving replicas (for failover drills)")
 	allowPartial := flag.Bool("allow-partial", false,
@@ -218,10 +225,17 @@ func main() {
 	}
 
 	if *serve {
+		tenants, err := parseTenantSpec(*tenantSpec, *tenantInflight, *tenantQueue)
+		if err != nil {
+			fatal(err)
+		}
 		runServe(eng, holder, query.EngineConfig{
 			MaxInFlight:     *maxInflight,
 			QueueDepth:      *queueDepth,
 			DefaultDeadline: *queryTimeout,
+			Tenants:         tenants,
+			DefaultTenant:   query.TenantConfig{MaxInFlight: *tenantInflight, QueueDepth: *tenantQueue},
+			CacheBytes:      *cacheMB << 20,
 		}, query.BFSConfig{
 			Pipelined: *pipelined, Threshold: *threshold, Ownership: ownership,
 			Prefetch: *prefetch, Workers: *workers, ActiveNodes: activeNodes,
@@ -366,6 +380,14 @@ func runServe(eng *core.Engine, holder *ingest.PlacementHolder, ecfg query.Engin
 		fatal(err)
 	}
 	var out sync.Mutex
+	// tag prefixes non-default tenants, so single-tenant output is
+	// unchanged from earlier releases.
+	tag := func(q *query.Query) string {
+		if q.Tenant == query.DefaultTenantName {
+			return q.Label
+		}
+		return "@" + q.Tenant + " " + q.Label
+	}
 	report := func(q *query.Query) {
 		res, err := q.Wait()
 		out.Lock()
@@ -373,9 +395,11 @@ func runServe(eng *core.Engine, holder *ingest.PlacementHolder, ecfg query.Engin
 		latency := q.Finished.Sub(q.Submitted).Round(time.Microsecond)
 		switch {
 		case err != nil:
-			fmt.Printf("[%d] %s: error: %v (%s)\n", q.ID, q.Label, err, latency)
+			fmt.Printf("[%d] %s: error: %v (%s)\n", q.ID, tag(q), err, latency)
+		case q.CacheHit:
+			fmt.Printf("[%d] %s: %s (cached)\n", q.ID, tag(q), formatResult(res))
 		default:
-			fmt.Printf("[%d] %s: %s (%s)\n", q.ID, q.Label, formatResult(res), latency)
+			fmt.Printf("[%d] %s: %s (%s)\n", q.ID, tag(q), formatResult(res), latency)
 		}
 	}
 
@@ -388,9 +412,11 @@ func runServe(eng *core.Engine, holder *ingest.PlacementHolder, ecfg query.Engin
 			out.Unlock()
 			return
 		}
-		out.Lock()
-		fmt.Printf("[%d] %s: submitted\n", q.ID, q.Label)
-		out.Unlock()
+		if !q.CacheHit {
+			out.Lock()
+			fmt.Printf("[%d] %s: submitted\n", q.ID, tag(q))
+			out.Unlock()
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -432,15 +458,67 @@ func runServe(eng *core.Engine, holder *ingest.PlacementHolder, ecfg query.Engin
 		fatal(err)
 	}
 	st := qe.Stats()
-	fmt.Fprintf(os.Stderr, "mssg-query: served %d queries (%d completed, %d cancelled, %d failed, %d rejected)\n",
-		st.Admitted, st.Completed, st.Cancelled, st.Failed, st.Rejected)
+	fmt.Fprintf(os.Stderr, "mssg-query: served %d queries (%d completed, %d cancelled, %d failed, %d rejected, %d cache hits)\n",
+		st.Admitted, st.Completed, st.Cancelled, st.Failed, st.Rejected, st.CacheHits)
+	if len(st.Tenants) > 1 {
+		names := make([]string, 0, len(st.Tenants))
+		for name := range st.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ts := st.Tenants[name]
+			fmt.Fprintf(os.Stderr, "mssg-query:   tenant %-12s %d admitted, %d completed, %d rejected, %d cache hits\n",
+				name, ts.Admitted, ts.Completed, ts.Rejected, ts.CacheHits)
+		}
+	}
 }
 
-// parseAndSubmit turns one stdin line into a submitted query. Shortcut
-// forms route BFS through the engine's ownership knowledge; everything
-// else goes through the analysis registry as key=value params.
+// parseTenantSpec parses -tenants ("alice:4,bob:1") into per-tenant
+// configs, applying the -tenant-inflight/-tenant-queue template to each
+// listed tenant.
+func parseTenantSpec(spec string, inflight, queue int) (map[string]query.TenantConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	tenants := make(map[string]query.TenantConfig)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, ws, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("-tenants: %q is not name:weight", part)
+		}
+		w, err := strconv.Atoi(ws)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-tenants: weight %q of tenant %q must be a positive integer", ws, name)
+		}
+		if _, dup := tenants[name]; dup {
+			return nil, fmt.Errorf("-tenants: tenant %q listed twice", name)
+		}
+		tenants[name] = query.TenantConfig{Weight: w, MaxInFlight: inflight, QueueDepth: queue}
+	}
+	return tenants, nil
+}
+
+// parseAndSubmit turns one stdin line into a submitted query. An
+// optional leading '@tenant' token selects the submitting tenant
+// ("@alice bfs 0 42"); unprefixed lines run as the default tenant.
+// Shortcut forms route BFS through the engine's ownership knowledge;
+// everything else goes through the analysis registry as key=value
+// params.
 func parseAndSubmit(eng *core.Engine, qe *query.Engine, base query.BFSConfig, line string) (*query.Query, error) {
 	fields := strings.Fields(line)
+	tenant := query.DefaultTenantName
+	if strings.HasPrefix(fields[0], "@") {
+		tenant = fields[0][1:]
+		fields = fields[1:]
+		if tenant == "" || len(fields) == 0 {
+			return nil, fmt.Errorf("usage: @tenant <query...>")
+		}
+	}
 	name, args := fields[0], fields[1:]
 	switch name {
 	case "bfs":
@@ -453,19 +531,19 @@ func parseAndSubmit(eng *core.Engine, qe *query.Engine, base query.BFSConfig, li
 		}
 		cfg := base
 		cfg.Source, cfg.Dest = graph.VertexID(s), graph.VertexID(d)
-		return eng.SubmitBFS(context.Background(), qe, cfg)
+		return eng.SubmitBFSAs(context.Background(), qe, tenant, cfg)
 	case "khop":
 		if len(args) != 2 {
 			return nil, fmt.Errorf("usage: khop <source> <k>")
 		}
-		return qe.Submit(context.Background(), "khop", map[string]string{
+		return qe.SubmitAs(context.Background(), tenant, "khop", map[string]string{
 			"source": args[0], "k": args[1],
 		})
 	case "component":
 		if len(args) != 1 {
 			return nil, fmt.Errorf("usage: component <source>")
 		}
-		return qe.Submit(context.Background(), "component", map[string]string{
+		return qe.SubmitAs(context.Background(), tenant, "component", map[string]string{
 			"source": args[0],
 		})
 	}
@@ -477,7 +555,7 @@ func parseAndSubmit(eng *core.Engine, qe *query.Engine, base query.BFSConfig, li
 		}
 		params[k] = v
 	}
-	return qe.Submit(context.Background(), name, params)
+	return qe.SubmitAs(context.Background(), tenant, name, params)
 }
 
 func formatResult(res any) string {

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -110,6 +111,11 @@ type Engine struct {
 	// lastIngest holds the most recent completed Ingest run's statistics,
 	// for shutdown reporting from signal handlers.
 	lastIngest atomic.Pointer[ingest.Stats]
+
+	// qmu guards qengines: the resident query engines whose result
+	// caches this engine invalidates on ingest commit and epoch swap.
+	qmu      sync.Mutex
+	qengines []*query.Engine
 }
 
 // New builds the fabric and opens one GraphDB instance per back-end node.
@@ -236,10 +242,26 @@ func (e *Engine) Ingest(makeReader func(copy int) (graph.EdgeReader, error)) (*i
 	runErr := rt.RunWith(g, ropts)
 	obs.Default().Histogram("ingest.run_ns").Observe(time.Since(runStart).Nanoseconds())
 	e.lastIngest.Store(stats)
+	// The commit advanced every back-end's generation stamp, so cached
+	// query results keyed by the old generation can no longer match;
+	// reclaim their memory now. Structural correctness does not depend
+	// on this call (see query/qcache package doc).
+	e.invalidateQueryCaches()
 	if runErr != nil {
 		return stats, runErr
 	}
 	return stats, nil
+}
+
+// invalidateQueryCaches purges stale result-cache entries in every
+// resident query engine built by NewQueryEngine.
+func (e *Engine) invalidateQueryCaches() {
+	e.qmu.Lock()
+	qes := append([]*query.Engine(nil), e.qengines...)
+	e.qmu.Unlock()
+	for _, qe := range qes {
+		qe.InvalidateCache()
+	}
 }
 
 // LastIngestStats returns the statistics of the most recent Ingest run
@@ -407,17 +429,44 @@ func replicasOf(p ingest.Policy) func(graph.VertexID) []cluster.NodeID {
 // engine's fabric and databases (see query.Engine). Queries submitted
 // through it run as concurrent readers; the caller closes the returned
 // engine before closing this one.
+//
+// On an elastic engine (Placement set) the scheduler's cache keys and
+// snapshot pins carry the committed placement epoch, and a caching
+// scheduler is registered for invalidation on every ingest commit and
+// epoch swap — so a cached result can never outlive the graph state it
+// was computed against.
 func (e *Engine) NewQueryEngine(qcfg query.EngineConfig) (*query.Engine, error) {
 	if e.closed {
 		return nil, fmt.Errorf("core: engine closed")
 	}
-	return query.NewEngine(e.fabric, e.dbs, qcfg)
+	if e.cfg.Placement != nil && qcfg.Epoch == nil {
+		qcfg.Epoch = e.cfg.Placement.Epoch
+	}
+	qe, err := query.NewEngine(e.fabric, e.dbs, qcfg)
+	if err != nil {
+		return nil, err
+	}
+	if qe.Cache() != nil {
+		e.qmu.Lock()
+		e.qengines = append(e.qengines, qe)
+		e.qmu.Unlock()
+		if e.cfg.Placement != nil {
+			e.cfg.Placement.AddSwapHook(func(uint64) { qe.InvalidateCache() })
+		}
+	}
+	return qe, nil
 }
 
 // SubmitBFS admits one BFS run (with policy-based fringe routing
-// applied) into a resident query engine built by NewQueryEngine.
+// applied) into a resident query engine built by NewQueryEngine, under
+// the default tenant.
 func (e *Engine) SubmitBFS(ctx context.Context, qe *query.Engine, cfg query.BFSConfig) (*query.Query, error) {
 	return qe.BFS(ctx, e.routedBFS(cfg))
+}
+
+// SubmitBFSAs is SubmitBFS under an explicit tenant.
+func (e *Engine) SubmitBFSAs(ctx context.Context, qe *query.Engine, tenant string, cfg query.BFSConfig) (*query.Query, error) {
+	return qe.BFSAs(ctx, tenant, e.routedBFS(cfg))
 }
 
 func isDirectoryPolicy(p ingest.Policy) bool {

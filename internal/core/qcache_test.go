@@ -1,0 +1,167 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mssg/internal/cluster"
+	"mssg/internal/core"
+	"mssg/internal/gen"
+	"mssg/internal/graph"
+	_ "mssg/internal/graphdb/all"
+	"mssg/internal/ingest"
+	"mssg/internal/query"
+)
+
+// TestQueryCacheEndToEnd is the serving-tier cache acceptance test: a
+// repeated identical query through a resident engine is served from the
+// cache with the serial-reference answer, an ingest commit invalidates
+// it (generation bump), and a placement epoch swap (Join) invalidates
+// it again — each time the re-executed query matches a fresh sequential
+// oracle. Run under -race (make tenants) the concurrent burst also
+// proves cached results are safely shared across waiters.
+func TestQueryCacheEndToEnd(t *testing.T) {
+	edges, err := gen.Generate(gen.Config{Name: "qc", Vertices: 400, M: 3, HubFraction: 0.1, Seed: 31})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	half := edges[:len(edges)/2]
+
+	holder, err := ingest.NewPlacementHolder("", ingest.Manifest{Committed: ingest.Placement{
+		Policy: "rendezvous", Backends: 3, Replication: 1, Seed: 5,
+		Nodes: []cluster.NodeID{0, 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(core.Config{
+		Backends:  3,
+		FrontEnds: 1,
+		Backend:   "hashmap",
+		Ingest:    ingest.Config{AddReverse: true},
+		Placement: holder,
+	})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.IngestEdges(half); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+
+	qe, err := e.NewQueryEngine(query.EngineConfig{
+		MaxInFlight: 4,
+		QueueDepth:  64,
+		CacheBytes:  1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("NewQueryEngine: %v", err)
+	}
+	defer qe.Close()
+
+	cfg := query.BFSConfig{Source: 3, Dest: 111}
+	oracle := func(es []graph.Edge) (bool, int32) {
+		dist := refBFS(es, cfg.Source)
+		lv, ok := dist[cfg.Dest]
+		if !ok {
+			return false, -1
+		}
+		return true, lv
+	}
+	check := func(stage string, q *query.Query, es []graph.Edge, wantHit bool) query.BFSResult {
+		t.Helper()
+		res, err := q.Wait()
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if q.CacheHit != wantHit {
+			t.Fatalf("%s: CacheHit = %v, want %v", stage, q.CacheHit, wantHit)
+		}
+		r := res.(query.BFSResult)
+		found, lv := oracle(es)
+		if r.Found != found || (found && r.PathLength != lv) {
+			t.Fatalf("%s: BFS = (%v,%d), oracle (%v,%d)", stage, r.Found, r.PathLength, found, lv)
+		}
+		return r
+	}
+
+	submit := func() *query.Query {
+		q, err := e.SubmitBFSAs(context.Background(), qe, "alice", cfg)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		return q
+	}
+
+	r1 := check("cold", submit(), half, false)
+	if r1.Generation == 0 {
+		t.Fatal("result carries no pinned generation")
+	}
+	r2 := check("warm", submit(), half, true)
+	if r2.Generation != r1.Generation || r2.PathLength != r1.PathLength {
+		t.Fatalf("cached result diverged: %+v vs %+v", r2, r1)
+	}
+
+	// A concurrent burst of the identical query: every waiter gets the
+	// serial-reference answer (shared cached value, -race clean).
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q, err := e.SubmitBFSAs(context.Background(), qe, "alice", cfg)
+			if err != nil {
+				t.Errorf("burst submit: %v", err)
+				return
+			}
+			res, err := q.Wait()
+			if err != nil {
+				t.Errorf("burst: %v", err)
+				return
+			}
+			if r := res.(query.BFSResult); r.PathLength != r1.PathLength || r.Found != r1.Found {
+				t.Errorf("burst result (%v,%d) != reference (%v,%d)", r.Found, r.PathLength, r1.Found, r1.PathLength)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Ingest commit: generation bumps, the cached entry stops matching
+	// and is purged, and the re-executed query sees the new edges.
+	if _, err := e.IngestEdges(edges[len(edges)/2:]); err != nil {
+		t.Fatalf("second ingest: %v", err)
+	}
+	if n := qe.Cache().Len(); n != 0 {
+		t.Fatalf("cache holds %d entries after ingest commit", n)
+	}
+	r3 := check("post-ingest", submit(), edges, false)
+	if r3.Generation == r1.Generation {
+		t.Fatal("generation did not advance across an ingest commit")
+	}
+	check("post-ingest warm", submit(), edges, true)
+
+	// Epoch swap: joining the spare node commits epoch 1; the holder's
+	// swap hook purges the cache and the same query re-executes against
+	// the new placement — same answer, new epoch in the key.
+	if _, err := e.Join(2, ingest.MigrationConfig{}); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if holder.Epoch() != 1 {
+		t.Fatalf("epoch = %d after join, want 1", holder.Epoch())
+	}
+	if n := qe.Cache().Len(); n != 0 {
+		t.Fatalf("cache holds %d entries after epoch swap", n)
+	}
+	check("post-join", submit(), edges, false)
+	check("post-join warm", submit(), edges, true)
+
+	st := qe.Stats()
+	// warm + 16-query burst + post-ingest warm + post-join warm.
+	if st.CacheHits != 19 {
+		t.Fatalf("CacheHits = %d, want 19", st.CacheHits)
+	}
+	if st.Tenants["alice"].CacheHits != 19 {
+		t.Fatalf("tenant cache hits = %d, want 19", st.Tenants["alice"].CacheHits)
+	}
+}

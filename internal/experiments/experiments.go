@@ -334,6 +334,7 @@ func All() []Experiment {
 		{"fig5.8", "search time, Syn', grDB, visited in-mem vs external", Fig58},
 		{"fig5.9", "search edges/s, Syn', grDB", Fig59},
 		{"qps", "concurrent mixed workload QPS + latency percentiles, grDB", QPS},
+		{"tenants", "two-tenant fair-share serving: solo vs contended vs cached, grDB", Tenants},
 		{"io", "semi-external I/O engine ablation: prefetch × compression × shared SLRU, grDB", IOEngine},
 		{"migration", "BFS latency during live shard migration vs quiescent, hashmap", Migration},
 	}

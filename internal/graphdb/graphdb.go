@@ -266,6 +266,43 @@ func ForEachVertex(g Graph, fn func(v graph.VertexID) error) error {
 	return vs.ForEachVertex(fn)
 }
 
+// GenerationReader is an optional extension for backends that stamp
+// committed graph state with a monotonically increasing generation
+// (grDB bumps its manifest generation on every Flush). The serving tier
+// pins a query's generation at admission and keys its result cache on
+// it, so a result computed against one committed graph state is never
+// replayed against another. Generation must be safe to read
+// concurrently with readers; a bump becomes visible no later than the
+// Flush that committed the change.
+type GenerationReader interface {
+	Generation() uint64
+}
+
+// GenerationOf returns g's committed-state generation stamp, using the
+// GenerationReader fast path when available and falling back to the
+// stored-edge count otherwise — EdgesStored is monotonic under ingest
+// (dedup re-ships don't move it), so it distinguishes graph states
+// within one process lifetime, which is all an in-process result cache
+// needs. The fallback does not observe SetMetadata mutations; MSSG's
+// query algorithms keep their visited state outside vertex metadata.
+func GenerationOf(g Graph) uint64 {
+	if gr, ok := g.(GenerationReader); ok {
+		return gr.Generation()
+	}
+	return uint64(g.Stats().EdgesStored)
+}
+
+// GraphsGeneration folds every back-end's generation into one stamp for
+// a partitioned deployment: a change on any node changes the sum. Sums
+// (not hashes) keep the stamp monotonic, so "newer" still orders.
+func GraphsGeneration(dbs []Graph) uint64 {
+	var gen uint64
+	for _, g := range dbs {
+		gen += GenerationOf(g)
+	}
+	return gen
+}
+
 // IOCounters is an optional extension reporting physical I/O for
 // out-of-core implementations.
 type IOCounters interface {

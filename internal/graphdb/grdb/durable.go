@@ -192,6 +192,7 @@ func (d *DB) recoverDurable() error {
 			gen := d.manifestGen // state records carry no generation
 			d.applyManifestState(st)
 			d.manifestGen = gen
+			d.genMirror.Store(gen)
 		}
 		return nil
 	})

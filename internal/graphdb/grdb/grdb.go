@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"mssg/internal/graph"
 	"mssg/internal/graphdb"
@@ -164,6 +165,11 @@ type DB struct {
 
 	// manifestGen counts manifest saves; persisted for diagnostics.
 	manifestGen uint64
+
+	// genMirror mirrors manifestGen atomically so Generation() can be
+	// read by concurrent query admission while a Flush commits (mutators
+	// update it last, under their external serialization).
+	genMirror atomic.Uint64
 
 	// ckptStaged is the blob from the most recent SetCheckpoint;
 	// ckptCommitted is the blob from the last committed Flush (what

@@ -132,6 +132,7 @@ func (d *DB) manifestState() manifestState {
 
 func (d *DB) applyManifestState(st manifestState) {
 	d.manifestGen = st.gen
+	d.genMirror.Store(st.gen)
 	d.stats.SetEdgesStored(st.edges)
 	d.maxVertex = st.maxVertex
 	copy(d.nextFree, st.nextFree)
@@ -160,6 +161,7 @@ func (d *DB) loadManifest() error {
 // the new manifest, never a torn mix.
 func (d *DB) saveManifest() error {
 	d.manifestGen++
+	d.genMirror.Store(d.manifestGen)
 	b := encodeManifest(d.manifestState())
 	return fsutil.WriteFileAtomic(d.fsys, filepath.Join(d.dir, manifestName), b, 0o644)
 }

@@ -371,6 +371,12 @@ func (d *DB) Close() error {
 // Stats implements graphdb.Graph.
 func (d *DB) Stats() graphdb.Stats { return d.stats.Snapshot() }
 
+// Generation implements graphdb.GenerationReader: the manifest
+// generation, bumped by every Flush (and checkpoint commit), read
+// through an atomic mirror so query admission can pin it while ingest
+// proceeds on another goroutine.
+func (d *DB) Generation() uint64 { return d.genMirror.Load() }
+
 // ConcurrentReaders implements graphdb.Graph: walkAdjacency and the
 // metadata path read index words and chain blocks through the
 // mutex-guarded block cache without touching the write-side state

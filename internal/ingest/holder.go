@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"mssg/internal/cluster"
+	"mssg/internal/obs"
 )
 
 // PlacementHolder is the single atomically swapped routing authority for
@@ -30,6 +31,9 @@ type PlacementHolder struct {
 	mu      sync.Mutex
 	cur     atomic.Pointer[holderState]
 	history []uint64
+	// hooks run after every committed-epoch swap (CommitMigration,
+	// Reload) — the serving tier's cache-invalidation trigger.
+	hooks []func(epoch uint64)
 }
 
 // holderState pairs a manifest with the policy constructed from its
@@ -51,7 +55,29 @@ func NewPlacementHolder(dir string, m Manifest) (*PlacementHolder, error) {
 	}
 	h := &PlacementHolder{dir: dir, history: []uint64{m.Committed.Epoch}}
 	h.cur.Store(&holderState{manifest: m, policy: pol})
+	obs.Default().Gauge("placement.epoch").Set(int64(m.Committed.Epoch))
 	return h, nil
+}
+
+// AddSwapHook registers fn to run after every committed-placement swap —
+// CommitMigration and an epoch-advancing Reload — with the new epoch.
+// Hooks run while the holder's writer lock is held: they must be fast
+// and must not call the holder's mutating methods (the read side —
+// Epoch, Placement, Policy, Snapshot — is lock-free and safe). The
+// serving tier uses this to purge result caches keyed by the old epoch.
+func (h *PlacementHolder) AddSwapHook(fn func(epoch uint64)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hooks = append(h.hooks, fn)
+}
+
+// fireSwapLocked publishes the new committed epoch to the obs gauge and
+// the registered hooks. Caller holds h.mu.
+func (h *PlacementHolder) fireSwapLocked(epoch uint64) {
+	obs.Default().Gauge("placement.epoch").Set(int64(epoch))
+	for _, fn := range h.hooks {
+		fn(epoch)
+	}
 }
 
 // OpenPlacementHolder loads dir's manifest into a holder. ok is false
@@ -179,6 +205,7 @@ func (h *PlacementHolder) CommitMigration() (Placement, error) {
 	}
 	h.cur.Store(&holderState{manifest: next, policy: pol})
 	h.history = append(h.history, next.Committed.Epoch)
+	h.fireSwapLocked(next.Committed.Epoch)
 	return next.Committed, nil
 }
 
@@ -252,6 +279,7 @@ func (h *PlacementHolder) Reload() (bool, error) {
 	}
 	h.cur.Store(&holderState{manifest: m, policy: pol})
 	h.history = append(h.history, m.Committed.Epoch)
+	h.fireSwapLocked(m.Committed.Epoch)
 	return true, nil
 }
 

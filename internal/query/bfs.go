@@ -166,6 +166,11 @@ type BFSResult struct {
 	// Failover is filled by FailoverBFS with its retry accounting; plain
 	// ParallelBFS leaves it nil.
 	Failover *FailoverStats
+	// Generation is the combined graph generation the query was pinned to
+	// at admission (graphdb.GraphsGeneration) — the committed graph state
+	// this result reflects. Stamped by the resident Engine; zero for
+	// direct ParallelBFS calls.
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // LevelStat describes one BFS level. Fields marshal directly into

@@ -70,10 +70,17 @@ type engineMetrics struct {
 	cancelled *obs.Counter   // query.engine.cancelled
 	completed *obs.Counter   // query.engine.completed
 	failed    *obs.Counter   // query.engine.failed
+	cacheHits *obs.Counter   // query.engine.cache_hits
 	inFlight  *obs.Gauge     // query.engine.in_flight
 	queued    *obs.Gauge     // query.engine.queued
 	queryNs   *obs.Histogram // query.engine.query_ns (submit → finish)
 	execNs    *obs.Histogram // query.engine.exec_ns (start → finish)
+	// queueWaitNs is the admission-to-execution delay. It is recorded
+	// separately from execNs because the deadline budget explicitly
+	// excludes it: under saturation queueWaitNs grows while execNs stays
+	// flat, which is the signature that distinguishes "scheduler is
+	// backed up" from "queries got slow".
+	queueWaitNs *obs.Histogram // query.engine.queue_wait_ns
 }
 
 var (
@@ -90,13 +97,69 @@ func em() *engineMetrics {
 			cancelled: r.Counter("query.engine.cancelled"),
 			completed: r.Counter("query.engine.completed"),
 			failed:    r.Counter("query.engine.failed"),
+			cacheHits: r.Counter("query.engine.cache_hits"),
 			inFlight:  r.Gauge("query.engine.in_flight"),
 			queued:    r.Gauge("query.engine.queued"),
 			queryNs:   r.Histogram("query.engine.query_ns"),
 			execNs:    r.Histogram("query.engine.exec_ns"),
+
+			queueWaitNs: r.Histogram("query.engine.queue_wait_ns"),
 		}
 	})
 	return emVal
+}
+
+// tenantMetrics is one tenant's labelled metric family,
+// query.tenant.<name>.*: the per-tenant view of the engine-wide
+// counters plus the latency histograms the fairness bench and /metrics
+// report per tenant (p50/p95/p99 come from the Histogram snapshot).
+type tenantMetrics struct {
+	admitted  *obs.Counter   // query.tenant.<t>.admitted
+	rejected  *obs.Counter   // query.tenant.<t>.rejected
+	cancelled *obs.Counter   // query.tenant.<t>.cancelled
+	completed *obs.Counter   // query.tenant.<t>.completed
+	failed    *obs.Counter   // query.tenant.<t>.failed
+	cacheHits *obs.Counter   // query.tenant.<t>.cache_hits
+	inFlight  *obs.Gauge     // query.tenant.<t>.in_flight
+	queued    *obs.Gauge     // query.tenant.<t>.queued
+	queryNs   *obs.Histogram // query.tenant.<t>.query_ns
+	execNs    *obs.Histogram // query.tenant.<t>.exec_ns
+
+	queueWaitNs *obs.Histogram // query.tenant.<t>.queue_wait_ns
+}
+
+var (
+	tmMu  sync.Mutex
+	tmVal = make(map[string]*tenantMetrics)
+)
+
+// tm resolves tenant's metric family, caching per name. Tenant names are
+// validated at admission (validTenant), so the family's cardinality is
+// bounded by the set of configured tenants, not by request content.
+func tm(tenant string) *tenantMetrics {
+	tmMu.Lock()
+	defer tmMu.Unlock()
+	if m, ok := tmVal[tenant]; ok {
+		return m
+	}
+	r := obs.Default()
+	p := "query.tenant." + tenant + "."
+	m := &tenantMetrics{
+		admitted:  r.Counter(p + "admitted"),
+		rejected:  r.Counter(p + "rejected"),
+		cancelled: r.Counter(p + "cancelled"),
+		completed: r.Counter(p + "completed"),
+		failed:    r.Counter(p + "failed"),
+		cacheHits: r.Counter(p + "cache_hits"),
+		inFlight:  r.Gauge(p + "in_flight"),
+		queued:    r.Gauge(p + "queued"),
+		queryNs:   r.Histogram(p + "query_ns"),
+		execNs:    r.Histogram(p + "exec_ns"),
+
+		queueWaitNs: r.Histogram(p + "queue_wait_ns"),
+	}
+	tmVal[tenant] = m
+	return m
 }
 
 // levelHist returns the expansion-latency histogram for BFS level lev

@@ -1,0 +1,79 @@
+package qcache
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalParams pins the two properties the cache key depends on:
+//
+//  1. Order-insensitivity — building the same map from pairs presented
+//     in a different order must canonicalize identically (map iteration
+//     order can never leak into the key).
+//  2. Injectivity — two different maps must never canonicalize to the
+//     same string (a collision would serve one tenant's query another
+//     query's cached result).
+//
+// The input is an arbitrary byte string cut into key/value pairs, so
+// the fuzzer explores delimiters (':', '=', ';'), empty keys/values,
+// and non-UTF-8 bytes.
+func FuzzCanonicalParams(f *testing.F) {
+	f.Add("source\x003\x00dest\x0042", "k\x002")
+	f.Add("a\x00b=1", "a=b\x001")
+	f.Add("", "x\x00")
+	f.Add("1:a\x00b;", ";\x00=")
+	f.Fuzz(func(t *testing.T, raw1, raw2 string) {
+		m1 := pairsToMap(raw1)
+		m2 := pairsToMap(raw2)
+
+		// Property 1: rebuild m1 inserting pairs in reverse order.
+		rev := make(map[string]string, len(m1))
+		keys := make([]string, 0, len(m1))
+		for k := range m1 {
+			keys = append(keys, k)
+		}
+		for i := len(keys) - 1; i >= 0; i-- {
+			rev[keys[i]] = m1[keys[i]]
+		}
+		c1 := CanonicalParams(m1)
+		if c2 := CanonicalParams(rev); c1 != c2 {
+			t.Fatalf("insertion order changed the key: %q vs %q", c1, c2)
+		}
+
+		// Property 2: equal canonical strings imply equal maps.
+		if c1 == CanonicalParams(m2) && !mapsEqual(m1, m2) {
+			t.Fatalf("distinct maps %v and %v share key %q", m1, m2, c1)
+		}
+	})
+}
+
+// pairsToMap splits raw on NUL into alternating keys and values; a
+// trailing key gets the empty value. Later duplicates win, like map
+// assignment.
+func pairsToMap(raw string) map[string]string {
+	m := make(map[string]string)
+	if raw == "" {
+		return m
+	}
+	parts := strings.Split(raw, "\x00")
+	for i := 0; i < len(parts); i += 2 {
+		v := ""
+		if i+1 < len(parts) {
+			v = parts[i+1]
+		}
+		m[parts[i]] = v
+	}
+	return m
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+// Package qcache is the serving tier's epoch-keyed result cache: a
+// bounded-memory LRU mapping (placement epoch, graph generation,
+// analysis name, canonicalized params) to a finished query result.
+//
+// The key design makes invalidation structural instead of imperative:
+// an ingest commit bumps every back-end's generation stamp and a
+// migration commit bumps the placement epoch, so a stale entry simply
+// stops matching — it can never be returned again. PurgeStale exists
+// only to reclaim the memory those unreachable entries occupy (wired to
+// the ingest-commit and placement swap hooks by core.Engine); skipping
+// it costs bytes, never correctness.
+//
+// Cached values are shared across callers and must be treated as
+// read-only; the query result types (BFSResult, KHopResult, ...) are
+// plain data the engine never mutates after completion.
+package qcache
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mssg/internal/obs"
+)
+
+// Key identifies one cacheable query against one committed graph state.
+type Key struct {
+	// Epoch is the committed placement epoch (0 on a static cluster).
+	Epoch uint64
+	// Generation is the combined back-end generation stamp
+	// (graphdb.GraphsGeneration) at admission.
+	Generation uint64
+	// Analysis is the registered analysis name ("bfs", "khop", ...).
+	Analysis string
+	// Params is the canonicalized parameter string (CanonicalParams or a
+	// caller-built canonical form); two queries are "identical" exactly
+	// when their Params strings are byte-equal.
+	Params string
+}
+
+// CanonicalParams encodes a params map into a canonical string: sorted
+// by key, each pair length-prefixed so no choice of key/value bytes can
+// collide with another map ("a"→"b=1" never equals "a=b"→"1"). Map
+// iteration order never influences the result, which is what the fuzz
+// target pins.
+func CanonicalParams(params map[string]string) string {
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		v := params[k]
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(len(v)))
+		sb.WriteByte(':')
+		sb.WriteString(v)
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// entry is one cached result with its accounting cost.
+type entry struct {
+	key  Key
+	val  any
+	cost int64
+}
+
+// Cache is a bounded-memory LRU over Keys. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int64
+	cur   int64
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+
+	hits, misses, evictions, invalidations *obs.Counter
+	entries, bytes                         *obs.Gauge
+}
+
+// DefaultMaxBytes sizes a cache when the caller passes no budget.
+const DefaultMaxBytes = 16 << 20
+
+// New builds a cache bounded at maxBytes of accounted result cost
+// (<= 0 selects DefaultMaxBytes). Counters land in reg (nil =
+// obs.Default()) under qcache.*.
+func New(maxBytes int64, reg *obs.Registry) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Cache{
+		max:           maxBytes,
+		ll:            list.New(),
+		items:         make(map[Key]*list.Element),
+		hits:          reg.Counter("qcache.hits"),
+		misses:        reg.Counter("qcache.misses"),
+		evictions:     reg.Counter("qcache.evictions"),
+		invalidations: reg.Counter("qcache.invalidations"),
+		entries:       reg.Gauge("qcache.entries"),
+		bytes:         reg.Gauge("qcache.bytes"),
+	}
+}
+
+// Get returns the cached result for k, marking it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*entry).val, true
+}
+
+// Put stores v under k with the given accounting cost (<= 0 is clamped
+// to a fixed floor so unaccounted entries still bound the cache). An
+// entry larger than the whole budget is not stored.
+func (c *Cache) Put(k Key, v any, cost int64) {
+	const costFloor = 128
+	if cost < costFloor {
+		cost = costFloor
+	}
+	if cost > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		e := el.Value.(*entry)
+		c.cur += cost - e.cost
+		e.val, e.cost = v, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[k] = c.ll.PushFront(&entry{key: k, val: v, cost: cost})
+		c.cur += cost
+	}
+	for c.cur > c.max {
+		c.evictOldestLocked()
+	}
+	c.entries.Set(int64(len(c.items)))
+	c.bytes.Set(c.cur)
+}
+
+func (c *Cache) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.cur -= e.cost
+	c.evictions.Inc()
+}
+
+// PurgeStale drops every entry whose epoch or generation differs from
+// the current (epoch, gen) — the memory-reclamation half of
+// invalidation after an ingest commit or an epoch swap (matching is
+// already impossible: the key changed). Returns the number dropped.
+func (c *Cache) PurgeStale(epoch, gen uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dropped int
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if e.key.Epoch != epoch || e.key.Generation != gen {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			c.cur -= e.cost
+			dropped++
+		}
+		el = next
+	}
+	if dropped > 0 {
+		c.invalidations.Add(int64(dropped))
+		c.entries.Set(int64(len(c.items)))
+		c.bytes.Set(c.cur)
+	}
+	return dropped
+}
+
+// Len returns the live entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the accounted cost of live entries.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// Stats is a point-in-time hit/miss summary.
+type Stats struct {
+	Hits, Misses, Evictions, Invalidations int64
+}
+
+// Stats reads the cache's counters. On a shared registry the counters
+// aggregate every cache built against it; per-cache tests should use a
+// private registry.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Evictions:     c.evictions.Value(),
+		Invalidations: c.invalidations.Value(),
+	}
+}

@@ -1,0 +1,156 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mssg/internal/obs"
+)
+
+func TestQCacheGetPut(t *testing.T) {
+	c := New(1<<20, obs.NewRegistry())
+	k := Key{Epoch: 1, Generation: 7, Analysis: "bfs", Params: "x"}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, "result", 256)
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "result" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	// A different generation is a different key.
+	k2 := k
+	k2.Generation = 8
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("hit across generations")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQCacheBoundedMemory(t *testing.T) {
+	c := New(1024, obs.NewRegistry())
+	for i := 0; i < 100; i++ {
+		c.Put(Key{Analysis: "bfs", Params: fmt.Sprint(i)}, i, 256)
+	}
+	if got := c.Bytes(); got > 1024 {
+		t.Fatalf("cache holds %d bytes, budget 1024", got)
+	}
+	if got := c.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4 (1024/256)", got)
+	}
+	if ev := c.Stats().Evictions; ev != 96 {
+		t.Fatalf("evictions = %d, want 96", ev)
+	}
+	// The survivors are the most recently inserted.
+	if _, ok := c.Get(Key{Analysis: "bfs", Params: "99"}); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := c.Get(Key{Analysis: "bfs", Params: "0"}); ok {
+		t.Fatal("oldest entry survived over budget")
+	}
+}
+
+func TestQCacheLRUOrder(t *testing.T) {
+	c := New(512, obs.NewRegistry()) // room for 2 entries of 256
+	a := Key{Params: "a"}
+	b := Key{Params: "b"}
+	c.Put(a, 1, 256)
+	c.Put(b, 2, 256)
+	c.Get(a) // a becomes MRU
+	c.Put(Key{Params: "c"}, 3, 256)
+	if _, ok := c.Get(a); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Get(b); ok {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestQCacheOversizedEntryRejected(t *testing.T) {
+	c := New(1024, obs.NewRegistry())
+	c.Put(Key{Params: "big"}, "x", 4096)
+	if c.Len() != 0 {
+		t.Fatal("entry larger than the budget was stored")
+	}
+}
+
+func TestQCachePurgeStale(t *testing.T) {
+	c := New(1<<20, obs.NewRegistry())
+	c.Put(Key{Epoch: 1, Generation: 5, Params: "a"}, 1, 256)
+	c.Put(Key{Epoch: 1, Generation: 6, Params: "a"}, 2, 256)
+	c.Put(Key{Epoch: 2, Generation: 6, Params: "a"}, 3, 256)
+	if n := c.PurgeStale(2, 6); n != 2 {
+		t.Fatalf("purged %d, want 2", n)
+	}
+	if _, ok := c.Get(Key{Epoch: 2, Generation: 6, Params: "a"}); !ok {
+		t.Fatal("current-epoch entry purged")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after purge", c.Len())
+	}
+	if inv := c.Stats().Invalidations; inv != 2 {
+		t.Fatalf("invalidations = %d", inv)
+	}
+}
+
+func TestQCacheConcurrent(t *testing.T) {
+	c := New(64<<10, obs.NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key{Generation: uint64(i % 7), Params: fmt.Sprint(i % 37)}
+				if i%3 == 0 {
+					c.Put(k, i, 256)
+				} else {
+					c.Get(k)
+				}
+				if i%101 == 0 {
+					c.PurgeStale(0, uint64(i%7))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() > 64<<10 {
+		t.Fatalf("over budget after concurrent churn: %d", c.Bytes())
+	}
+}
+
+func TestCanonicalParamsOrderInsensitive(t *testing.T) {
+	a := CanonicalParams(map[string]string{"source": "3", "dest": "42", "k": "2"})
+	b := CanonicalParams(map[string]string{"k": "2", "dest": "42", "source": "3"})
+	if a != b {
+		t.Fatalf("order-sensitive canonicalization: %q vs %q", a, b)
+	}
+	if CanonicalParams(nil) != "" || CanonicalParams(map[string]string{}) != "" {
+		t.Fatal("empty map must canonicalize to the empty string")
+	}
+}
+
+func TestCanonicalParamsInjective(t *testing.T) {
+	// The classic splitting attack: {"a":"b=1"} vs {"a=b":"1"} vs
+	// {"a":"b","1":""} must all differ.
+	cases := []map[string]string{
+		{"a": "b=1"},
+		{"a=b": "1"},
+		{"a": "b", "1": ""},
+		{"a": "b;1:c"},
+		{"a": "b", "c": ""},
+		{"a": "b;", "c": ""},
+	}
+	seen := make(map[string]int)
+	for i, m := range cases {
+		s := CanonicalParams(m)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("maps %d and %d collide on %q", i, j, s)
+		}
+		seen[s] = i
+	}
+}
